@@ -1,0 +1,102 @@
+// Ablation benchmarks for the two runtime design decisions §4.3 calls out:
+//   - short-circuit evaluation of trigger conjunctions (the first false
+//     trigger stops the chain), and
+//   - O(1) per-call lookup of a function's trigger list, independent of
+//     scenario size (vs a linear scan over all associations).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "core/stock_triggers.h"
+#include "util/string_util.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+namespace {
+
+// A conjunction of `depth` triggers on close(); the first one always votes
+// no, so short-circuiting skips the remaining depth-1 evaluations.
+Scenario ConjunctionScenario(int depth) {
+  std::string xml = "<scenario>\n";
+  xml += R"(<trigger id="gate" class="RandomTrigger">
+              <args><probability>0.0</probability></args></trigger>)";
+  for (int i = 1; i < depth; ++i) {
+    xml += StrFormat("<trigger id=\"t%d\" class=\"RandomTrigger\">"
+                     "<args><probability>1.0</probability></args></trigger>\n", i);
+  }
+  xml += R"(<function name="close" return="-1" errno="EIO"><reftrigger ref="gate"/>)";
+  for (int i = 1; i < depth; ++i) {
+    xml += StrFormat("<reftrigger ref=\"t%d\"/>", i);
+  }
+  xml += "</function>\n</scenario>";
+  return *Scenario::Parse(xml);
+}
+
+// A scenario with `size` associations on distinct functions; the workload
+// calls one of them.
+Scenario WideScenario(int size) {
+  std::string xml = "<scenario>\n";
+  xml += R"(<trigger id="t" class="SingletonTrigger"/>)";
+  for (int i = 0; i < size; ++i) {
+    xml += StrFormat("<function name=\"fn_%d\" return=\"-1\"><reftrigger ref=\"t\"/></function>\n",
+                     i);
+  }
+  xml += R"(<function name="close" return="unused" errno="unused"><reftrigger ref="t"/></function>)";
+  xml += "</scenario>";
+  return *Scenario::Parse(xml);
+}
+
+void RunCloseLoop(benchmark::State& state, const Scenario& scenario, Runtime::Options options) {
+  EnsureStockTriggersRegistered();
+  VirtualFs fs;
+  VirtualNet net;
+  VirtualLibc libc(&fs, &net, "bench");
+  fs.MkDir("/d");
+  fs.WriteFile("/d/f", "x");
+  Runtime runtime(scenario, options);
+  runtime.set_armed(false);
+  libc.set_interposer(&runtime);
+  for (auto _ : state) {
+    int fd = libc.Open("/d/f", kORdOnly);
+    benchmark::DoNotOptimize(libc.Close(fd));
+  }
+  libc.set_interposer(nullptr);
+  state.counters["evals/call"] =
+      runtime.interceptions() > 0
+          ? static_cast<double>(runtime.trigger_evaluations()) /
+                static_cast<double>(runtime.interceptions())
+          : 0.0;
+}
+
+void BM_ConjunctionShortCircuit(benchmark::State& state) {
+  RunCloseLoop(state, ConjunctionScenario(static_cast<int>(state.range(0))), {});
+}
+
+void BM_ConjunctionNoShortCircuit(benchmark::State& state) {
+  Runtime::Options options;
+  options.disable_short_circuit = true;
+  RunCloseLoop(state, ConjunctionScenario(static_cast<int>(state.range(0))), options);
+}
+
+void BM_LookupHashed(benchmark::State& state) {
+  RunCloseLoop(state, WideScenario(static_cast<int>(state.range(0))), {});
+}
+
+void BM_LookupLinear(benchmark::State& state) {
+  Runtime::Options options;
+  options.linear_lookup = true;
+  RunCloseLoop(state, WideScenario(static_cast<int>(state.range(0))), options);
+}
+
+BENCHMARK(BM_ConjunctionShortCircuit)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_ConjunctionNoShortCircuit)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_LookupHashed)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_LookupLinear)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace lfi
+
+BENCHMARK_MAIN();

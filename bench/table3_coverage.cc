@@ -1,0 +1,140 @@
+// Table 3: automated improvement in recovery-code coverage (§7.1).
+//
+// For Git and BIND: run the default test suite and measure recovery-code
+// coverage; then run the suite once per analyzer-generated injection
+// scenario (scoped to the library calls that fail in practice) and measure
+// again. Paper: +35% (Git) / +60% (BIND) additional recovery code covered,
+// +429/+560 additional LOC, totals 78.7%->79.6% and 61.2%->61.8%.
+
+#include <cstdio>
+#include <functional>
+#include <set>
+
+#include "analysis/callsite_analyzer.h"
+#include "apps/bind/bind.h"
+#include "apps/git/git.h"
+#include "core/controller.h"
+#include "core/scenario_gen.h"
+#include "core/stock_triggers.h"
+#include "vlib/library_profiles.h"
+
+namespace lfi {
+namespace {
+
+// The ~25 library calls "known to fail on occasion" the paper trims to.
+const std::set<std::string> kTargetCalls = {
+    "open",   "close",   "read",    "write",  "lseek",   "fstat",    "stat",
+    "fcntl",  "unlink",  "rename",  "mkdir",  "rmdir",   "fopen",    "fclose",
+    "fread",  "fwrite",  "fflush",  "opendir", "readdir", "closedir", "malloc",
+    "setenv", "sendto",  "recvfrom", "socket"};
+
+struct CoverageRow {
+  CoverageMap::Stats baseline;
+  CoverageMap::Stats with_lfi;
+  size_t scenarios = 0;
+};
+
+// Generates one scenario per analyzable call site (any check class -- the
+// goal is coverage, not bug hunting), restricted to kTargetCalls.
+std::vector<Scenario> CoverageScenarios(const AppBinary& binary, const FaultProfile& profile) {
+  std::vector<Scenario> scenarios;
+  CallSiteAnalyzer analyzer;
+  for (const auto& [name, fn] : profile.functions()) {
+    if (kTargetCalls.count(name) == 0) {
+      continue;
+    }
+    for (const CallSiteReport& report :
+         analyzer.Analyze(binary.image(), name, fn.ErrorCodes())) {
+      Scenario s = GenerateSiteScenario(report, profile);
+      if (!s.functions().empty()) {
+        scenarios.push_back(std::move(s));
+      }
+    }
+  }
+  return scenarios;
+}
+
+template <typename App>
+CoverageRow MeasureApp(const AppBinary& binary, const FaultProfile& profile,
+                       const std::function<App*(VirtualFs*, VirtualNet*)>& make_app,
+                       const std::function<bool(App&)>& suite) {
+  CoverageRow row;
+
+  // Master coverage maps (block registration from a fresh instance).
+  VirtualFs proto_fs;
+  VirtualNet proto_net;
+  std::unique_ptr<App> proto(make_app(&proto_fs, &proto_net));
+  CoverageMap baseline = proto->coverage();
+  CoverageMap with_lfi = proto->coverage();
+
+  // Baseline: the default test suite alone.
+  {
+    VirtualFs fs;
+    VirtualNet net;
+    std::unique_ptr<App> app(make_app(&fs, &net));
+    suite(*app);
+    baseline.AbsorbHits(app->coverage());
+    with_lfi.AbsorbHits(app->coverage());
+  }
+  row.baseline = baseline.ComputeStats();
+
+  // With LFI: re-run the suite once per injection scenario.
+  auto scenarios = CoverageScenarios(binary, profile);
+  row.scenarios = scenarios.size();
+  for (const Scenario& scenario : scenarios) {
+    VirtualFs fs;
+    VirtualNet net;
+    std::unique_ptr<App> app(make_app(&fs, &net));
+    TestController controller(scenario);
+    controller.RunTest(&app->libc(), [&] { return suite(*app); });
+    with_lfi.AbsorbHits(app->coverage());
+  }
+  row.with_lfi = with_lfi.ComputeStats();
+  return row;
+}
+
+void PrintRow(const char* name, const CoverageRow& row, const char* paper_extra,
+              const char* paper_totals) {
+  const auto& b = row.baseline;
+  const auto& l = row.with_lfi;
+  int extra_recovery_lines = l.covered_recovery_lines - b.covered_recovery_lines;
+  double extra_recovery_pct =
+      b.recovery_lines == 0 ? 0.0 : 100.0 * extra_recovery_lines / b.recovery_lines;
+  std::printf("%s (%zu scenarios)\n", name, row.scenarios);
+  std::printf("  recovery blocks covered:    %zu/%zu -> %zu/%zu\n", b.covered_recovery_blocks,
+              b.recovery_blocks, l.covered_recovery_blocks, l.recovery_blocks);
+  std::printf("  additional recovery code:   +%.0f%% of recovery LOC (paper: %s)\n",
+              extra_recovery_pct, paper_extra);
+  std::printf("  additional LOC covered:     +%d\n", l.covered_lines - b.covered_lines);
+  std::printf("  total line coverage:        %.1f%% -> %.1f%% (paper: %s)\n\n",
+              b.line_coverage(), l.line_coverage(), paper_totals);
+}
+
+}  // namespace
+}  // namespace lfi
+
+int main() {
+  lfi::EnsureStockTriggersRegistered();
+  std::printf("=== Table 3: automated improvement in code coverage ===\n\n");
+
+  auto git_row = lfi::MeasureApp<lfi::MiniGit>(
+      lfi::GitBinary(), lfi::LibcProfile(),
+      [](lfi::VirtualFs* fs, lfi::VirtualNet* net) { return new lfi::MiniGit(fs, net, "/repo"); },
+      [](lfi::MiniGit& git) { return git.RunDefaultTestSuite(); });
+  lfi::PrintRow("Git", git_row, "~35%", "78.7% -> 79.6%");
+
+  auto bind_row = lfi::MeasureApp<lfi::MiniBind>(
+      lfi::BindBinary(), lfi::LibcProfile(),
+      [](lfi::VirtualFs* fs, lfi::VirtualNet* net) {
+        return new lfi::MiniBind(fs, net, "/etc/bind");
+      },
+      [](lfi::MiniBind& bind) { return bind.RunDefaultTestSuite(); });
+  lfi::PrintRow("BIND", bind_row, "~60%", "61.2% -> 61.8%");
+
+  bool improved =
+      git_row.with_lfi.covered_recovery_blocks > git_row.baseline.covered_recovery_blocks &&
+      bind_row.with_lfi.covered_recovery_blocks > bind_row.baseline.covered_recovery_blocks;
+  std::printf("Recovery coverage improved without new tests: %s\n",
+              improved ? "reproduced" : "NOT reproduced");
+  return improved ? 0 : 1;
+}

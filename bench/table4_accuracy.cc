@@ -1,0 +1,98 @@
+// Table 4: call-site analysis accuracy (§7.2).
+//
+// Runs the analyzer over the application binaries and scores it against the
+// ground-truth site tables (the confusion matrix of the paper: FP = the
+// analyzer says unchecked but the code actually checks; FN = the analyzer
+// says checked but the code does not). Paper: 100% on every row except
+// BIND/open at 83% (one false positive -- a check performed inside a helper
+// function, invisible to the intra-procedural dataflow).
+
+#include <cstdio>
+#include <map>
+
+#include "analysis/callsite_analyzer.h"
+#include "apps/bind/bind.h"
+#include "apps/git/git.h"
+#include "apps/mysql/mysql.h"
+#include "apps/pbft/pbft.h"
+#include "vlib/library_profiles.h"
+
+namespace lfi {
+namespace {
+
+struct Row {
+  int tp_tn = 0;
+  int fn = 0;
+  int fp = 0;
+  double Accuracy() const {
+    int total = tp_tn + fn + fp;
+    return total == 0 ? 0.0 : 100.0 * tp_tn / total;
+  }
+};
+
+Row Score(const AppBinary& binary, const std::string& function, const FaultProfile& profile) {
+  Row row;
+  CallSiteAnalyzer analyzer;
+  const FunctionProfile* fn = profile.Find(function);
+  auto reports = analyzer.Analyze(binary.image(), function, fn->ErrorCodes());
+  std::map<uint32_t, const CallSiteReport*> by_offset;
+  for (const auto& r : reports) {
+    by_offset[r.site.offset] = &r;
+  }
+  for (const CallSiteSpec& site : binary.sites()) {
+    if (site.function != function) {
+      continue;
+    }
+    auto it = by_offset.find(binary.SiteOffset(site.site_name));
+    if (it == by_offset.end()) {
+      continue;  // should not happen; counted as neither
+    }
+    bool lfi_says_checked = it->second->check_class != CheckClass::kNone;
+    bool actually_checked = site.actually_checked();
+    if (lfi_says_checked == actually_checked) {
+      ++row.tp_tn;
+    } else if (lfi_says_checked && !actually_checked) {
+      ++row.fn;  // LFI says checked, actually not
+    } else {
+      ++row.fp;  // LFI says not checked, actually checked
+    }
+  }
+  return row;
+}
+
+void Print(const char* system, const char* function, const Row& row, const char* paper) {
+  std::printf("%-8s %-10s %6d %4d %4d   %5.0f%%   (paper: %s)\n", system, function, row.tp_tn,
+              row.fn, row.fp, row.Accuracy(), paper);
+}
+
+}  // namespace
+}  // namespace lfi
+
+int main() {
+  std::printf("=== Table 4: call-site analysis accuracy ===\n\n");
+  std::printf("%-8s %-10s %6s %4s %4s   %6s\n", "System", "Function", "TP+TN", "FN", "FP",
+              "Acc");
+  lfi::FaultProfile profile = lfi::LibcProfile();
+
+  bool ok = true;
+  auto check = [&](const char* system, const char* function, const lfi::AppBinary& binary,
+                   const char* paper, double expected) {
+    lfi::Row row = lfi::Score(binary, function, profile);
+    lfi::Print(system, function, row, paper);
+    if (row.Accuracy() < expected - 0.5 || row.Accuracy() > expected + 0.5) {
+      ok = false;
+    }
+  };
+
+  check("BIND", "malloc", lfi::BindBinary(), "100% (17 sites)", 100);
+  check("BIND", "unlink", lfi::BindBinary(), "100% (6 sites)", 100);
+  check("BIND", "open", lfi::BindBinary(), "83% (5+1FP)", 83.333);
+  check("BIND", "close", lfi::BindBinary(), "100% (39 sites)", 100);
+  check("Git", "malloc", lfi::GitBinary(), "100% (25 sites)", 100);
+  check("Git", "close", lfi::GitBinary(), "100% (127 sites)", 100);
+  check("Git", "readlink", lfi::GitBinary(), "100% (7 sites)", 100);
+  check("PBFT", "fopen", lfi::PbftBinary(), "100% (6 sites)", 100);
+
+  std::printf("\nAccuracy pattern matches Table 4: %s\n", ok ? "reproduced" : "NOT reproduced");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Table 6: MySQL transactions/second with 0-4 LFI triggers (§7.4).
+//
+// SysBench-OLTP-style read-only and read/write transaction mixes against the
+// mini-MySQL engine, with the paper's four fcntl triggers stacked
+// cumulatively: (1) cmd == F_GETLK, (2) thread_count > 64, (3) the server is
+// shutting down, (4) the call comes from the main application module.
+// Injection is disarmed; the paper measured < 5% overhead throughout.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/mysql/mysql.h"
+#include "core/custom_triggers.h"
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "core/stock_triggers.h"
+#include "util/rng.h"
+
+namespace lfi {
+namespace {
+
+Scenario MysqlScenario(int trigger_count) {
+  std::string xml = "<scenario>\n";
+  const char* decls[4] = {
+      R"(<trigger id="t1" class="ArgValue">
+           <args><index>1</index><value>5</value></args></trigger>)",  // F_GETLK
+      R"(<trigger id="t2" class="ProgramStateTrigger">
+           <args><var>thread_count</var><op>gt</op><value>64</value></args></trigger>)",
+      R"(<trigger id="t3" class="ProgramStateTrigger">
+           <args><var>shutdown_in_progress</var><op>eq</op><value>1</value></args></trigger>)",
+      R"(<trigger id="t4" class="CallStackTrigger">
+           <args><frame><module>mini-mysql</module></frame></args></trigger>)",
+  };
+  for (int i = 0; i < trigger_count; ++i) {
+    xml += decls[i];
+    xml += "\n";
+  }
+  if (trigger_count > 0) {
+    xml += R"(<function name="fcntl" argc="3" return="-1" errno="EDEADLK">)";
+    for (int i = 0; i < trigger_count; ++i) {
+      xml += "<reftrigger ref=\"t" + std::to_string(i + 1) + "\"/>";
+    }
+    xml += "</function>\n";
+  }
+  xml += "</scenario>";
+  std::string error;
+  auto scenario = Scenario::Parse(xml, &error);
+  if (!scenario) {
+    std::fprintf(stderr, "scenario parse error: %s\n", error.c_str());
+    std::abort();
+  }
+  return *scenario;
+}
+
+void RunOltp(benchmark::State& state, bool read_only) {
+  VirtualFs fs;
+  VirtualNet net;
+  MiniMysql mysql(&fs, &net, "/mysql");
+  EnsureStockTriggersRegistered();
+  EnsureCustomTriggersRegistered();
+  if (!mysql.OltpInit(1000)) {
+    state.SkipWithError("oltp init failed");
+    return;
+  }
+  mysql.SetThreadCount(80);  // trigger 2 territory
+  mysql.SetShutdownInProgress(false);
+
+  int trigger_count = static_cast<int>(state.range(0));
+  std::unique_ptr<Runtime> runtime;
+  if (trigger_count > 0) {
+    runtime = std::make_unique<Runtime>(MysqlScenario(trigger_count));
+    runtime->set_armed(false);
+    mysql.libc().set_interposer(runtime.get());
+  }
+
+  Rng rng(42);
+  int64_t txns = 0;
+  for (auto _ : state) {
+    if (!mysql.OltpTransaction(&rng, read_only)) {
+      state.SkipWithError("transaction failed");
+      break;
+    }
+    ++txns;
+  }
+  state.SetItemsProcessed(txns);
+  state.counters["txns/sec"] =
+      benchmark::Counter(static_cast<double>(txns), benchmark::Counter::kIsRate);
+  if (runtime != nullptr) {
+    state.counters["triggerings"] = static_cast<double>(runtime->trigger_evaluations());
+    mysql.libc().set_interposer(nullptr);
+  }
+}
+
+void BM_MysqlOltpReadOnly(benchmark::State& state) { RunOltp(state, /*read_only=*/true); }
+void BM_MysqlOltpReadWrite(benchmark::State& state) { RunOltp(state, /*read_only=*/false); }
+
+BENCHMARK(BM_MysqlOltpReadOnly)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MysqlOltpReadWrite)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lfi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Writing a custom trigger (§3.1) and composing stock triggers (§4.2).
+//
+// Reimplements the paper's running example both ways:
+//   1. a monolithic ReadPipe1K4KwithMutex trigger written from scratch with
+//      DECLARE_TRIGGER, tracking mutex state and probing the fd with fstat;
+//   2. the equivalent composition of the parametrized ReadPipe trigger and
+//      the reusable WithMutex trigger, glued together in scenario XML.
+// Both scenarios inject in exactly the same situations.
+
+#include <cstdio>
+
+#include "core/custom_triggers.h"
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "core/stock_triggers.h"
+#include "core/trigger.h"
+#include "util/errno_codes.h"
+#include "vlib/virtual_libc.h"
+
+namespace {
+
+// A from-scratch custom trigger, exactly as a tool user would write one.
+// (The library also ships this example as lfi::ReadPipe1K4KwithMutex.)
+DECLARE_TRIGGER(MyReadPipeTrigger) {
+ public:
+  bool Eval(lfi::VirtualLibc* libc, const std::string& lib_func_name,
+            const lfi::ArgVec& args) override {
+    if (lib_func_name == "pthread_mutex_lock") {
+      ++lock_count_;
+    } else if (lib_func_name == "pthread_mutex_unlock") {
+      --lock_count_;
+    } else if (lib_func_name == "read" && lock_count_ > 0 && args.size() >= 3) {
+      lfi::VStat st;
+      if (libc->Fstat(static_cast<int>(args[0]), &st) == 0) {
+        return st.is_fifo && args[2] >= 1024 && args[2] <= 4096;
+      }
+    }
+    return false;
+  }
+
+ private:
+  int lock_count_ = 0;
+};
+LFI_REGISTER_TRIGGER(MyReadPipeTrigger);
+
+constexpr const char* kMonolithic = R"(
+<scenario>
+  <trigger id="t" class="MyReadPipeTrigger"/>
+  <function name="read" argc="3" return="-1" errno="EINVAL"><reftrigger ref="t"/></function>
+  <function name="pthread_mutex_lock" return="unused" errno="unused"><reftrigger ref="t"/></function>
+  <function name="pthread_mutex_unlock" return="unused" errno="unused"><reftrigger ref="t"/></function>
+</scenario>)";
+
+// The same behaviour by composition (§4.2), no new code required.
+constexpr const char* kComposed = R"(
+<scenario>
+  <trigger id="readTrig2" class="ReadPipe">
+    <args>
+      <low>1024</low>
+      <high>4096</high>
+    </args>
+  </trigger>
+  <trigger id="mutexTrig" class="WithMutex"/>
+  <function name="read" argc="3" return="-1" errno="EINVAL">
+    <reftrigger ref="readTrig2"/>
+    <reftrigger ref="mutexTrig"/>
+  </function>
+  <function name="pthread_mutex_lock" return="unused" errno="unused">
+    <reftrigger ref="mutexTrig"/>
+  </function>
+  <function name="pthread_mutex_unlock" return="unused" errno="unused">
+    <reftrigger ref="mutexTrig"/>
+  </function>
+</scenario>)";
+
+// Exercises reads in four situations; returns a signature string of which
+// ones failed.
+std::string Probe(lfi::VirtualLibc& libc) {
+  std::string signature;
+  int pipefd[2];
+  libc.Pipe(pipefd);
+  std::string payload(2048, 'x');
+  char buf[8192];
+  lfi::VMutex mutex{"m", 0};
+
+  auto attempt = [&](bool hold_mutex, unsigned long size) {
+    libc.Write(pipefd[1], payload.data(), payload.size());
+    libc.Lseek(pipefd[0], 0, lfi::kSeekSet);
+    if (hold_mutex) {
+      libc.MutexLock(&mutex);
+    }
+    long n = libc.Read(pipefd[0], buf, size);
+    if (hold_mutex) {
+      libc.MutexUnlock(&mutex);
+    }
+    signature += n < 0 ? 'F' : '.';
+  };
+
+  attempt(false, 2048);  // pipe, in range, no mutex      -> pass
+  attempt(true, 2048);   // pipe, in range, mutex held    -> FAIL
+  attempt(true, 8192);   // pipe, out of range, mutex held -> pass
+  // Regular file, in range, mutex held -> pass.
+  libc.fs()->WriteFile("/plain", payload);
+  int fd = libc.Open("/plain", lfi::kORdOnly);
+  libc.MutexLock(&mutex);
+  long n = libc.Read(fd, buf, 2048);
+  libc.MutexUnlock(&mutex);
+  signature += n < 0 ? 'F' : '.';
+  libc.Close(fd);
+  return signature;
+}
+
+}  // namespace
+
+int main() {
+  lfi::EnsureStockTriggersRegistered();
+  lfi::EnsureCustomTriggersRegistered();  // pulls in ReadPipe/WithMutex
+  std::string signatures[2];
+  const char* names[2] = {"monolithic custom trigger", "composed stock triggers"};
+  const char* xmls[2] = {kMonolithic, kComposed};
+
+  for (int i = 0; i < 2; ++i) {
+    lfi::VirtualFs fs;
+    lfi::VirtualNet net;
+    lfi::VirtualLibc libc(&fs, &net, "demo");
+    auto scenario = lfi::Scenario::Parse(xmls[i]);
+    lfi::Runtime runtime(*scenario);
+    libc.set_interposer(&runtime);
+    signatures[i] = Probe(libc);
+    libc.set_interposer(nullptr);
+    std::printf("%-28s -> %s   (. = passed, F = fault injected)\n", names[i],
+                signatures[i].c_str());
+  }
+  bool equivalent = signatures[0] == signatures[1] && signatures[0] == ".F..";
+  std::printf("\nBoth formulations inject in exactly the same situations: %s\n",
+              equivalent ? "yes" : "NO");
+  return equivalent ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+// lfi_tool: the command-line face of the tool chain, operating on SimELF
+// binaries on disk exactly the way the released LFI operated on ELF files.
+//
+//   lfi_tool emit-libc <out.self>            write the libc binary to disk
+//   lfi_tool emit-app {git|bind|mysql|pbft|httpd} <out.self>
+//   lfi_tool disasm <binary.self>            disassembly listing
+//   lfi_tool profile <library.self>          fault profile XML to stdout
+//   lfi_tool analyze <app.self> <library.self> [function]
+//                                            call-site report + generated
+//                                            injection scenarios (C_not)
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/callsite_analyzer.h"
+#include "apps/bind/bind.h"
+#include "apps/git/git.h"
+#include "apps/httpd/httpd.h"
+#include "apps/mysql/mysql.h"
+#include "apps/pbft/pbft.h"
+#include "core/scenario_gen.h"
+#include "core/stock_triggers.h"
+#include "profiler/profiler.h"
+#include "profiler/stub_gen.h"
+#include "vlib/library_profiles.h"
+
+namespace {
+
+bool WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+std::optional<lfi::Image> ReadImage(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  auto image = lfi::Image::Deserialize(bytes);
+  if (!image) {
+    std::fprintf(stderr, "%s is not a valid SimELF image\n", path.c_str());
+  }
+  return image;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lfi_tool emit-libc <out.self>\n"
+               "  lfi_tool emit-app {git|bind|mysql|pbft|httpd} <out.self>\n"
+               "  lfi_tool disasm <binary.self>\n"
+               "  lfi_tool profile <library.self>\n"
+               "  lfi_tool analyze <app.self> <library.self> [function]\n");
+  return 2;
+}
+
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lfi::EnsureStockTriggersRegistered();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return Usage();
+  }
+  const std::string& cmd = args[0];
+
+  if (cmd == "emit-libc" && args.size() == 2) {
+    lfi::Image libc = lfi::GenerateLibraryImage(lfi::LibcProfile());
+    if (!WriteFileBytes(args[1], libc.Serialize())) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu functions, %zu instructions)\n", args[1].c_str(),
+                libc.symbols().size(), libc.instruction_count());
+    return 0;
+  }
+  if (cmd == "emit-app" && args.size() == 3) {
+    const lfi::AppBinary* binary = nullptr;
+    if (args[1] == "git") {
+      binary = &lfi::GitBinary();
+    } else if (args[1] == "bind") {
+      binary = &lfi::BindBinary();
+    } else if (args[1] == "mysql") {
+      binary = &lfi::MysqlBinary();
+    } else if (args[1] == "pbft") {
+      binary = &lfi::PbftBinary();
+    } else if (args[1] == "httpd") {
+      binary = &lfi::HttpdBinary();
+    } else {
+      return Usage();
+    }
+    if (!WriteFileBytes(args[2], binary->image().Serialize())) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu call sites)\n", args[2].c_str(), binary->sites().size());
+    return 0;
+  }
+  if (cmd == "disasm" && args.size() == 2) {
+    auto image = ReadImage(args[1]);
+    if (!image) {
+      return 1;
+    }
+    std::printf("%s", image->Disassemble().c_str());
+    return 0;
+  }
+  if (cmd == "profile" && args.size() == 2) {
+    auto image = ReadImage(args[1]);
+    if (!image) {
+      return 1;
+    }
+    lfi::LibraryProfiler profiler;
+    std::printf("%s", profiler.Profile(*image).ToXml().c_str());
+    return 0;
+  }
+  if (cmd == "analyze" && (args.size() == 3 || args.size() == 4)) {
+    auto app = ReadImage(args[1]);
+    auto lib = ReadImage(args[2]);
+    if (!app || !lib) {
+      return 1;
+    }
+    lfi::LibraryProfiler profiler;
+    lfi::FaultProfile profile = profiler.Profile(*lib);
+    lfi::CallSiteAnalyzer analyzer;
+    std::vector<lfi::CallSiteReport> all;
+    std::string only = args.size() == 4 ? args[3] : "";
+    for (const auto& [name, fn] : profile.functions()) {
+      if (!only.empty() && name != only) {
+        continue;
+      }
+      for (auto& report : analyzer.Analyze(*app, name, fn.ErrorCodes())) {
+        all.push_back(std::move(report));
+      }
+    }
+    std::printf("%-12s %-10s %-24s %s\n", "function", "offset", "in", "class");
+    for (const auto& r : all) {
+      std::printf("%-12s 0x%-8x %-24s %s\n", r.site.function.c_str(), r.site.offset,
+                  r.site.enclosing.c_str(), lfi::CheckClassName(r.check_class));
+    }
+    lfi::GeneratedScenarios scenarios = lfi::GenerateScenarios(all, profile);
+    std::printf("\n<!-- injection scenario for the %zu completely unchecked site(s) -->\n",
+                scenarios.unchecked.functions().size());
+    std::printf("%s", scenarios.unchecked.ToXml().c_str());
+    return 0;
+  }
+  return Usage();
+}

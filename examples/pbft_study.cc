@@ -1,0 +1,79 @@
+// Studying system behaviour with distributed triggers (§7.3).
+//
+// Uses LFI not to find bugs but to characterize a distributed system: how
+// does PBFT's performance respond to degraded network conditions, and what
+// does a targeted DoS do to it? Both questions are answered by swapping the
+// DistributedController policy -- the application binaries never change.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/pbft/pbft.h"
+#include "core/distributed.h"
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "core/stock_triggers.h"
+
+namespace {
+
+double MeasureThroughput(lfi::DistributedController* controller, uint64_t seed) {
+  lfi::VirtualFs fs;
+  lfi::VirtualNet net(seed);
+  lfi::PbftConfig config;
+  config.debug_build = true;
+  lfi::PbftCluster cluster(&fs, &net, config);
+  if (!cluster.Start()) {
+    return 0;
+  }
+  auto scenario = *lfi::Scenario::Parse(R"(
+<scenario>
+  <trigger id="dist" class="DistributedTrigger"/>
+  <function name="sendto" return="-1" errno="EIO"><reftrigger ref="dist"/></function>
+  <function name="recvfrom" return="-1" errno="EIO"><reftrigger ref="dist"/></function>
+</scenario>)");
+  std::vector<std::unique_ptr<lfi::Runtime>> runtimes;
+  for (int i = 0; i < cluster.n(); ++i) {
+    if (controller != nullptr) {
+      cluster.replica(i).libc().SetService(lfi::DistributedController::kServiceName,
+                                           controller);
+    }
+    runtimes.push_back(std::make_unique<lfi::Runtime>(scenario));
+    cluster.replica(i).libc().set_interposer(runtimes.back().get());
+  }
+  const int kTicks = 3000;
+  cluster.RunWorkload(1000000, kTicks);
+  return 1000.0 * cluster.client().completed() / kTicks;
+}
+
+}  // namespace
+
+int main() {
+  lfi::EnsureStockTriggersRegistered();
+  std::printf("=== Studying PBFT with distributed triggers ===\n\n");
+
+  double baseline = MeasureThroughput(nullptr, 1);
+  std::printf("baseline (LFI attached, no faults):   %7.1f reqs/1k ticks\n", baseline);
+
+  for (double p : {0.05, 0.2, 0.5}) {
+    lfi::RandomLossController loss(p, 42);
+    double tput = MeasureThroughput(&loss, 1);
+    std::printf("degraded network (p=%.2f):            %7.1f reqs/1k ticks (%.2fx slowdown)\n",
+                p, tput, tput > 0 ? baseline / tput : 0.0);
+  }
+
+  lfi::BlackoutController blackout("replica3");
+  double tput = MeasureThroughput(&blackout, 1);
+  std::printf("DoS: replica3 blacked out:            %7.1f reqs/1k ticks (f=1 tolerated)\n",
+              tput);
+
+  lfi::RotatingBlackoutController rotation({"replica0", "replica1", "replica2", "replica3"},
+                                           500);
+  double rot = MeasureThroughput(&rotation, 1);
+  std::printf("DoS: rotating 500-fault bursts:       %7.1f reqs/1k ticks (%.2fx slowdown)\n",
+              rot, rot > 0 ? baseline / rot : 0.0);
+
+  std::printf("\nThe rotating attack targets the view-change protocol and hurts far more\n"
+              "than losing a whole replica -- the paper's §7.3 observation.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: inject your first fault in five minutes.
+//
+// Sets up a virtual process, writes the smallest useful injection scenario
+// (fail the 3rd read() with EINTR), installs the LFI runtime, and shows the
+// injection log. Build and run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "core/stock_triggers.h"
+#include "util/errno_codes.h"
+#include "vlib/virtual_libc.h"
+
+int main() {
+  lfi::EnsureStockTriggersRegistered();
+
+  // A process and a file to read.
+  lfi::VirtualFs fs;
+  lfi::VirtualNet net;
+  lfi::VirtualLibc libc(&fs, &net, "quickstart");
+  fs.MkDir("/data");
+  fs.WriteFile("/data/input", "hello fault injection!");
+
+  // The scenario: the 3rd call to read() fails with -1/EINTR.
+  const char* kScenario = R"(
+    <scenario>
+      <trigger id="third" class="CallCountTrigger">
+        <args><count>3</count></args>
+      </trigger>
+      <function name="read" argc="3" return="-1" errno="EINTR">
+        <reftrigger ref="third"/>
+      </function>
+    </scenario>)";
+  std::string error;
+  auto scenario = lfi::Scenario::Parse(kScenario, &error);
+  if (!scenario) {
+    std::fprintf(stderr, "scenario error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Install the runtime -- the LD_PRELOAD moment.
+  lfi::Runtime runtime(*scenario);
+  libc.set_interposer(&runtime);
+
+  // The "application": read the file 2 bytes at a time, retrying on EINTR
+  // like well-behaved code should.
+  int fd = libc.Open("/data/input", lfi::kORdOnly);
+  std::string content;
+  int retries = 0;
+  while (true) {
+    char buf[2];
+    long n = libc.Read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (libc.verrno() == lfi::kEINTR) {
+        ++retries;
+        continue;  // recovery code LFI just exercised
+      }
+      std::fprintf(stderr, "read failed: %s\n", lfi::ErrnoName(libc.verrno()).c_str());
+      return 1;
+    }
+    if (n == 0) {
+      break;
+    }
+    content.append(buf, static_cast<size_t>(n));
+  }
+  libc.Close(fd);
+  libc.set_interposer(nullptr);
+
+  std::printf("read back: \"%s\" (with %d EINTR retr%s)\n", content.c_str(), retries,
+              retries == 1 ? "y" : "ies");
+  std::printf("\nLFI injection log:\n%s", runtime.log().ToString().c_str());
+  std::printf("\nreplay scenario for injection #1:\n%s",
+              runtime.log().ReplayScenario(0).ToXml().c_str());
+  return content == "hello fault injection!" && retries == 1 ? 0 : 1;
+}

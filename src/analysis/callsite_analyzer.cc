@@ -1,0 +1,100 @@
+#include "analysis/callsite_analyzer.h"
+
+#include <algorithm>
+
+#include "analysis/cfg.h"
+
+namespace lfi {
+
+const char* CheckClassName(CheckClass cls) {
+  switch (cls) {
+    case CheckClass::kFull:
+      return "checked";
+    case CheckClass::kPartial:
+      return "partially-checked";
+    case CheckClass::kNone:
+      return "unchecked";
+  }
+  return "?";
+}
+
+std::vector<CallSite> CallSiteAnalyzer::FindCallSites(const Image& image,
+                                                      const std::string& function) {
+  std::vector<CallSite> sites;
+  int import_index = image.ImportIndex(function);
+  if (import_index < 0) {
+    return sites;
+  }
+  for (size_t off = 0; off + kInstrSize <= image.text().size(); off += kInstrSize) {
+    Instruction instr;
+    if (!image.Decode(off, &instr)) {
+      continue;
+    }
+    if (instr.op == Op::kCall && instr.flags == kCallImport && instr.imm == import_index) {
+      CallSite site;
+      site.module = image.module_name();
+      site.offset = static_cast<uint32_t>(off);
+      site.function = function;
+      const ImageSymbol* sym = image.SymbolContaining(site.offset);
+      if (sym != nullptr) {
+        site.enclosing = sym->name;
+      }
+      sites.push_back(std::move(site));
+    }
+  }
+  return sites;
+}
+
+std::vector<CallSiteReport> CallSiteAnalyzer::Analyze(const Image& image,
+                                                      const std::string& function,
+                                                      const std::set<int64_t>& error_codes,
+                                                      AnalyzerStats* stats) const {
+  std::vector<CallSiteReport> reports;
+  for (const CallSite& site : FindCallSites(image, function)) {
+    PartialCfg cfg =
+        BuildPartialCfg(image, site.offset + kInstrSize, options_.max_postcall_instructions);
+    DataflowResult flow = AnalyzeReturnValueFlow(cfg);
+    if (stats != nullptr) {
+      ++stats->call_sites;
+      stats->instructions_visited += cfg.nodes().size();
+      stats->dataflow_iterations += flow.iterations;
+    }
+
+    CallSiteReport report;
+    report.site = site;
+    report.checked_eq = flow.chk_eq;
+    report.checked_ineq = flow.chk_ineq;
+    report.has_ineq_check = flow.has_ineq_check;
+
+    // Chk_eq restricted to the error codes of interest.
+    std::set<int64_t> eq_in_e;
+    for (int64_t code : flow.chk_eq) {
+      if (error_codes.count(code) != 0) {
+        eq_in_e.insert(code);
+      }
+    }
+    for (int64_t code : error_codes) {
+      if (eq_in_e.count(code) == 0) {
+        report.missing_codes.insert(code);
+      }
+    }
+
+    // Algorithm 1, lines 6-11.
+    bool eq_covers_all = std::includes(flow.chk_eq.begin(), flow.chk_eq.end(),
+                                       error_codes.begin(), error_codes.end());
+    if (eq_covers_all || flow.has_ineq_check) {
+      report.check_class = CheckClass::kFull;
+      report.missing_codes.clear();
+    } else if (!eq_in_e.empty()) {
+      report.check_class = CheckClass::kPartial;
+    } else {
+      report.check_class = CheckClass::kNone;
+      // Completely unchecked w.r.t. E, even when codes outside E are checked.
+      report.missing_codes = error_codes;
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace lfi

@@ -1,0 +1,78 @@
+#include "analysis/cfg.h"
+
+#include <deque>
+#include <set>
+
+namespace lfi {
+
+PartialCfg BuildPartialCfg(const Image& image, size_t start_offset, size_t max_instructions) {
+  PartialCfg cfg;
+  cfg.set_entry(start_offset);
+  std::deque<size_t> worklist;
+  std::set<size_t> seen;
+  worklist.push_back(start_offset);
+
+  while (!worklist.empty() && cfg.nodes().size() < max_instructions) {
+    size_t off = worklist.front();
+    worklist.pop_front();
+    if (seen.count(off) != 0) {
+      continue;
+    }
+    seen.insert(off);
+
+    Instruction instr;
+    if (!image.Decode(off, &instr)) {
+      continue;  // ran off the section or hit garbage: end the path
+    }
+    CfgNode node;
+    node.offset = off;
+    node.instr = instr;
+
+    size_t fallthrough = off + kInstrSize;
+    bool have_fallthrough = fallthrough < image.text().size();
+
+    if (instr.op == Op::kRet || instr.op == Op::kHalt) {
+      // terminator: no successors
+    } else if (instr.op == Op::kJmp) {
+      size_t target = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+      if (target % kInstrSize == 0 && target < image.text().size()) {
+        node.succs.push_back(target);
+      }
+    } else if (instr.IsConditionalJump()) {
+      size_t target = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+      if (target % kInstrSize == 0 && target < image.text().size()) {
+        node.succs.push_back(target);
+      }
+      if (have_fallthrough) {
+        node.succs.push_back(fallthrough);
+      }
+    } else {
+      // Straight-line instructions, including calls (opaque) and indirect
+      // calls (ignored per the paper's prototype).
+      if (have_fallthrough) {
+        node.succs.push_back(fallthrough);
+      }
+    }
+    for (size_t succ : node.succs) {
+      if (seen.count(succ) == 0) {
+        worklist.push_back(succ);
+      }
+    }
+    cfg.mutable_nodes()[off] = std::move(node);
+  }
+
+  // Drop successor edges that point at instructions we never materialized
+  // (window limit), so downstream traversals stay within the node set.
+  for (auto& [off, node] : cfg.mutable_nodes()) {
+    std::vector<size_t> kept;
+    for (size_t succ : node.succs) {
+      if (cfg.nodes().count(succ) != 0) {
+        kept.push_back(succ);
+      }
+    }
+    node.succs = std::move(kept);
+  }
+  return cfg;
+}
+
+}  // namespace lfi

@@ -1,0 +1,60 @@
+// Return-value dataflow analysis (§5).
+//
+// Starting from the instruction after a library call, the analysis follows
+// the propagation of the call's return value -- which arrives in r0 -- through
+// register-to-register moves and stack spills/reloads, and records every
+// literal the value (or a copy of it) is compared against. Comparisons via
+// equality (cmpi + je/jne, test + je/jne) populate Chk_eq; comparisons via
+// inequality (cmpi + jl/jle/jg/jge, test + js/jns) populate Chk_ineq. The
+// analysis is intra-procedural and iterates loops until the set of copies of
+// the return value stabilizes (a standard forward may-analysis with union at
+// joins), exactly as described in the paper.
+
+#ifndef LFI_ANALYSIS_DATAFLOW_H_
+#define LFI_ANALYSIS_DATAFLOW_H_
+
+#include <cstdint>
+#include <set>
+
+#include "analysis/cfg.h"
+
+namespace lfi {
+
+// A location that may hold a copy of the tracked return value: a register or
+// a stack slot addressed relative to the stack pointer.
+struct Location {
+  enum class Kind { kReg, kStack } kind = Kind::kReg;
+  int32_t id = 0;  // register number, or sp-relative byte offset
+
+  bool operator<(const Location& o) const {
+    if (kind != o.kind) {
+      return kind < o.kind;
+    }
+    return id < o.id;
+  }
+  bool operator==(const Location& o) const { return kind == o.kind && id == o.id; }
+};
+
+using LocationSet = std::set<Location>;
+
+struct DataflowResult {
+  std::set<int64_t> chk_eq;    // literals compared by equality
+  std::set<int64_t> chk_ineq;  // literals compared by inequality (incl. sign tests as 0)
+  bool has_ineq_check = false;
+
+  // Total number of fixpoint iterations (for the efficiency evaluation).
+  int iterations = 0;
+};
+
+// Registers clobbered by a call under the ISA calling convention. Copies of
+// the tracked value held in these registers die across a call; stack slots
+// survive.
+bool IsCallerSaved(int reg);
+
+// Runs the analysis over `cfg`. The tracked value is assumed to be in r0 at
+// the CFG entry (the return-value register immediately after the call).
+DataflowResult AnalyzeReturnValueFlow(const PartialCfg& cfg);
+
+}  // namespace lfi
+
+#endif  // LFI_ANALYSIS_DATAFLOW_H_

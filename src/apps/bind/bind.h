@@ -1,0 +1,86 @@
+// mini-BIND: the BIND 9.6.1 stand-in.
+//
+// A DNS server over the virtual UDP fabric: zone files are parsed from the
+// virtual filesystem, queries are served from the zone table, and a
+// statistics channel renders server counters as XML "over HTTP". It carries
+// BIND's two Table 1 bugs at the same library calls:
+//
+//   - the stats channel crashes when xmlNewTextWriterDoc() fails while a
+//     user retrieves statistics (the writer is used unchecked);
+//   - dst_lib_init() *does* check its malloc() returns, but its recovery
+//     path calls dst_lib_destroy(), whose first statement is a REQUIRE()
+//     assertion that the dst module is initialized -- which it is not yet,
+//     so the recovery itself aborts the process (buggy recovery code, the
+//     paper's showcase of why recovery paths need testing).
+
+#ifndef LFI_APPS_BIND_BIND_H_
+#define LFI_APPS_BIND_BIND_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/common/app_binary.h"
+#include "coverage/coverage.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+const AppBinary& BindBinary();
+
+class MiniBind {
+ public:
+  static constexpr const char* kModule = "mini-bind";
+  static constexpr int kDstAllocations = 17;  // Table 4: 17 malloc sites
+
+  MiniBind(VirtualFs* fs, VirtualNet* net, std::string confdir);
+  ~MiniBind();
+
+  VirtualLibc& libc() { return libc_; }
+  CoverageMap& coverage() { return coverage_; }
+
+  // Parses a zone file of "name value" lines into the zone table.
+  bool LoadZone(const std::string& path);
+
+  // Binds the server socket.
+  bool StartServer(int port);
+  // Drains and answers every pending query ("Q <name>" -> value or NXDOMAIN;
+  // "STATS" -> the XML statistics document). Returns #messages processed.
+  int PumpQueries();
+
+  // Resolves one name locally (the query fast path).
+  std::optional<std::string> Resolve(const std::string& name);
+
+  // Renders the statistics channel document (the xmlNewTextWriterDoc bug).
+  std::string HandleStatsRequest();
+
+  // The dst crypto module: init checks every malloc but recovers wrongly.
+  bool DstLibInit();
+  void DstLibDestroy();
+  bool dst_initialized() const { return dst_initialized_; }
+
+  // Removes journal/temp files (the Table 4 unlink population's live sites).
+  int CleanJournalFiles();
+
+  // The default test suite (Table 3 workload).
+  bool RunDefaultTestSuite();
+
+ private:
+  void RegisterCoverageBlocks();
+
+  VirtualLibc libc_;
+  CoverageMap coverage_;
+  std::string confdir_;
+  std::map<std::string, std::string> zone_;
+  int server_fd_ = -1;
+  int server_port_ = -1;
+  uint64_t queries_served_ = 0;
+  uint64_t nxdomain_count_ = 0;
+  bool dst_initialized_ = false;
+  std::vector<void*> dst_tables_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_BIND_BIND_H_

@@ -1,0 +1,106 @@
+// Application binaries and their call-site tables.
+//
+// Every target application ships in two coupled representations:
+//   1. a C++ implementation that runs against the virtual libc, and
+//   2. a SimELF binary image -- what the paper's analyzer sees -- generated
+//      from a declarative call-site table.
+// The table names every library call site and its error-checking pattern;
+// the builder emits ISA code realizing the pattern and records each site's
+// byte offset. The C++ implementation marks its active call site by name
+// (AppBinary::SiteOffset feeds ScopedFrame::set_offset), so the offsets the
+// analyzer reports are exactly the offsets the call-stack triggers match at
+// run time. The table is also the ground truth for the Table 4 accuracy
+// evaluation.
+
+#ifndef LFI_APPS_COMMON_APP_BINARY_H_
+#define LFI_APPS_COMMON_APP_BINARY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+
+namespace lfi {
+
+// How the (synthetic) application code checks a library call's result.
+enum class CheckPattern {
+  kCheckEqAll,       // cmpi+je on every error code -> fully checked
+  kCheckIneq,        // cmpi 0 / jl (or sign test) -> fully checked
+  kCheckZeroEq,      // test r0,r0 + je -> pointer null check (fully, E={0})
+  kCheckSome,        // equality checks on a strict subset -> partially checked
+  kNoCheck,          // result ignored -> unchecked
+  kCheckOutsideE,    // checks literals outside E -> unchecked per Algorithm 1
+  kCheckViaHelper,   // moves the result to an argument register and calls a
+                     // helper that performs the check; a real check the
+                     // intra-procedural analyzer cannot see -> analyzer says
+                     // unchecked, ground truth says checked (false positive)
+};
+
+struct CallSiteSpec {
+  std::string site_name;       // unique, e.g. "git.read_ref.opendir"
+  std::string enclosing;       // emitted function symbol
+  std::string function;        // library function called
+  CheckPattern pattern = CheckPattern::kNoCheck;
+  std::vector<int64_t> codes;  // codes to check (meaning depends on pattern)
+
+  // Ground truth for the accuracy evaluation: does the application actually
+  // check this call's error return?
+  bool actually_checked() const {
+    return pattern != CheckPattern::kNoCheck && pattern != CheckPattern::kCheckOutsideE;
+  }
+};
+
+class AppBinary {
+ public:
+  AppBinary() = default;
+  AppBinary(Image image, std::map<std::string, uint32_t> site_offsets,
+            std::vector<CallSiteSpec> sites)
+      : image_(std::move(image)),
+        site_offsets_(std::move(site_offsets)),
+        sites_(std::move(sites)) {}
+
+  const Image& image() const { return image_; }
+  const std::vector<CallSiteSpec>& sites() const { return sites_; }
+
+  // Byte offset of the named call site; 0xffffffff when unknown.
+  uint32_t SiteOffset(const std::string& site_name) const;
+
+  const CallSiteSpec* FindSite(const std::string& site_name) const;
+
+  // All sites calling `function`, in emission order (matching the order the
+  // analyzer reports them).
+  std::vector<const CallSiteSpec*> SitesFor(const std::string& function) const;
+
+ private:
+  Image image_;
+  std::map<std::string, uint32_t> site_offsets_;
+  std::vector<CallSiteSpec> sites_;
+};
+
+// Builds the binary from a site table. Filler instructions and the check
+// patterns are emitted deterministically; `filler_seed` varies inter-site
+// padding so binaries do not look degenerate.
+class AppBinaryBuilder {
+ public:
+  explicit AppBinaryBuilder(std::string module_name, uint64_t filler_seed = 17);
+
+  // Adds one call site. Sites with the same `enclosing` name are grouped
+  // into one emitted function, in insertion order.
+  void AddSite(CallSiteSpec spec);
+
+  // Emits, assembles and resolves offsets. Aborts on internal errors (the
+  // table is compiled in, so failures are bugs, not input errors).
+  AppBinary Build();
+
+ private:
+  std::string module_name_;
+  uint64_t filler_seed_;
+  std::vector<CallSiteSpec> sites_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_COMMON_APP_BINARY_H_

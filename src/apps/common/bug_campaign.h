@@ -1,0 +1,47 @@
+// The §7.1 testing campaign: what "LFI entirely on its own" runs.
+//
+// For each target system the campaign
+//   1. profiles the libraries (from their binaries),
+//   2. runs the call-site analyzer on the application binary and generates
+//      injection scenarios for the unchecked sites (C_not),
+//   3. runs each scenario against the system's default workload under the
+//      controller, recording crashes, and
+//   4. follows up with random injection (the way the MySQL and dst bugs were
+//      found: buggy *recovery* sits behind correctly checked calls, which no
+//      static classification flags), plus an integrity check for silent data
+//      loss (the Git setenv bug).
+//
+// The result is the Table 1 bug list, deduplicated by crash site.
+
+#ifndef LFI_APPS_COMMON_BUG_CAMPAIGN_H_
+#define LFI_APPS_COMMON_BUG_CAMPAIGN_H_
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "vlib/sim_crash.h"
+
+namespace lfi {
+
+struct FoundBug {
+  std::string system;       // "git", "mysql", "bind", "pbft"
+  std::string kind;         // "SIGSEGV", "double mutex unlock", "data loss", ...
+  std::string where;        // crash site / corruption description
+  std::string injected;     // the fault that exposed it, e.g. "opendir=NULL@list_branches"
+  bool operator<(const FoundBug& o) const {
+    return std::tie(system, kind, where) < std::tie(o.system, o.kind, o.where);
+  }
+};
+
+std::vector<FoundBug> RunGitCampaign();
+std::vector<FoundBug> RunMysqlCampaign();
+std::vector<FoundBug> RunBindCampaign();
+std::vector<FoundBug> RunPbftCampaign();
+
+// All four systems; returns the deduplicated union.
+std::vector<FoundBug> RunFullCampaign();
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_COMMON_BUG_CAMPAIGN_H_

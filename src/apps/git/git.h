@@ -1,0 +1,96 @@
+// mini-Git: the Git 1.6.5.4 stand-in.
+//
+// A content-addressed version control system with the architecture of the
+// real thing: a SHA-1 object store under .git/objects, refs under
+// .git/refs/heads, a staging index, commits, Myers diff, an xdiff-style
+// 3-way merge, patience diff, hooks run "externally" through the
+// environment, and a ref-directory scanner. It carries Git's five Table 1
+// bugs at the same library calls:
+//
+//   - data loss when a hook runs with an incomplete environment because a
+//     failed setenv("GIT_DIR") is not checked;
+//   - crash calling readdir() with the NULL pointer a failed opendir()
+//     returned (branch listing);
+//   - three crashes from unchecked malloc() returns in xdiff
+//     (xmerge.c:567, xmerge.c:571, xpatience.c:191).
+//
+// Basic blocks -- including all recovery blocks -- report to a CoverageMap
+// so the Table 3 experiment can measure recovery-code coverage.
+
+#ifndef LFI_APPS_GIT_GIT_H_
+#define LFI_APPS_GIT_GIT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/common/app_binary.h"
+#include "apps/git/xdiff.h"
+#include "coverage/coverage.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+// The mini-git application binary (shared, immutable). Contains the Table 4
+// populations: 25 malloc sites, 127 close sites, 7 readlink sites, plus the
+// bug sites above.
+const AppBinary& GitBinary();
+
+class MiniGit {
+ public:
+  static constexpr const char* kModule = "mini-git";
+
+  MiniGit(VirtualFs* fs, VirtualNet* net, std::string repo_root);
+
+  VirtualLibc& libc() { return libc_; }
+  CoverageMap& coverage() { return coverage_; }
+  const std::string& repo_root() const { return repo_root_; }
+
+  // --- plumbing ---------------------------------------------------------
+  bool Init();
+  // Hash-object + write: returns the object id, or nullopt on store failure.
+  std::optional<std::string> WriteObject(const std::string& type, const std::string& content);
+  std::optional<std::string> ReadObject(const std::string& id, std::string* type = nullptr);
+
+  // --- porcelain --------------------------------------------------------
+  bool Add(const std::string& path, const std::string& content);
+  std::optional<std::string> Commit(const std::string& message);
+  std::optional<std::string> HeadCommit();
+  // Scans .git/refs/heads with opendir/readdir. Carries the Table 1 bug: the
+  // opendir result is not checked before readdir.
+  std::vector<std::string> ListBranches();
+  bool CreateBranch(const std::string& name);
+
+  // Myers diff between two stored blobs.
+  std::optional<std::string> DiffBlobs(const std::string& id_a, const std::string& id_b);
+  // 3-way merge through xmerge (unchecked mallocs at sites 567/571).
+  std::optional<MergeResult> Merge(const std::string& base_id, const std::string& ours_id,
+                                   const std::string& theirs_id);
+  // Patience diff (unchecked malloc at site 191).
+  std::optional<std::string> PatienceDiffBlobs(const std::string& id_a, const std::string& id_b);
+
+  // Runs the post-commit hook as an "external command". Carries the Table 1
+  // bug: setenv("GIT_DIR") is unchecked, and on failure the command runs
+  // with an incomplete environment and corrupts the repository.
+  void RunHook(const std::string& hook_name);
+
+  // Repository integrity: every ref resolves to a well-formed commit object.
+  bool Fsck();
+
+  // The default test suite shipped with the application (the workload the
+  // coverage experiment replays). Returns false on any detected failure.
+  bool RunDefaultTestSuite();
+
+ private:
+  std::string ObjectPath(const std::string& id) const;
+  void RegisterCoverageBlocks();
+
+  VirtualLibc libc_;
+  CoverageMap coverage_;
+  std::string repo_root_;
+  int hook_runs_ = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_GIT_GIT_H_

@@ -1,0 +1,346 @@
+#include "apps/git/xdiff.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "vlib/sim_crash.h"
+
+namespace lfi {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return out;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<DiffEdit> MyersDiff(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int max = n + m;
+  // V arrays per D for traceback.
+  std::vector<std::vector<int>> trace;
+  std::vector<int> v(static_cast<size_t>(2 * max + 1), 0);
+
+  auto vat = [&](std::vector<int>& vec, int k) -> int& { return vec[static_cast<size_t>(k + max)]; };
+
+  int d_final = -1;
+  for (int d = 0; d <= max; ++d) {
+    trace.push_back(v);
+    for (int k = -d; k <= d; k += 2) {
+      int x;
+      if (k == -d || (k != d && vat(v, k - 1) < vat(v, k + 1))) {
+        x = vat(v, k + 1);  // move down (insert)
+      } else {
+        x = vat(v, k - 1) + 1;  // move right (delete)
+      }
+      int y = x - k;
+      while (x < n && y < m && a[static_cast<size_t>(x)] == b[static_cast<size_t>(y)]) {
+        ++x;
+        ++y;
+      }
+      vat(v, k) = x;
+      if (x >= n && y >= m) {
+        d_final = d;
+        break;
+      }
+    }
+    if (d_final >= 0) {
+      break;
+    }
+  }
+
+  // Backtrack.
+  std::vector<DiffEdit> edits;
+  int x = n;
+  int y = m;
+  for (int d = d_final; d > 0 && (x > 0 || y > 0); --d) {
+    std::vector<int>& pv = trace[static_cast<size_t>(d)];
+    int k = x - y;
+    int prev_k;
+    if (k == -d || (k != d && vat(pv, k - 1) < vat(pv, k + 1))) {
+      prev_k = k + 1;
+    } else {
+      prev_k = k - 1;
+    }
+    int prev_x = vat(pv, prev_k);
+    int prev_y = prev_x - prev_k;
+    while (x > prev_x && y > prev_y) {
+      edits.push_back({DiffEdit::Kind::kKeep, a[static_cast<size_t>(x - 1)]});
+      --x;
+      --y;
+    }
+    if (x == prev_x) {
+      edits.push_back({DiffEdit::Kind::kInsert, b[static_cast<size_t>(y - 1)]});
+      --y;
+    } else {
+      edits.push_back({DiffEdit::Kind::kDelete, a[static_cast<size_t>(x - 1)]});
+      --x;
+    }
+  }
+  while (x > 0 && y > 0) {
+    edits.push_back({DiffEdit::Kind::kKeep, a[static_cast<size_t>(x - 1)]});
+    --x;
+    --y;
+  }
+  while (x > 0) {
+    edits.push_back({DiffEdit::Kind::kDelete, a[static_cast<size_t>(x - 1)]});
+    --x;
+  }
+  while (y > 0) {
+    edits.push_back({DiffEdit::Kind::kInsert, b[static_cast<size_t>(y - 1)]});
+    --y;
+  }
+  std::reverse(edits.begin(), edits.end());
+  return edits;
+}
+
+std::string RenderDiff(const std::vector<DiffEdit>& edits) {
+  std::string out;
+  for (const auto& e : edits) {
+    switch (e.kind) {
+      case DiffEdit::Kind::kKeep:
+        out += " ";
+        break;
+      case DiffEdit::Kind::kDelete:
+        out += "-";
+        break;
+      case DiffEdit::Kind::kInsert:
+        out += "+";
+        break;
+    }
+    out += e.line;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// One side's change set relative to base, as per-base-line slots: slot i
+// describes what replaced base line i; slot base.size() holds a trailing
+// insertion. Built from a Myers edit script.
+struct SideChanges {
+  // changed[i]: base line i was deleted/replaced; replacement[i] holds the
+  // inserted lines attached before base line i.
+  std::vector<bool> deleted;
+  std::vector<std::vector<std::string>> inserted;  // size base+1
+};
+
+SideChanges ComputeChanges(const std::vector<std::string>& base,
+                           const std::vector<std::string>& side) {
+  SideChanges ch;
+  ch.deleted.assign(base.size(), false);
+  ch.inserted.assign(base.size() + 1, {});
+  size_t bi = 0;
+  for (const DiffEdit& e : MyersDiff(base, side)) {
+    switch (e.kind) {
+      case DiffEdit::Kind::kKeep:
+        ++bi;
+        break;
+      case DiffEdit::Kind::kDelete:
+        ch.deleted[bi] = true;
+        ++bi;
+        break;
+      case DiffEdit::Kind::kInsert:
+        ch.inserted[bi].push_back(e.line);
+        break;
+    }
+  }
+  return ch;
+}
+
+bool RegionChanged(const SideChanges& ch, size_t i) {
+  return (i < ch.deleted.size() && ch.deleted[i]) || !ch.inserted[i].empty();
+}
+
+}  // namespace
+
+MergeResult XMerge3(VirtualLibc* libc, ScopedFrame* frame, uint32_t site567, uint32_t site571,
+                    const std::vector<std::string>& base, const std::vector<std::string>& ours,
+                    const std::vector<std::string>& theirs) {
+  // The xmerge.c:567 allocation: the result line-pointer buffer. Real xdiff
+  // does `xdl_malloc(...)` here without checking; mini-Git preserves the
+  // missing check (the crash is the point).
+  size_t cap = base.size() + ours.size() + theirs.size() + 2;
+  if (frame != nullptr) {
+    frame->set_offset(site567);
+  }
+  auto* scratch = static_cast<char*>(libc->Malloc(cap * sizeof(char*)));
+  MustDeref(scratch, "xmerge.c:567 result buffer");
+
+  // The xmerge.c:571 allocation: the conflict-marker working buffer.
+  if (frame != nullptr) {
+    frame->set_offset(site571);
+  }
+  auto* markers = static_cast<char*>(libc->Malloc(cap + 64));
+  MustDeref(markers, "xmerge.c:571 marker buffer");
+
+  MergeResult result;
+  SideChanges ours_ch = ComputeChanges(base, ours);
+  SideChanges theirs_ch = ComputeChanges(base, theirs);
+
+  for (size_t i = 0; i <= base.size(); ++i) {
+    bool o = RegionChanged(ours_ch, i);
+    bool t = RegionChanged(theirs_ch, i);
+    if (o && t) {
+      // Both sides touched the same region: identical change or conflict.
+      bool same_insert = ours_ch.inserted[i] == theirs_ch.inserted[i];
+      bool same_delete = i >= base.size() || ours_ch.deleted[i] == theirs_ch.deleted[i];
+      if (same_insert && same_delete) {
+        for (const auto& l : ours_ch.inserted[i]) {
+          result.lines.push_back(l);
+        }
+        if (i < base.size() && !ours_ch.deleted[i]) {
+          result.lines.push_back(base[i]);
+        }
+      } else {
+        result.conflict = true;
+        result.lines.push_back("<<<<<<< ours");
+        for (const auto& l : ours_ch.inserted[i]) {
+          result.lines.push_back(l);
+        }
+        if (i < base.size() && !ours_ch.deleted[i]) {
+          result.lines.push_back(base[i]);
+        }
+        result.lines.push_back("=======");
+        for (const auto& l : theirs_ch.inserted[i]) {
+          result.lines.push_back(l);
+        }
+        if (i < base.size() && !theirs_ch.deleted[i]) {
+          result.lines.push_back(base[i]);
+        }
+        result.lines.push_back(">>>>>>> theirs");
+      }
+    } else if (o) {
+      for (const auto& l : ours_ch.inserted[i]) {
+        result.lines.push_back(l);
+      }
+      if (i < base.size() && !ours_ch.deleted[i]) {
+        result.lines.push_back(base[i]);
+      }
+    } else if (t) {
+      for (const auto& l : theirs_ch.inserted[i]) {
+        result.lines.push_back(l);
+      }
+      if (i < base.size() && !theirs_ch.deleted[i]) {
+        result.lines.push_back(base[i]);
+      }
+    } else if (i < base.size()) {
+      result.lines.push_back(base[i]);
+    }
+  }
+
+  libc->Free(markers);
+  libc->Free(scratch);
+  return result;
+}
+
+std::vector<DiffEdit> PatienceDiff(VirtualLibc* libc, ScopedFrame* frame, uint32_t site191,
+                                   const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  // The xpatience.c:191 allocation: the unique-line histogram table,
+  // unchecked in real Git.
+  if (frame != nullptr) {
+    frame->set_offset(site191);
+  }
+  auto* table = static_cast<char*>(libc->Malloc((a.size() + b.size() + 1) * 16));
+  MustDeref(table, "xpatience.c:191 histogram table");
+  libc->Free(table);
+
+  // Lines unique in both sides, by content.
+  std::map<std::string, std::pair<int, int>> counts;  // line -> (count_a, count_b)
+  std::map<std::string, std::pair<size_t, size_t>> pos;
+  for (size_t i = 0; i < a.size(); ++i) {
+    counts[a[i]].first++;
+    pos[a[i]].first = i;
+  }
+  for (size_t j = 0; j < b.size(); ++j) {
+    counts[b[j]].second++;
+    pos[b[j]].second = j;
+  }
+  // Unique common lines ordered by position in a.
+  std::vector<std::pair<size_t, size_t>> anchors;  // (pos_a, pos_b)
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto c = counts[a[i]];
+    if (c.first == 1 && c.second == 1) {
+      anchors.push_back({i, pos[a[i]].second});
+    }
+  }
+  // Longest increasing subsequence on pos_b (patience sorting).
+  std::vector<size_t> tails;             // indices into anchors
+  std::vector<long> prev(anchors.size(), -1);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    size_t lo = 0;
+    size_t hi = tails.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (anchors[tails[mid]].second < anchors[i].second) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo > 0) {
+      prev[i] = static_cast<long>(tails[lo - 1]);
+    }
+    if (lo == tails.size()) {
+      tails.push_back(i);
+    } else {
+      tails[lo] = i;
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> chain;
+  if (!tails.empty()) {
+    long idx = static_cast<long>(tails.back());
+    while (idx >= 0) {
+      chain.push_back(anchors[static_cast<size_t>(idx)]);
+      idx = prev[static_cast<size_t>(idx)];
+    }
+    std::reverse(chain.begin(), chain.end());
+  }
+
+  // Recurse (via Myers on the segments between anchors -- the classic
+  // patience construction).
+  std::vector<DiffEdit> edits;
+  size_t ai = 0;
+  size_t bi = 0;
+  auto emit_segment = [&](size_t aend, size_t bend) {
+    std::vector<std::string> seg_a(a.begin() + static_cast<long>(ai),
+                                   a.begin() + static_cast<long>(aend));
+    std::vector<std::string> seg_b(b.begin() + static_cast<long>(bi),
+                                   b.begin() + static_cast<long>(bend));
+    for (auto& e : MyersDiff(seg_a, seg_b)) {
+      edits.push_back(std::move(e));
+    }
+  };
+  for (const auto& [pa, pb] : chain) {
+    emit_segment(pa, pb);
+    edits.push_back({DiffEdit::Kind::kKeep, a[pa]});
+    ai = pa + 1;
+    bi = pb + 1;
+  }
+  emit_segment(a.size(), b.size());
+  return edits;
+}
+
+}  // namespace lfi

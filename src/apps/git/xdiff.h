@@ -1,0 +1,57 @@
+// xdiff: the diff/merge engine of mini-Git.
+//
+// Real Git carries its own diff library (xdiff/) with the Myers algorithm,
+// a 3-way merge (xmerge.c) and patience diff (xpatience.c); three of the
+// Table 1 bugs are unchecked mallocs at xmerge.c:567, xmerge.c:571 and
+// xpatience.c:191. This module reimplements the three algorithms from
+// scratch. Working buffers are allocated through the virtual libc at call
+// sites named after the paper's line numbers, with the same missing NULL
+// checks, so LFI can expose the same crashes.
+
+#ifndef LFI_APPS_GIT_XDIFF_H_
+#define LFI_APPS_GIT_XDIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+struct DiffEdit {
+  enum class Kind { kKeep, kDelete, kInsert } kind = Kind::kKeep;
+  std::string line;
+};
+
+// Myers O(ND) diff over lines. Pure algorithm, no library calls.
+std::vector<DiffEdit> MyersDiff(const std::vector<std::string>& a,
+                                const std::vector<std::string>& b);
+
+// Unified-diff-style rendering of an edit script.
+std::string RenderDiff(const std::vector<DiffEdit>& edits);
+
+// Splits text into lines (without terminators); the inverse of JoinLines.
+std::vector<std::string> SplitLines(const std::string& text);
+std::string JoinLines(const std::vector<std::string>& lines);
+
+struct MergeResult {
+  bool conflict = false;
+  std::vector<std::string> lines;
+};
+
+// xmerge: 3-way merge of `ours` and `theirs` against `base`. Scratch space
+// is allocated via `libc` (the xmerge.c:567 / :571 malloc sites). `frame`
+// marks the call sites in the application binary.
+MergeResult XMerge3(VirtualLibc* libc, ScopedFrame* frame, uint32_t site567, uint32_t site571,
+                    const std::vector<std::string>& base, const std::vector<std::string>& ours,
+                    const std::vector<std::string>& theirs);
+
+// xpatience: patience diff (unique-line LCS refinement). The histogram
+// buffer is allocated via `libc` (the xpatience.c:191 malloc site).
+std::vector<DiffEdit> PatienceDiff(VirtualLibc* libc, ScopedFrame* frame, uint32_t site191,
+                                   const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b);
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_GIT_XDIFF_H_

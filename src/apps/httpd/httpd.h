@@ -1,0 +1,66 @@
+// mini-httpd: the Apache 2.2.14 stand-in for the trigger-overhead study.
+//
+// Serves two workloads through an ap_process_request_internal()-shaped
+// request path: static files (apr_file_read in a chunk loop -- I/O bound,
+// many library calls per second) and "PHP" requests (compute bound -- fewer
+// library calls per unit of time), matching the two workloads of Table 5.
+// Requests carry a request_rec with a method_number (GET/POST), published to
+// the trigger-visible globals the way the paper's adapted application-state
+// trigger reads Apache's request_rec. Some reads happen under a held mutex
+// (trigger 5's target), and /ext/ URIs route through a dynamically loaded
+// module ("mod_ext"), giving the call-stack triggers something to
+// distinguish.
+
+#ifndef LFI_APPS_HTTPD_HTTPD_H_
+#define LFI_APPS_HTTPD_HTTPD_H_
+
+#include <string>
+
+#include "apps/common/app_binary.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+const AppBinary& HttpdBinary();
+
+inline constexpr int kMethodGet = 0;
+inline constexpr int kMethodPost = 1;
+
+struct RequestRec {
+  std::string uri;
+  int method_number = kMethodGet;
+  std::string body;
+};
+
+class MiniHttpd {
+ public:
+  static constexpr const char* kModule = "httpd-core";
+  static constexpr const char* kExtModule = "mod_ext";
+
+  MiniHttpd(VirtualFs* fs, VirtualNet* net, std::string docroot);
+
+  VirtualLibc& libc() { return libc_; }
+
+  // Populates the document root with a static page and a "PHP" script.
+  void InstallDefaultSite();
+
+  // The full request path (ap_process_request_internal). Returns the
+  // response body, or an error page on failure.
+  std::string ProcessRequest(const RequestRec& request);
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  std::string ServeStatic(const std::string& path);
+  std::string ServePhp(const std::string& path, const RequestRec& request);
+  std::string ServeExtModule(const RequestRec& request);
+
+  VirtualLibc libc_;
+  std::string docroot_;
+  VMutex accept_mutex_{"accept_mutex", 0};
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_HTTPD_HTTPD_H_

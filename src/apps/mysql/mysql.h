@@ -1,0 +1,97 @@
+// mini-MySQL: the MySQL 5.1.44 stand-in.
+//
+// A small storage engine with the pieces the paper's evaluation touches:
+//
+//   - mi_create(): table creation under the MyISAM creation mutex. Its error
+//     handling releases resources *including the mutex*, but a failed close()
+//     fires that cleanup after the normal flow already unlocked -- the double
+//     mutex unlock crash of Table 1 (MySQL bug #53268).
+//   - the errmsg.sys loader: a failed read() (e.g. EIO) is logged, but the
+//     server then accesses the uninitialized message table and crashes
+//     (Table 1, MySQL bug #53393; the missing-file variant #25097 was fixed
+//     upstream and is handled correctly here too).
+//   - an OLTP path (fcntl row locks + indexed reads/writes) that carries the
+//     SysBench-style workload of Table 6, and the server globals
+//     (thread_count, shutdown_in_progress) its triggers test.
+//   - merge_big(): the Table 2 workload -- scans 10 source tables (checked
+//     closes; a failure aborts the run) and then builds a merged table via
+//     mi_create(), whose 6 post-unlock closes are the vulnerable sites.
+
+#ifndef LFI_APPS_MYSQL_MYSQL_H_
+#define LFI_APPS_MYSQL_MYSQL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/common/app_binary.h"
+#include "coverage/coverage.h"
+#include "util/rng.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+const AppBinary& MysqlBinary();
+
+class MiniMysql {
+ public:
+  static constexpr const char* kModule = "mini-mysql";
+  static constexpr int kMiCreateSegments = 6;
+  static constexpr int kMergeSourceTables = 10;
+
+  MiniMysql(VirtualFs* fs, VirtualNet* net, std::string datadir);
+
+  VirtualLibc& libc() { return libc_; }
+  CoverageMap& coverage() { return coverage_; }
+
+  // Server startup: loads errmsg.sys and primes the startup log (which
+  // formats messages through the table -- the crash site of bug #53393).
+  bool Startup();
+
+  // Error message lookup; crashes when the table never initialized.
+  const std::string& GetErrMsg(size_t index);
+
+  // MyISAM table creation. Returns 0 on success, -1 on (recovered) error.
+  // Double-unlock crash when a post-unlock close fails.
+  int MiCreate(const std::string& table);
+
+  // The merge-big workload (Table 2): returns false when aborted by a
+  // checked failure before reaching mi_create.
+  bool MergeBig();
+
+  // --- OLTP (Table 6 workload) -------------------------------------------
+  bool OltpInit(int rows);
+  std::optional<std::string> OltpRead(int key);
+  bool OltpWrite(int key, const std::string& value);
+  // One SysBench-ish transaction: 10 point reads (+2 updates when !read_only).
+  bool OltpTransaction(Rng* rng, bool read_only);
+
+  // Server globals, published for the program-state triggers.
+  void SetThreadCount(int64_t n);
+  void SetShutdownInProgress(bool value);
+
+ private:
+  std::string TablePath(const std::string& table, int segment) const;
+  void RegisterCoverageBlocks();
+
+  VirtualLibc libc_;
+  CoverageMap coverage_;
+  std::string datadir_;
+  VMutex create_mutex_{"THR_LOCK_myisam", 0};
+
+  struct ErrMsgTable {
+    bool initialized = false;
+    std::vector<std::string>* messages = nullptr;
+  };
+  ErrMsgTable errmsg_;
+  std::vector<std::string> errmsg_storage_;
+  std::vector<std::string> startup_log_;
+
+  int oltp_fd_ = -1;
+  int oltp_rows_ = 0;
+  static constexpr size_t kRowWidth = 64;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_MYSQL_MYSQL_H_

@@ -1,0 +1,183 @@
+// PBFT: a from-scratch Practical Byzantine Fault Tolerance implementation
+// (Castro & Liskov, OSDI'99), the paper's fourth target system.
+//
+// A cluster of 3f+1 replicas (f=1 throughout, as in §7.3) serves client
+// requests over the virtual UDP fabric with the standard three-phase
+// protocol: the primary orders a request with PRE-PREPARE, backups multicast
+// PREPARE, 2f matching prepares advance to COMMIT, 2f+1 commits execute the
+// request and answer the client. Periodic checkpoints truncate the message
+// log, and a view-change protocol replaces an unresponsive primary. The
+// cluster runs as a discrete-event simulation: one Step() per process per
+// tick, throughput measured in ticks.
+//
+// The two Table 1 bugs live at the paper's call sites:
+//   - the shutdown path writes the final checkpoint through an fopen whose
+//     result is never checked, so an injected fopen failure crashes fwrite;
+//   - the view-change path accesses a previously committed message it never
+//     received (messages lost to injected sendto/recvfrom faults). The
+//     *debug* build checks the message log and halts cleanly; the release
+//     build skips the check and segfaults -- the build-dependent bug.
+
+#ifndef LFI_APPS_PBFT_PBFT_H_
+#define LFI_APPS_PBFT_PBFT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/common/app_binary.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+const AppBinary& PbftBinary();
+
+inline constexpr int kPbftBasePort = 9000;
+inline constexpr int kPbftClientPort = 8999;
+
+struct PbftConfig {
+  int n = 4;                      // replicas (3f+1)
+  int f = 1;
+  bool debug_build = false;       // true: checked view-change (halts, no crash)
+  int checkpoint_interval = 16;   // executions between checkpoints
+  int view_change_timeout = 24;   // idle ticks with pending work before VC
+  int resend_interval = 6;        // ticks between protocol retransmissions
+};
+
+class PbftReplica {
+ public:
+  static constexpr const char* kModule = "pbft-replica";
+
+  PbftReplica(VirtualFs* fs, VirtualNet* net, int id, const PbftConfig& config);
+
+  VirtualLibc& libc() { return libc_; }
+  int id() const { return id_; }
+  int view() const { return view_; }
+  bool is_primary() const { return view_ % config_.n == id_; }
+  int64_t executed() const { return executed_count_; }
+  bool halted() const { return halted_; }
+  int view_changes() const { return view_changes_; }
+
+  bool Start();
+  // One simulation tick: drain the socket, run timers, retransmit.
+  void Step();
+  // Graceful shutdown: writes the final checkpoint (the unchecked-fopen bug).
+  void Shutdown();
+
+ private:
+  struct SeqState {
+    std::string digest;
+    std::unique_ptr<std::string> request;  // payload; null when never received
+    std::set<int> prepares;
+    std::set<int> commits;
+    bool pre_prepared = false;
+    bool committed = false;
+    bool executed = false;
+  };
+
+  void Multicast(const std::string& msg);
+  void SendTo(int port, const std::string& msg);
+  void HandleMessage(const std::string& msg, int src_port);
+  void OnRequest(const std::string& payload, int client_port, bool forwarded);
+  void OnPrePrepare(int view, int64_t seq, const std::string& digest,
+                    const std::string& payload);
+  void OnPrepare(int view, int64_t seq, const std::string& digest, int replica, int src_port);
+  void OnCommit(int view, int64_t seq, const std::string& digest, int replica, int src_port);
+  void CatchUpView(int view);
+  void SendStateTo(int port);
+  void OnStateTransfer(int64_t executed, const std::string& digest, int view);
+  void OnViewChange(int view, int replica);
+  void OnNewView(int view, const std::string& carried);
+  void TryExecute();
+  void MaybeCheckpoint();
+  void StartViewChange();
+  void BecomePrimaryOfNewView();
+  void Retransmit();
+  SeqState& Seq(int64_t seq);
+
+  VirtualLibc libc_;
+  PbftConfig config_;
+  int id_;
+  int fd_ = -1;
+  int view_ = 0;
+  int64_t next_seq_ = 0;       // primary: last assigned sequence
+  int64_t executed_count_ = 0;
+  int64_t low_watermark_ = 0;
+  std::map<int64_t, SeqState> log_;
+  std::map<std::string, int> pending_client_;  // digest -> client port
+  std::set<std::string> executed_digests_;
+  // Reply cache (digest -> client port, reply), re-sent on duplicates, as in
+  // PBFT's last-reply cache.
+  std::map<std::string, std::pair<int, std::string>> reply_cache_;
+  std::set<int> view_change_votes_;            // for view_+1
+  bool view_change_sent_ = false;
+  int idle_ticks_ = 0;
+  int ticks_ = 0;
+  bool halted_ = false;
+  int view_changes_ = 0;
+  std::string state_digest_ = "genesis";
+  std::string checkpoint_digest_ = "genesis";
+};
+
+class PbftClient {
+ public:
+  static constexpr const char* kModule = "pbft-client";
+
+  PbftClient(VirtualFs* fs, VirtualNet* net, const PbftConfig& config);
+
+  VirtualLibc& libc() { return libc_; }
+  bool Start();
+  // One tick: collect replies, issue/retransmit the current request.
+  void Step();
+  int completed() const { return completed_; }
+  // Caps how many requests the client issues (0 = unlimited).
+  void set_max_requests(int max_requests) { max_requests_ = max_requests; }
+
+ private:
+  VirtualLibc libc_;
+  PbftConfig config_;
+  int fd_ = -1;
+  int64_t timestamp_ = 0;
+  bool outstanding_ = false;
+  int ticks_since_send_ = 0;
+  bool broadcast_mode_ = false;
+  std::set<int> reply_votes_;
+  int completed_ = 0;
+  int max_requests_ = 0;
+};
+
+// Harness: a full cluster plus one client, stepped in lockstep.
+class PbftCluster {
+ public:
+  PbftCluster(VirtualFs* fs, VirtualNet* net, const PbftConfig& config);
+
+  bool Start();
+  PbftReplica& replica(int i) { return *replicas_[static_cast<size_t>(i)]; }
+  PbftClient& client() { return *client_; }
+  int n() const { return config_.n; }
+
+  // Runs until `requests` complete or `max_ticks` elapse; returns ticks used.
+  int RunWorkload(int requests, int max_ticks);
+
+  // True when any replica crashed out of the event loop (SimCrash recorded).
+  bool crashed() const { return crashed_; }
+  const std::string& crash_reason() const { return crash_reason_; }
+  int crashed_replica() const { return crashed_replica_; }
+
+ private:
+  PbftConfig config_;
+  VirtualNet* net_;
+  std::vector<std::unique_ptr<PbftReplica>> replicas_;
+  std::unique_ptr<PbftClient> client_;
+  bool crashed_ = false;
+  std::string crash_reason_;
+  int crashed_replica_ = -1;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_PBFT_PBFT_H_

@@ -1,0 +1,145 @@
+#include "core/custom_triggers.h"
+
+#include "util/string_util.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+// --- ReadPipe1K4KwithMutex (§3.1, verbatim logic) ----------------------------
+
+bool ReadPipe1K4KwithMutex::Eval(VirtualLibc* libc, const std::string& lib_func_name,
+                                 const ArgVec& args) {
+  if (lib_func_name == "pthread_mutex_lock") {
+    ++lock_count_;
+  } else if (lib_func_name == "pthread_mutex_unlock") {
+    --lock_count_;
+  } else if (lib_func_name == "read") {
+    if (lock_count_ > 0 && args.size() >= 3) {
+      int fd = static_cast<int>(args[0]);
+      uint64_t size = args[2];
+      VStat st;
+      // Trigger-issued call: bypasses interception, like dlsym(RTLD_NEXT).
+      if (libc->Fstat(fd, &st) != 0) {
+        return false;
+      }
+      return st.is_fifo && size >= 1024 && size <= 4096;
+    }
+  }
+  return false;
+}
+
+// --- ReadPipe (parametrized, §4.1) --------------------------------------------
+
+void ReadPipe::Init(const XmlNode* init_data) {
+  if (init_data == nullptr) {
+    return;
+  }
+  if (auto v = ParseInt(init_data->ChildText("low"))) {
+    low_ = static_cast<uint64_t>(*v);
+  }
+  if (auto v = ParseInt(init_data->ChildText("high"))) {
+    high_ = static_cast<uint64_t>(*v);
+  }
+}
+
+bool ReadPipe::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+  if (lib_func_name != "read" || args.size() < 3) {
+    return false;
+  }
+  int fd = static_cast<int>(args[0]);
+  uint64_t size = args[2];
+  VStat st;
+  if (libc->Fstat(fd, &st) != 0) {
+    return false;
+  }
+  return st.is_fifo && size >= low_ && size <= high_;
+}
+
+// --- WithMutex (§4.2) -----------------------------------------------------------
+
+bool WithMutex::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+  (void)libc;
+  (void)args;
+  if (lib_func_name == "pthread_mutex_lock") {
+    ++lock_count_;
+    return false;
+  }
+  if (lib_func_name == "pthread_mutex_unlock") {
+    --lock_count_;
+    return false;
+  }
+  return lock_count_ > 0;
+}
+
+// --- CloseAfterMutexUnlock (Table 2 scenario 3) -----------------------------------
+
+void CloseAfterMutexUnlock::Init(const XmlNode* init_data) {
+  if (init_data == nullptr) {
+    return;
+  }
+  if (auto v = ParseInt(init_data->ChildText("distance"))) {
+    max_distance_ = static_cast<uint64_t>(*v);
+  }
+}
+
+bool CloseAfterMutexUnlock::Eval(VirtualLibc* libc, const std::string& lib_func_name,
+                                 const ArgVec& args) {
+  (void)libc;
+  (void)args;
+  if (lib_func_name == "pthread_mutex_unlock") {
+    calls_since_unlock_ = 0;
+    return false;
+  }
+  if (calls_since_unlock_ != UINT64_MAX) {
+    ++calls_since_unlock_;
+  }
+  if (lib_func_name == "close") {
+    return calls_since_unlock_ <= max_distance_;
+  }
+  return false;
+}
+
+// --- FdIsSocket (§7.4 Apache trigger 1) ---------------------------------------
+
+bool FdIsSocket::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+  (void)lib_func_name;
+  if (args.empty()) {
+    return false;
+  }
+  VStat st;
+  if (libc->AprStat(&st, static_cast<int>(args[0])) != 0) {
+    return false;
+  }
+  return st.is_socket;
+}
+
+// --- ArgValue (§7.4 MySQL trigger 1) ---------------------------------------------
+
+void ArgValue::Init(const XmlNode* init_data) {
+  if (init_data == nullptr) {
+    return;
+  }
+  if (auto v = ParseInt(init_data->ChildText("index"))) {
+    index_ = static_cast<size_t>(*v);
+  }
+  if (auto v = ParseInt(init_data->ChildText("value"))) {
+    value_ = static_cast<Word>(*v);
+  }
+}
+
+bool ArgValue::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+  (void)libc;
+  (void)lib_func_name;
+  return index_ < args.size() && args[index_] == value_;
+}
+
+LFI_REGISTER_TRIGGER(ReadPipe1K4KwithMutex);
+LFI_REGISTER_TRIGGER(ReadPipe);
+LFI_REGISTER_TRIGGER(WithMutex);
+LFI_REGISTER_TRIGGER(CloseAfterMutexUnlock);
+LFI_REGISTER_TRIGGER(FdIsSocket);
+LFI_REGISTER_TRIGGER(ArgValue);
+
+void EnsureCustomTriggersRegistered() {}
+
+}  // namespace lfi

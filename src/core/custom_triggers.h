@@ -1,0 +1,89 @@
+// The paper's running-example custom triggers.
+//
+// These are not part of the stock set; they are the custom triggers §3.1,
+// §4.2 and §7.1 build to demonstrate the extension mechanism, shipped here so
+// the tests, benchmarks and examples can exercise them:
+//
+//   ReadPipe1K4KwithMutex -- the §3.1 example: fail read() when the fd is a
+//       pipe, the size is within [1 KB, 4 KB], and the caller holds a mutex;
+//       tracks pthread_mutex_lock/unlock to know the lock state.
+//   ReadPipe  -- the parametrized variant (§4.1): configurable <low>/<high>.
+//   WithMutex -- fires for any call while the caller holds a mutex (§4.2).
+//   CloseAfterMutexUnlock -- the Table 2 winner: fail close() calls that
+//       happen within a configurable distance of the last mutex unlock,
+//       targeting double-unlock cleanup bugs.
+
+#ifndef LFI_CORE_CUSTOM_TRIGGERS_H_
+#define LFI_CORE_CUSTOM_TRIGGERS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/trigger.h"
+
+namespace lfi {
+
+DECLARE_TRIGGER(ReadPipe1K4KwithMutex) {
+ public:
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+
+ private:
+  int lock_count_ = 0;
+};
+
+DECLARE_TRIGGER(ReadPipe) {
+ public:
+  void Init(const XmlNode* init_data) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+
+ private:
+  uint64_t low_ = 1024;
+  uint64_t high_ = 4096;
+};
+
+DECLARE_TRIGGER(WithMutex) {
+ public:
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+
+ private:
+  int lock_count_ = 0;
+};
+
+DECLARE_TRIGGER(CloseAfterMutexUnlock) {
+ public:
+  void Init(const XmlNode* init_data) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+
+ private:
+  // Maximum number of intercepted calls between the unlock and the close
+  // (the paper's "distance in lines of code" measured at the library
+  // boundary). The bug reproduces with distance 2.
+  uint64_t max_distance_ = 2;
+  uint64_t calls_since_unlock_ = UINT64_MAX;
+};
+
+// §7.4 Apache trigger 1: fires when the intercepted call's first argument is
+// a file descriptor referring to a socket (checked via fstat, the analogue of
+// the apr_stat probe).
+DECLARE_TRIGGER(FdIsSocket) {
+ public:
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+};
+
+// §7.4 MySQL trigger 1 generalized: fires when argument <index> equals
+// <value> (e.g. fcntl's cmd == F_GETLK).
+DECLARE_TRIGGER(ArgValue) {
+ public:
+  void Init(const XmlNode* init_data) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+
+ private:
+  size_t index_ = 0;
+  Word value_ = 0;
+};
+
+void EnsureCustomTriggersRegistered();
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_CUSTOM_TRIGGERS_H_

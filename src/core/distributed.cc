@@ -1,0 +1,40 @@
+#include "core/distributed.h"
+
+namespace lfi {
+
+bool RandomLossController::ShouldInject(const std::string& node, const std::string& function,
+                                        const ArgVec& args) {
+  (void)node;
+  (void)function;
+  (void)args;
+  ++consultations_;
+  return rng_.Chance(probability_);
+}
+
+bool BlackoutController::ShouldInject(const std::string& node, const std::string& function,
+                                      const ArgVec& args) {
+  (void)function;
+  (void)args;
+  ++consultations_;
+  return node == target_;
+}
+
+bool RotatingBlackoutController::ShouldInject(const std::string& node,
+                                              const std::string& function, const ArgVec& args) {
+  (void)function;
+  (void)args;
+  ++consultations_;
+  if (nodes_.empty()) {
+    return false;
+  }
+  if (node != nodes_[current_]) {
+    return false;
+  }
+  if (++injected_in_burst_ >= burst_) {
+    injected_in_burst_ = 0;
+    current_ = (current_ + 1) % nodes_.size();
+  }
+  return true;
+}
+
+}  // namespace lfi

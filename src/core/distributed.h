@@ -1,0 +1,89 @@
+// Distributed fault injection (§3.2, §7.3).
+//
+// A central controller receives information on intercepted calls from every
+// node of a distributed system (replica processes attach it as a libc
+// service) and decides, based on a global view, whether the remote trigger
+// should fire. The three concrete controllers implement the failure policies
+// of the paper's PBFT study: uniform random message loss (Figure 3), a full
+// blackout of one replica, and the rotating 500-fault DoS attack on the
+// reconfiguration protocol (§7.3).
+
+#ifndef LFI_CORE_DISTRIBUTED_H_
+#define LFI_CORE_DISTRIBUTED_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "vlib/interposer.h"
+
+namespace lfi {
+
+class DistributedController {
+ public:
+  static constexpr const char* kServiceName = "lfi.distributed";
+
+  virtual ~DistributedController() = default;
+
+  // Global injection decision for an intercepted call on `node`.
+  virtual bool ShouldInject(const std::string& node, const std::string& function,
+                            const ArgVec& args) = 0;
+
+  uint64_t consultations() const { return consultations_; }
+
+ protected:
+  uint64_t consultations_ = 0;
+};
+
+// Fails communication calls on every node with a fixed probability:
+// "simulating a degraded (but not malicious) network environment".
+class RandomLossController : public DistributedController {
+ public:
+  RandomLossController(double probability, uint64_t seed)
+      : probability_(probability), rng_(seed) {}
+
+  bool ShouldInject(const std::string& node, const std::string& function,
+                    const ArgVec& args) override;
+
+ private:
+  double probability_;
+  Rng rng_;
+};
+
+// Fails every communication call of one specific node, rendering it
+// practically inactive (the first DoS scenario).
+class BlackoutController : public DistributedController {
+ public:
+  explicit BlackoutController(std::string target) : target_(std::move(target)) {}
+
+  bool ShouldInject(const std::string& node, const std::string& function,
+                    const ArgVec& args) override;
+
+ private:
+  std::string target_;
+};
+
+// Injects `burst` consecutive faults into node i's communication, then moves
+// to node i+1, cyclically -- the reconfiguration-protocol attack.
+class RotatingBlackoutController : public DistributedController {
+ public:
+  RotatingBlackoutController(std::vector<std::string> nodes, uint64_t burst)
+      : nodes_(std::move(nodes)), burst_(burst) {}
+
+  bool ShouldInject(const std::string& node, const std::string& function,
+                    const ArgVec& args) override;
+
+  const std::string& current_target() const { return nodes_[current_]; }
+
+ private:
+  std::vector<std::string> nodes_;
+  uint64_t burst_;
+  size_t current_ = 0;
+  uint64_t injected_in_burst_ = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_DISTRIBUTED_H_

@@ -1,0 +1,57 @@
+#include "core/injection_log.h"
+
+#include "util/errno_codes.h"
+#include "util/string_util.h"
+
+namespace lfi {
+
+std::string InjectionLog::ToString() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += StrFormat("#%llu %s%s%s: injected retval=%lld",
+                     static_cast<unsigned long long>(r.sequence),
+                     r.process.empty() ? "" : (r.process + ":").c_str(), r.function.c_str(), "",
+                     static_cast<long long>(r.retval));
+    if (r.errno_value != 0) {
+      out += " errno=" + ErrnoName(r.errno_value);
+    }
+    out += StrFormat(" (call %llu, triggers: %s)",
+                     static_cast<unsigned long long>(r.call_number), r.trigger_ids.c_str());
+    if (!r.stack.empty()) {
+      out += " stack:";
+      for (auto it = r.stack.rbegin(); it != r.stack.rend(); ++it) {
+        out += StrFormat(" %s!%s+0x%x", it->module.c_str(), it->function.c_str(), it->offset);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Scenario InjectionLog::ReplayScenario(size_t index) const {
+  Scenario scenario;
+  if (index >= records_.size()) {
+    return scenario;
+  }
+  const InjectionRecord& r = records_[index];
+
+  TriggerDecl decl;
+  decl.id = StrFormat("replay-%llu", static_cast<unsigned long long>(r.sequence));
+  decl.class_name = "CallCountTrigger";
+  auto args = std::make_unique<XmlNode>("args");
+  args->AddChild("count")->set_text(
+      StrFormat("%llu", static_cast<unsigned long long>(r.call_number)));
+  decl.args = std::shared_ptr<XmlNode>(args.release());
+
+  FunctionAssoc assoc;
+  assoc.function = r.function;
+  assoc.retval = r.retval;
+  assoc.errno_value = r.errno_value;
+  assoc.triggers.push_back(TriggerRef{decl.id, false});
+
+  scenario.AddTrigger(std::move(decl));
+  scenario.AddFunction(std::move(assoc));
+  return scenario;
+}
+
+}  // namespace lfi

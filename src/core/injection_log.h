@@ -1,0 +1,55 @@
+// The LFI test log (§2).
+//
+// Records every injected error together with the injected side effects and
+// the events that triggered it: which trigger instances fired, the call
+// count, and a snapshot of the virtual call stack. Developers use the log to
+// match injections to observed program behaviour; ReplayScenario() turns a
+// record into a deterministic call-count-based scenario that reproduces
+// exactly that injection (the paper points at R2-style replay for the same
+// purpose).
+
+#ifndef LFI_CORE_INJECTION_LOG_H_
+#define LFI_CORE_INJECTION_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "vlib/call_stack.h"
+
+namespace lfi {
+
+struct InjectionRecord {
+  uint64_t sequence = 0;        // ordinal among all injections in the run
+  std::string function;         // intercepted library function
+  int64_t retval = 0;           // injected return value
+  int errno_value = 0;          // injected errno (0 = untouched)
+  std::string trigger_ids;      // comma-separated triggers that fired
+  uint64_t call_number = 0;     // how many interceptions of `function` so far
+  std::vector<StackFrame> stack;  // call stack at injection time
+  std::string process;          // process name (distinguishes replicas)
+};
+
+class InjectionLog {
+ public:
+  void Record(InjectionRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<InjectionRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void Clear() { records_.clear(); }
+
+  // Human-readable rendering, one line per injection.
+  std::string ToString() const;
+
+  // A scenario that re-injects exactly record[index]'s fault on the same
+  // call number, using the stock call-count trigger.
+  Scenario ReplayScenario(size_t index) const;
+
+ private:
+  std::vector<InjectionRecord> records_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_INJECTION_LOG_H_

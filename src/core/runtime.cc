@@ -1,0 +1,141 @@
+#include "core/runtime.h"
+
+#include "util/string_util.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+
+Runtime::Runtime(const Scenario& scenario, Options options) : options_(options) {
+  std::unordered_map<std::string, TriggerInstance*> by_id;
+  for (const TriggerDecl& decl : scenario.triggers()) {
+    auto instance = std::make_unique<TriggerInstance>();
+    instance->decl = decl;
+    instance->trigger = TriggerRegistry::Instance().Create(decl.class_name);
+    if (instance->trigger == nullptr) {
+      error_ += "unknown trigger class '" + decl.class_name + "'; ";
+    }
+    by_id[decl.id] = instance.get();
+    instances_.push_back(std::move(instance));
+  }
+  for (const FunctionAssoc& spec : scenario.functions()) {
+    Assoc assoc;
+    assoc.spec = spec;
+    for (const TriggerRef& ref : spec.triggers) {
+      auto it = by_id.find(ref.ref);
+      if (it == by_id.end()) {
+        error_ += "unresolved trigger ref '" + ref.ref + "'; ";
+        continue;
+      }
+      assoc.triggers.push_back(it->second);
+      assoc.negate.push_back(ref.negate);
+    }
+    by_function_[spec.function].push_back(assocs_.size());
+    assocs_.push_back(std::move(assoc));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+uint64_t Runtime::call_count(const std::string& function) const {
+  auto it = call_counts_.find(function);
+  return it == call_counts_.end() ? 0 : it->second;
+}
+
+bool Runtime::EvalConjunction(Assoc& assoc, VirtualLibc* libc, const std::string& function,
+                              const ArgVec& args, std::string* fired_ids) {
+  bool verdict = true;
+  for (size_t i = 0; i < assoc.triggers.size(); ++i) {
+    TriggerInstance* instance = assoc.triggers[i];
+    if (instance->trigger == nullptr) {
+      return false;  // unknown class: conjunction cannot fire
+    }
+    if (!instance->initialized) {
+      // Lazy initialization: first evaluation, not program startup (§4.3).
+      instance->trigger->Init(instance->decl.args.get());
+      instance->initialized = true;
+    }
+    ++trigger_evaluations_;
+    bool vote = instance->trigger->Eval(libc, function, args);
+    if (assoc.negate[i]) {
+      vote = !vote;
+    }
+    if (vote) {
+      if (!fired_ids->empty()) {
+        *fired_ids += ",";
+      }
+      *fired_ids += instance->decl.id;
+    } else {
+      verdict = false;
+      if (!options_.disable_short_circuit) {
+        return false;  // short-circuit: skip the remaining triggers
+      }
+    }
+  }
+  return verdict && !assoc.triggers.empty();
+}
+
+InjectionDecision Runtime::OnCall(VirtualLibc* libc, std::string_view function,
+                                  const ArgVec& args) {
+  InjectionDecision decision;
+  std::string fn(function);
+
+  const std::vector<size_t>* indices = nullptr;
+  if (options_.linear_lookup) {
+    // Ablation path: scan every association for a name match.
+    static thread_local std::vector<size_t> scratch;
+    scratch.clear();
+    for (size_t i = 0; i < assocs_.size(); ++i) {
+      if (assocs_[i].spec.function == fn) {
+        scratch.push_back(i);
+      }
+    }
+    if (scratch.empty()) {
+      return decision;
+    }
+    indices = &scratch;
+  } else {
+    auto it = by_function_.find(fn);
+    if (it == by_function_.end()) {
+      return decision;  // not an intercepted function
+    }
+    indices = &it->second;
+  }
+
+  ++interceptions_;
+  uint64_t call_number = ++call_counts_[fn];
+
+  // Associations with the same function name form a disjunction: the first
+  // conjunction that fires decides the injection.
+  for (size_t index : *indices) {
+    Assoc& assoc = assocs_[index];
+    std::string fired_ids;
+    if (!EvalConjunction(assoc, libc, fn, args, &fired_ids)) {
+      continue;
+    }
+    if (assoc.spec.unused) {
+      continue;  // observation-only association: triggers saw the call
+    }
+    if (!armed_) {
+      continue;  // measurement mode: evaluate triggers but never inject
+    }
+    ++injections_;
+    InjectionRecord record;
+    record.sequence = ++sequence_;
+    record.function = fn;
+    record.retval = assoc.spec.retval;
+    record.errno_value = assoc.spec.errno_value;
+    record.trigger_ids = fired_ids;
+    record.call_number = call_number;
+    record.stack = libc->stack().frames();
+    record.process = libc->process_name();
+    log_.Record(std::move(record));
+
+    decision.inject = true;
+    decision.retval = assoc.spec.retval;
+    decision.errno_value = assoc.spec.errno_value;
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace lfi

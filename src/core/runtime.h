@@ -1,0 +1,98 @@
+// The LFI interposition runtime (§4.3, §6).
+//
+// Implements the Interposer installed on a VirtualLibc. For every
+// intercepted call it looks up the function's associations in O(1)
+// (independent of scenario size), evaluates the referenced triggers in
+// declaration order with short-circuit conjunction semantics, and -- when a
+// whole conjunction votes yes on a non-"unused" association -- injects the
+// configured return value and errno side effect, recording the event in the
+// injection log. Trigger instances are created eagerly but initialized
+// lazily, right before their first evaluation, to keep program startup free
+// of LFI overhead.
+
+#ifndef LFI_CORE_RUNTIME_H_
+#define LFI_CORE_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/injection_log.h"
+#include "core/scenario.h"
+#include "core/trigger.h"
+#include "vlib/interposer.h"
+
+namespace lfi {
+
+class Runtime : public Interposer {
+ public:
+  struct Options {
+    // Disables short-circuit evaluation (every trigger of a conjunction is
+    // evaluated even after one returns false). Exists for the ablation
+    // benchmark only; semantics are unchanged for stateless triggers.
+    bool disable_short_circuit = false;
+    // Uses a linear scan over all associations instead of the hash map, to
+    // quantify the O(1)-lookup design decision.
+    bool linear_lookup = false;
+  };
+
+  // Builds the runtime from a scenario. Unknown trigger classes surface in
+  // error(); the runtime then behaves as if those triggers always vote no.
+  explicit Runtime(const Scenario& scenario) : Runtime(scenario, Options()) {}
+  Runtime(const Scenario& scenario, Options options);
+  ~Runtime() override;
+
+  InjectionDecision OnCall(VirtualLibc* libc, std::string_view function,
+                           const ArgVec& args) override;
+
+  const InjectionLog& log() const { return log_; }
+  InjectionLog& mutable_log() { return log_; }
+  const std::string& error() const { return error_; }
+
+  // Telemetry for the overhead evaluation (§7.4).
+  uint64_t interceptions() const { return interceptions_; }
+  uint64_t trigger_evaluations() const { return trigger_evaluations_; }
+  uint64_t injections() const { return injections_; }
+  // Calls of `function` intercepted so far.
+  uint64_t call_count(const std::string& function) const;
+
+  // Arms/disarms injection globally. Disarmed, triggers still run (so the
+  // overhead benches measure pure trigger cost, §7.4: "we did not actually
+  // inject faults, but allowed the triggers to pass the calls through").
+  void set_armed(bool armed) { armed_ = armed; }
+  bool armed() const { return armed_; }
+
+ private:
+  struct TriggerInstance {
+    TriggerDecl decl;
+    std::unique_ptr<Trigger> trigger;
+    bool initialized = false;
+  };
+  struct Assoc {
+    FunctionAssoc spec;
+    std::vector<TriggerInstance*> triggers;  // resolved refs, conjunction order
+    std::vector<bool> negate;
+  };
+
+  bool EvalConjunction(Assoc& assoc, VirtualLibc* libc, const std::string& function,
+                       const ArgVec& args, std::string* fired_ids);
+
+  Options options_;
+  std::string error_;
+  std::vector<std::unique_ptr<TriggerInstance>> instances_;
+  std::vector<Assoc> assocs_;  // declaration order (disjunction across same name)
+  std::unordered_map<std::string, std::vector<size_t>> by_function_;
+  std::unordered_map<std::string, uint64_t> call_counts_;
+  InjectionLog log_;
+  bool armed_ = true;
+  uint64_t interceptions_ = 0;
+  uint64_t trigger_evaluations_ = 0;
+  uint64_t injections_ = 0;
+  uint64_t sequence_ = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_RUNTIME_H_

@@ -1,0 +1,80 @@
+// Fault injection scenarios and the XML description language (§4).
+//
+// A scenario has two constructs:
+//   <trigger id="..." class="..."> [<args>...</args>] </trigger>
+//       declares a named trigger instance of a registered trigger class,
+//       optionally with initialization parameters;
+//   <function name="..." argc="N" return="V" errno="E"> <reftrigger ref=.../>+
+//       associates trigger instances with an intercepted library function.
+//
+// Composition semantics (§4.2): multiple <reftrigger> inside one <function>
+// form a conjunction; multiple <function> elements with the same name form a
+// disjunction; negate="true" on a <reftrigger> inverts that trigger's vote.
+// return="unused" marks associations that exist only so a stateful trigger
+// observes the calls (e.g. mutex lock/unlock) -- they never inject.
+// Both `return` and `retval` attribute spellings are accepted (the paper uses
+// both).
+
+#ifndef LFI_CORE_SCENARIO_H_
+#define LFI_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xml/xml.h"
+
+namespace lfi {
+
+struct TriggerDecl {
+  std::string id;
+  std::string class_name;
+  std::shared_ptr<XmlNode> args;  // deep copy of the <args> element, if any
+};
+
+struct TriggerRef {
+  std::string ref;
+  bool negate = false;
+};
+
+struct FunctionAssoc {
+  std::string function;
+  int argc = 0;
+  bool unused = false;     // return="unused": observe only, never inject
+  int64_t retval = 0;
+  int errno_value = 0;     // 0 = leave errno untouched
+  std::vector<TriggerRef> triggers;  // conjunction, evaluated in order
+};
+
+class Scenario {
+ public:
+  std::vector<TriggerDecl>& triggers() { return triggers_; }
+  const std::vector<TriggerDecl>& triggers() const { return triggers_; }
+  std::vector<FunctionAssoc>& functions() { return functions_; }
+  const std::vector<FunctionAssoc>& functions() const { return functions_; }
+
+  void AddTrigger(TriggerDecl decl) { triggers_.push_back(std::move(decl)); }
+  void AddFunction(FunctionAssoc assoc) { functions_.push_back(std::move(assoc)); }
+  const TriggerDecl* FindTrigger(const std::string& id) const;
+
+  // Serializes to the XML description language.
+  std::string ToXml() const;
+
+  // Parses a scenario document (root element <scenario> or <plan>). Returns
+  // nullopt and fills *error on malformed input, including references to
+  // undeclared trigger ids.
+  static std::optional<Scenario> Parse(const std::string& xml, std::string* error = nullptr);
+
+ private:
+  std::vector<TriggerDecl> triggers_;
+  std::vector<FunctionAssoc> functions_;
+};
+
+// Deep-copies an XML node (used to retain <args> subtrees).
+std::unique_ptr<XmlNode> CloneXml(const XmlNode& node);
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_SCENARIO_H_

@@ -1,0 +1,89 @@
+#include "core/scenario_gen.h"
+
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+// Picks the error mode to inject for a site: for partially checked sites a
+// *missing* retval is preferred; otherwise the profile's first error mode.
+bool PickErrorMode(const CallSiteReport& report, const FunctionProfile& fn, int64_t* retval,
+                   int* errno_value) {
+  const ErrorSpec* chosen = nullptr;
+  if (report.check_class == CheckClass::kPartial) {
+    for (const ErrorSpec& e : fn.errors) {
+      if (report.missing_codes.count(e.retval) != 0) {
+        chosen = &e;
+        break;
+      }
+    }
+  }
+  if (chosen == nullptr && !fn.errors.empty()) {
+    chosen = &fn.errors.front();
+  }
+  if (chosen == nullptr) {
+    return false;
+  }
+  *retval = chosen->retval;
+  *errno_value = chosen->errnos.empty() ? 0 : chosen->errnos.front();
+  return true;
+}
+
+void AppendSite(Scenario* scenario, const CallSiteReport& report, const FaultProfile& profile) {
+  const FunctionProfile* fn = profile.Find(report.site.function);
+  if (fn == nullptr) {
+    return;
+  }
+  int64_t retval;
+  int errno_value;
+  if (!PickErrorMode(report, *fn, &retval, &errno_value)) {
+    return;
+  }
+
+  // Trigger id: the call-site offset in hex, like the paper's "8054a69".
+  TriggerDecl decl;
+  decl.id = StrFormat("%x", report.site.offset);
+  decl.class_name = "CallStackTrigger";
+  auto args = std::make_unique<XmlNode>("args");
+  XmlNode* frame = args->AddChild("frame");
+  frame->AddChild("module")->set_text(report.site.module);
+  frame->AddChild("offset")->set_text(StrFormat("%x", report.site.offset));
+  decl.args = std::shared_ptr<XmlNode>(args.release());
+
+  FunctionAssoc assoc;
+  assoc.function = report.site.function;
+  assoc.retval = retval;
+  assoc.errno_value = errno_value;
+  assoc.triggers.push_back(TriggerRef{decl.id, false});
+
+  scenario->AddTrigger(std::move(decl));
+  scenario->AddFunction(std::move(assoc));
+}
+
+}  // namespace
+
+GeneratedScenarios GenerateScenarios(const std::vector<CallSiteReport>& reports,
+                                     const FaultProfile& profile) {
+  GeneratedScenarios out;
+  for (const CallSiteReport& report : reports) {
+    switch (report.check_class) {
+      case CheckClass::kNone:
+        AppendSite(&out.unchecked, report, profile);
+        break;
+      case CheckClass::kPartial:
+        AppendSite(&out.partial, report, profile);
+        break;
+      case CheckClass::kFull:
+        break;
+    }
+  }
+  return out;
+}
+
+Scenario GenerateSiteScenario(const CallSiteReport& report, const FaultProfile& profile) {
+  Scenario scenario;
+  AppendSite(&scenario, report, profile);
+  return scenario;
+}
+
+}  // namespace lfi

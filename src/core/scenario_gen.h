@@ -1,0 +1,38 @@
+// Automatic scenario generation from call-site analysis (§5).
+//
+// Turns the analyzer's classification into runnable injection scenarios: one
+// call-stack trigger per vulnerable site (identified by module + call-site
+// offset, exactly what the PBFT example in §7.1 shows) associated with the
+// target function and a (retval, errno) pair drawn from the library's fault
+// profile. Two scenario sets are produced, one for the completely unchecked
+// sites (C_not) and one for the partially checked ones (C_part); for the
+// latter, the injected retval is one of the *missing* codes.
+
+#ifndef LFI_CORE_SCENARIO_GEN_H_
+#define LFI_CORE_SCENARIO_GEN_H_
+
+#include <vector>
+
+#include "analysis/callsite_analyzer.h"
+#include "core/scenario.h"
+#include "profiler/fault_profile.h"
+
+namespace lfi {
+
+struct GeneratedScenarios {
+  Scenario unchecked;  // targets C_not
+  Scenario partial;    // targets C_part
+};
+
+// `reports` must all concern functions present in `profile`.
+GeneratedScenarios GenerateScenarios(const std::vector<CallSiteReport>& reports,
+                                     const FaultProfile& profile);
+
+// Generates one single-site scenario (used when iterating site by site, the
+// way §7.1 runs the campaign). Returns an empty scenario when the profile
+// lacks the function or has no suitable error mode.
+Scenario GenerateSiteScenario(const CallSiteReport& report, const FaultProfile& profile);
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_SCENARIO_GEN_H_

@@ -1,0 +1,39 @@
+#include "core/trigger.h"
+
+namespace lfi {
+
+TriggerRegistry& TriggerRegistry::Instance() {
+  static TriggerRegistry* registry = new TriggerRegistry;
+  return *registry;
+}
+
+void TriggerRegistry::Register(const std::string& class_name, Factory factory) {
+  factories_[class_name] = std::move(factory);
+}
+
+std::unique_ptr<Trigger> TriggerRegistry::Create(const std::string& class_name) const {
+  auto it = factories_.find(class_name);
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  return it->second();
+}
+
+bool TriggerRegistry::Knows(const std::string& class_name) const {
+  return factories_.count(class_name) != 0;
+}
+
+std::vector<std::string> TriggerRegistry::RegisteredClasses() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+TriggerRegistrar::TriggerRegistrar(const char* class_name, TriggerRegistry::Factory factory) {
+  TriggerRegistry::Instance().Register(class_name, std::move(factory));
+}
+
+}  // namespace lfi

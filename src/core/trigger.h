@@ -1,0 +1,90 @@
+// The Trigger interface and registry (§3.1, §6).
+//
+// Triggers are pluggable predicates the LFI runtime consults to decide
+// whether an intercepted library call should fail. A trigger may inspect any
+// part of system state: the intercepted call's arguments, the virtual call
+// stack, application globals, or anything reachable through the calling
+// VirtualLibc (trigger-issued library calls bypass interception, like a
+// dlsym(RTLD_NEXT) call under LD_PRELOAD).
+//
+// Deviations from the 2010 C++ surface, kept deliberately small:
+//   - Eval receives the argument words as a vector instead of varargs; the
+//     first parameter is still the intercepted function's name, and pointer
+//     arguments are raw pointers cast to words (triggers that know the
+//     function's signature cast them back, like the paper's va_arg code).
+//   - Eval also receives the calling VirtualLibc, which plays the role of
+//     "the process" (its globals, stack and errno are reached through it).
+//   - Registration is completed by LFI_REGISTER_TRIGGER(Name) after the class
+//     body; the paper's single-macro Registry variant relied on a static
+//     member in the macro-generated class, which needs the complete type.
+
+#ifndef LFI_CORE_TRIGGER_H_
+#define LFI_CORE_TRIGGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vlib/interposer.h"
+#include "xml/xml.h"
+
+namespace lfi {
+
+class Trigger {
+ public:
+  virtual ~Trigger() = default;
+
+  // Called once, after construction and before the first Eval, with the
+  // <args> element of the trigger's declaration (nullptr when absent).
+  // Supports trigger parametrization (§4.1).
+  virtual void Init(const XmlNode* init_data) { (void)init_data; }
+
+  // The injection decision. Called every time a function associated with
+  // this trigger instance is intercepted. Must be efficient: it runs on the
+  // application's fast path.
+  virtual bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) = 0;
+};
+
+class TriggerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Trigger>()>;
+
+  static TriggerRegistry& Instance();
+
+  // Registers a factory under `class_name`; later registrations win, so
+  // tests may shadow stock triggers.
+  void Register(const std::string& class_name, Factory factory);
+
+  // Instantiates a trigger by class name; nullptr when unknown.
+  std::unique_ptr<Trigger> Create(const std::string& class_name) const;
+
+  bool Knows(const std::string& class_name) const;
+  std::vector<std::string> RegisteredClasses() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+// Helper whose construction performs the registration.
+struct TriggerRegistrar {
+  TriggerRegistrar(const char* class_name, TriggerRegistry::Factory factory);
+};
+
+// Opens a trigger class derived from Trigger, as in the paper:
+//
+//   DECLARE_TRIGGER(ReadPipe) {
+//    public:
+//     bool Eval(...) override { ... }
+//   };
+//   LFI_REGISTER_TRIGGER(ReadPipe);
+#define DECLARE_TRIGGER(NAME) class NAME : public ::lfi::Trigger
+
+#define LFI_REGISTER_TRIGGER(NAME)                                      \
+  static ::lfi::TriggerRegistrar lfi_trigger_registrar_##NAME(          \
+      #NAME, [] { return std::unique_ptr<::lfi::Trigger>(new NAME()); })
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_TRIGGER_H_

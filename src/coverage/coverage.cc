@@ -1,0 +1,57 @@
+#include "coverage/coverage.h"
+
+namespace lfi {
+
+void CoverageMap::RegisterBlock(const std::string& id, bool recovery, int lines) {
+  blocks_.emplace(id, Block{recovery, lines});
+}
+
+void CoverageMap::Hit(const std::string& id) {
+  blocks_.emplace(id, Block{false, 1});
+  ++hits_[id];
+}
+
+void CoverageMap::ResetHits() { hits_.clear(); }
+
+void CoverageMap::AbsorbHits(const CoverageMap& other) {
+  for (const auto& [id, count] : other.hits_) {
+    blocks_.emplace(id, Block{false, 1});
+    hits_[id] += count;
+  }
+}
+
+CoverageMap::Stats CoverageMap::ComputeStats() const {
+  Stats stats;
+  for (const auto& [id, block] : blocks_) {
+    ++stats.total_blocks;
+    stats.total_lines += block.lines;
+    bool hit = hits_.count(id) != 0;
+    if (hit) {
+      ++stats.covered_blocks;
+      stats.covered_lines += block.lines;
+    }
+    if (block.recovery) {
+      ++stats.recovery_blocks;
+      stats.recovery_lines += block.lines;
+      if (hit) {
+        ++stats.covered_recovery_blocks;
+        stats.covered_recovery_lines += block.lines;
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<std::string> CoverageMap::NewlyCoveredVersus(const CoverageMap& baseline) const {
+  std::vector<std::string> out;
+  for (const auto& [id, count] : hits_) {
+    if (baseline.hits_.count(id) == 0) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool CoverageMap::WasHit(const std::string& id) const { return hits_.count(id) != 0; }
+
+}  // namespace lfi

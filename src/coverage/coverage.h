@@ -1,0 +1,77 @@
+// Recovery-code coverage bookkeeping (§7.1, Table 3).
+//
+// The paper measured, with gcov/lcov, how much *recovery code* -- the blocks
+// that run only when a library call fails -- the default test suites cover
+// with and without LFI. The applications in this repository register their
+// basic blocks here (the substitute for compiler instrumentation), marking
+// which ones are recovery blocks and how many source lines each represents,
+// and call Hit() on entry. The report distinguishes total coverage from
+// recovery coverage, which is what Table 3 tabulates.
+
+#ifndef LFI_COVERAGE_COVERAGE_H_
+#define LFI_COVERAGE_COVERAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lfi {
+
+class CoverageMap {
+ public:
+  // Declares a basic block. `lines` is the block's size in source lines.
+  // Registering twice keeps the first registration.
+  void RegisterBlock(const std::string& id, bool recovery, int lines);
+
+  // Marks the block executed. Unknown ids auto-register as 1-line normal
+  // blocks so instrumentation mistakes do not silently drop data.
+  void Hit(const std::string& id);
+
+  void ResetHits();
+
+  // Merges another map's hit set into this one (cumulative coverage across
+  // repeated runs, the way lcov accumulates .gcda data).
+  void AbsorbHits(const CoverageMap& other);
+
+  struct Stats {
+    size_t total_blocks = 0;
+    size_t covered_blocks = 0;
+    int total_lines = 0;
+    int covered_lines = 0;
+    size_t recovery_blocks = 0;
+    size_t covered_recovery_blocks = 0;
+    int recovery_lines = 0;
+    int covered_recovery_lines = 0;
+
+    double line_coverage() const {
+      return total_lines == 0 ? 0.0 : 100.0 * covered_lines / total_lines;
+    }
+    double recovery_block_coverage() const {
+      return recovery_blocks == 0 ? 0.0
+                                  : 100.0 * static_cast<double>(covered_recovery_blocks) /
+                                        static_cast<double>(recovery_blocks);
+    }
+  };
+
+  Stats ComputeStats() const;
+
+  // Blocks covered here but not in `baseline` (the "additional coverage LFI
+  // achieved" comparison).
+  std::vector<std::string> NewlyCoveredVersus(const CoverageMap& baseline) const;
+
+  bool WasHit(const std::string& id) const;
+  const std::map<std::string, uint64_t>& hits() const { return hits_; }
+
+ private:
+  struct Block {
+    bool recovery = false;
+    int lines = 1;
+  };
+  std::map<std::string, Block> blocks_;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_COVERAGE_COVERAGE_H_

@@ -1,0 +1,394 @@
+#include "image/assembler.h"
+
+#include <map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+struct PendingBranch {
+  size_t instr_offset;  // byte offset of the branch instruction
+  std::string label;    // ".name", function-scoped
+  int line;
+};
+
+struct PendingCall {
+  size_t instr_offset;
+  std::string callee;
+  int line;
+};
+
+class Assembler {
+ public:
+  Assembler(std::string_view source, AsmError* error) : source_(source), error_(error) {}
+
+  std::optional<Image> Run() {
+    std::vector<std::string> lines = Split(source_, '\n');
+    for (size_t i = 0; i < lines.size(); ++i) {
+      line_no_ = static_cast<int>(i) + 1;
+      if (!HandleLine(lines[i])) {
+        return std::nullopt;
+      }
+    }
+    if (in_func_) {
+      return Fail("missing 'end' for function " + current_func_);
+    }
+    // Resolve calls: local symbol wins, otherwise import.
+    for (const auto& call : pending_calls_) {
+      line_no_ = call.line;
+      Instruction instr;
+      if (!image_.Decode(call.instr_offset, &instr)) {
+        return Fail("internal: bad pending call encoding");
+      }
+      const ImageSymbol* sym = image_.FindSymbol(call.callee);
+      if (sym != nullptr) {
+        instr.flags = kCallLocal;
+        instr.imm = static_cast<int32_t>(sym->addr);
+      } else {
+        instr.flags = kCallImport;
+        instr.imm = image_.InternImport(call.callee);
+      }
+      Patch(call.instr_offset, instr);
+    }
+    return std::move(image_);
+  }
+
+ private:
+  std::optional<Image> Fail(std::string message) {
+    if (error_ != nullptr && error_->message.empty()) {
+      error_->message = std::move(message);
+      error_->line = line_no_;
+    }
+    return std::nullopt;
+  }
+
+  bool FailBool(std::string message) {
+    Fail(std::move(message));
+    return false;
+  }
+
+  void Patch(size_t offset, const Instruction& instr) {
+    std::vector<uint8_t> bytes;
+    EncodeInstruction(instr, &bytes);
+    std::copy(bytes.begin(), bytes.end(), image_.mutable_text().begin() + static_cast<long>(offset));
+  }
+
+  void Emit(const Instruction& instr) {
+    EncodeInstruction(instr, &image_.mutable_text());
+  }
+
+  size_t Here() const { return image_.text().size(); }
+
+  static std::string StripComment(const std::string& line) {
+    size_t pos = line.find_first_of(";#");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+  }
+
+  bool ParseReg(std::string_view tok, uint8_t* out) {
+    std::string t = AsciiLower(Trim(tok));
+    if (t == "rv") {
+      *out = kRetReg;
+      return true;
+    }
+    if (t == "sp") {
+      *out = kSpReg;
+      return true;
+    }
+    if (t == "err") {
+      *out = kErrnoReg;
+      return true;
+    }
+    if (t.size() >= 2 && t[0] == 'r') {
+      auto n = ParseInt(t.substr(1));
+      if (n && *n >= 0 && *n < kNumRegisters) {
+        *out = static_cast<uint8_t>(*n);
+        return true;
+      }
+    }
+    return FailBool("bad register '" + std::string(tok) + "'");
+  }
+
+  bool ParseImm(std::string_view tok, int32_t* out) {
+    auto v = ParseInt(Trim(tok));
+    if (!v || *v < INT32_MIN || *v > INT32_MAX) {
+      return FailBool("bad immediate '" + std::string(tok) + "'");
+    }
+    *out = static_cast<int32_t>(*v);
+    return true;
+  }
+
+  // Parses "[rN+off]" / "[rN-off]" / "[rN]".
+  bool ParseMem(std::string_view tok, uint8_t* reg, int32_t* off) {
+    std::string t(Trim(tok));
+    if (t.size() < 3 || t.front() != '[' || t.back() != ']') {
+      return FailBool("bad memory operand '" + t + "'");
+    }
+    std::string inner = t.substr(1, t.size() - 2);
+    size_t sep = inner.find_first_of("+-", 1);
+    if (sep == std::string::npos) {
+      *off = 0;
+      return ParseReg(inner, reg);
+    }
+    if (!ParseReg(inner.substr(0, sep), reg)) {
+      return false;
+    }
+    return ParseImm(inner.substr(sep), off);
+  }
+
+  // Splits an operand list on commas that are not inside brackets.
+  static std::vector<std::string> SplitOperands(std::string_view s) {
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : s) {
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        --depth;
+      }
+      if (c == ',' && depth == 0) {
+        out.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!Trim(cur).empty() || !out.empty()) {
+      out.push_back(cur);
+    }
+    return out;
+  }
+
+  bool EndFunction() {
+    // Resolve branches to labels within the function that just closed.
+    for (const auto& br : pending_branches_) {
+      auto it = labels_.find(br.label);
+      if (it == labels_.end()) {
+        line_no_ = br.line;
+        return FailBool("undefined label '" + br.label + "'");
+      }
+      Instruction instr;
+      if (!image_.Decode(br.instr_offset, &instr)) {
+        return FailBool("internal: bad pending branch encoding");
+      }
+      instr.imm = static_cast<int32_t>(it->second);
+      Patch(br.instr_offset, instr);
+    }
+    pending_branches_.clear();
+    labels_.clear();
+    ImageSymbol sym;
+    sym.name = current_func_;
+    sym.addr = static_cast<uint32_t>(func_start_);
+    sym.size = static_cast<uint32_t>(Here() - func_start_);
+    if (sym.size == 0) {
+      return FailBool("empty function " + current_func_);
+    }
+    image_.AddSymbol(std::move(sym));
+    in_func_ = false;
+    return true;
+  }
+
+  bool HandleLine(const std::string& raw) {
+    std::string line(Trim(StripComment(raw)));
+    if (line.empty()) {
+      return true;
+    }
+    // Label?
+    if (line[0] == '.' && line.back() == ':') {
+      if (!in_func_) {
+        return FailBool("label outside function");
+      }
+      std::string name = line.substr(0, line.size() - 1);
+      if (labels_.count(name) != 0) {
+        return FailBool("duplicate label '" + name + "'");
+      }
+      labels_[name] = Here();
+      return true;
+    }
+    size_t sp = line.find_first_of(" \t");
+    std::string mnemonic = AsciiLower(sp == std::string::npos ? line : line.substr(0, sp));
+    std::string rest = sp == std::string::npos ? "" : std::string(Trim(line.substr(sp)));
+
+    if (mnemonic == "module") {
+      if (rest.empty()) {
+        return FailBool("module requires a name");
+      }
+      image_.set_module_name(rest);
+      return true;
+    }
+    if (mnemonic == "func") {
+      if (in_func_) {
+        return FailBool("nested 'func'");
+      }
+      if (rest.empty()) {
+        return FailBool("func requires a name");
+      }
+      if (image_.FindSymbol(rest) != nullptr) {
+        return FailBool("duplicate function '" + rest + "'");
+      }
+      current_func_ = rest;
+      func_start_ = Here();
+      in_func_ = true;
+      return true;
+    }
+    if (mnemonic == "end") {
+      if (!in_func_) {
+        return FailBool("'end' outside function");
+      }
+      return EndFunction();
+    }
+    if (!in_func_) {
+      return FailBool("instruction outside function");
+    }
+    return HandleInstruction(mnemonic, rest);
+  }
+
+  bool HandleInstruction(const std::string& mnemonic, const std::string& rest) {
+    std::vector<std::string> ops = SplitOperands(rest);
+    Instruction instr;
+
+    auto need = [&](size_t n) {
+      if (ops.size() != n) {
+        return FailBool(StrFormat("'%s' expects %zu operand(s), got %zu", mnemonic.c_str(), n,
+                                  ops.size()));
+      }
+      return true;
+    };
+
+    if (mnemonic == "nop" || mnemonic == "ret" || mnemonic == "halt") {
+      if (!rest.empty()) {
+        return FailBool("'" + mnemonic + "' takes no operands");
+      }
+      instr.op = mnemonic == "nop" ? Op::kNop : (mnemonic == "ret" ? Op::kRet : Op::kHalt);
+      Emit(instr);
+      return true;
+    }
+    if (mnemonic == "mov" || mnemonic == "add" || mnemonic == "sub" || mnemonic == "mul" ||
+        mnemonic == "and" || mnemonic == "or" || mnemonic == "xor" || mnemonic == "cmp" ||
+        mnemonic == "test") {
+      if (!need(2)) {
+        return false;
+      }
+      static const std::map<std::string, Op> kMap = {
+          {"mov", Op::kMovRR}, {"add", Op::kAdd}, {"sub", Op::kSub},  {"mul", Op::kMul},
+          {"and", Op::kAnd},   {"or", Op::kOr},   {"xor", Op::kXor}, {"cmp", Op::kCmpRR},
+          {"test", Op::kTest}};
+      instr.op = kMap.at(mnemonic);
+      if (!ParseReg(ops[0], &instr.rd) || !ParseReg(ops[1], &instr.rs)) {
+        return false;
+      }
+      Emit(instr);
+      return true;
+    }
+    if (mnemonic == "movi" || mnemonic == "addi" || mnemonic == "cmpi") {
+      if (!need(2)) {
+        return false;
+      }
+      instr.op = mnemonic == "movi" ? Op::kMovRI : (mnemonic == "addi" ? Op::kAddI : Op::kCmpRI);
+      if (!ParseReg(ops[0], &instr.rd) || !ParseImm(ops[1], &instr.imm)) {
+        return false;
+      }
+      Emit(instr);
+      return true;
+    }
+    if (mnemonic == "load") {
+      if (!need(2)) {
+        return false;
+      }
+      instr.op = Op::kLoad;
+      if (!ParseReg(ops[0], &instr.rd) || !ParseMem(ops[1], &instr.rs, &instr.imm)) {
+        return false;
+      }
+      Emit(instr);
+      return true;
+    }
+    if (mnemonic == "store") {
+      if (!need(2)) {
+        return false;
+      }
+      instr.op = Op::kStore;
+      if (!ParseMem(ops[0], &instr.rd, &instr.imm) || !ParseReg(ops[1], &instr.rs)) {
+        return false;
+      }
+      Emit(instr);
+      return true;
+    }
+    static const std::map<std::string, Op> kJumps = {
+        {"jmp", Op::kJmp}, {"je", Op::kJe},   {"jne", Op::kJne}, {"jl", Op::kJl},
+        {"jle", Op::kJle}, {"jg", Op::kJg},   {"jge", Op::kJge}, {"js", Op::kJs},
+        {"jns", Op::kJns}};
+    auto jump_it = kJumps.find(mnemonic);
+    if (jump_it != kJumps.end()) {
+      if (!need(1)) {
+        return false;
+      }
+      std::string label(Trim(ops[0]));
+      if (label.empty() || label[0] != '.') {
+        return FailBool("jump target must be a .label");
+      }
+      instr.op = jump_it->second;
+      pending_branches_.push_back({Here(), label, line_no_});
+      Emit(instr);
+      return true;
+    }
+    if (mnemonic == "call") {
+      if (!need(1)) {
+        return false;
+      }
+      std::string callee(Trim(ops[0]));
+      if (callee.empty()) {
+        return FailBool("call requires a target");
+      }
+      instr.op = Op::kCall;
+      pending_calls_.push_back({Here(), callee, line_no_});
+      Emit(instr);
+      return true;
+    }
+    if (mnemonic == "callr") {
+      if (!need(1)) {
+        return false;
+      }
+      instr.op = Op::kCallR;
+      if (!ParseReg(ops[0], &instr.rs)) {
+        return false;
+      }
+      Emit(instr);
+      return true;
+    }
+    if (mnemonic == "push" || mnemonic == "pop") {
+      if (!need(1)) {
+        return false;
+      }
+      instr.op = mnemonic == "push" ? Op::kPush : Op::kPop;
+      if (!ParseReg(ops[0], &instr.rd)) {
+        return false;
+      }
+      Emit(instr);
+      return true;
+    }
+    return FailBool("unknown mnemonic '" + mnemonic + "'");
+  }
+
+  std::string_view source_;
+  AsmError* error_;
+  Image image_;
+  int line_no_ = 0;
+  bool in_func_ = false;
+  std::string current_func_;
+  size_t func_start_ = 0;
+  std::map<std::string, size_t> labels_;
+  std::vector<PendingBranch> pending_branches_;
+  std::vector<PendingCall> pending_calls_;
+};
+
+}  // namespace
+
+std::optional<Image> Assemble(std::string_view source, AsmError* error) {
+  AsmError local;
+  Assembler assembler(source, error ? error : &local);
+  return assembler.Run();
+}
+
+}  // namespace lfi

@@ -1,0 +1,45 @@
+// Two-pass assembler: textual assembly -> SimELF image.
+//
+// The application and library "binaries" in this repository are produced by
+// assembling small programs (apps/*/binary.cc generates the text). Grammar,
+// one statement per line, ';' or '#' start comments:
+//
+//   module NAME            -- module name (once, first)
+//   func NAME              -- begin function
+//   end                    -- end function
+//   .label:                -- local label (scoped to the enclosing function)
+//
+//   mov   rd, rs           movi rd, imm        addi rd, imm
+//   load  rd, [rs+off]     store [rd+off], rs
+//   add/sub/mul/and/or/xor rd, rs
+//   cmp   rd, rs           cmpi rd, imm        test rd, rs
+//   jmp/je/jne/jl/jle/jg/jge/js/jns .label
+//   call  NAME             -- local function if defined anywhere in the
+//                             module, import otherwise
+//   callr rs
+//   push rd / pop rd / ret / nop / halt
+//
+// Registers: r0..r15, with aliases rv (r0), sp (r13), err (r14).
+
+#ifndef LFI_IMAGE_ASSEMBLER_H_
+#define LFI_IMAGE_ASSEMBLER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "image/image.h"
+
+namespace lfi {
+
+struct AsmError {
+  std::string message;
+  int line = 0;
+};
+
+// Assembles `source`. Returns nullopt and fills *error on failure.
+std::optional<Image> Assemble(std::string_view source, AsmError* error = nullptr);
+
+}  // namespace lfi
+
+#endif  // LFI_IMAGE_ASSEMBLER_H_

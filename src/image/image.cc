@@ -1,0 +1,206 @@
+#include "image/image.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+constexpr uint32_t kMagic = 0x464c4553;  // "SELF" little-endian
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* out) {
+    if (pos_ + 4 > bytes_.size()) {
+      return false;
+    }
+    *out = static_cast<uint32_t>(bytes_[pos_]) | (static_cast<uint32_t>(bytes_[pos_ + 1]) << 8) |
+           (static_cast<uint32_t>(bytes_[pos_ + 2]) << 16) |
+           (static_cast<uint32_t>(bytes_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetString(std::string* out) {
+    uint32_t len;
+    if (!GetU32(&len) || pos_ + len > bytes_.size()) {
+      return false;
+    }
+    out->assign(bytes_.begin() + static_cast<long>(pos_),
+                bytes_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  bool GetBytes(std::vector<uint8_t>* out, size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return false;
+    }
+    out->assign(bytes_.begin() + static_cast<long>(pos_),
+                bytes_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+int Image::InternImport(const std::string& name) {
+  int idx = ImportIndex(name);
+  if (idx >= 0) {
+    return idx;
+  }
+  imports_.push_back(name);
+  return static_cast<int>(imports_.size()) - 1;
+}
+
+int Image::ImportIndex(const std::string& name) const {
+  for (size_t i = 0; i < imports_.size(); ++i) {
+    if (imports_[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const ImageSymbol* Image::FindSymbol(const std::string& name) const {
+  for (const auto& s : symbols_) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const ImageSymbol* Image::SymbolContaining(uint32_t addr) const {
+  for (const auto& s : symbols_) {
+    if (addr >= s.addr && addr < s.addr + s.size) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string Image::Disassemble() const {
+  std::string out = StrFormat("module %s\n", module_name_.c_str());
+  for (size_t off = 0; off + kInstrSize <= text_.size(); off += kInstrSize) {
+    const ImageSymbol* sym = SymbolContaining(static_cast<uint32_t>(off));
+    if (sym != nullptr && sym->addr == off) {
+      out += StrFormat("\n%s:\n", sym->name.c_str());
+    }
+    Instruction instr;
+    if (!Decode(off, &instr)) {
+      out += StrFormat("  %06zx  <bad>\n", off);
+      continue;
+    }
+    std::string body;
+    if (instr.op == Op::kCall && instr.flags == kCallImport &&
+        instr.imm >= 0 && static_cast<size_t>(instr.imm) < imports_.size()) {
+      body = StrFormat("call %s@plt", imports_[static_cast<size_t>(instr.imm)].c_str());
+    } else if (instr.op == Op::kCall && instr.flags == kCallLocal) {
+      const ImageSymbol* target = SymbolContaining(static_cast<uint32_t>(instr.imm));
+      if (target != nullptr && target->addr == static_cast<uint32_t>(instr.imm)) {
+        body = StrFormat("call %s", target->name.c_str());
+      } else {
+        body = FormatInstruction(instr);
+      }
+    } else {
+      body = FormatInstruction(instr);
+    }
+    out += StrFormat("  %06zx  %s\n", off, body.c_str());
+  }
+  return out;
+}
+
+std::vector<uint8_t> Image::Serialize() const {
+  std::vector<uint8_t> out;
+  PutU32(&out, kMagic);
+  PutU32(&out, kVersion);
+  PutString(&out, module_name_);
+  PutU32(&out, static_cast<uint32_t>(text_.size()));
+  out.insert(out.end(), text_.begin(), text_.end());
+  PutU32(&out, static_cast<uint32_t>(symbols_.size()));
+  for (const auto& s : symbols_) {
+    PutString(&out, s.name);
+    PutU32(&out, s.addr);
+    PutU32(&out, s.size);
+  }
+  PutU32(&out, static_cast<uint32_t>(imports_.size()));
+  for (const auto& imp : imports_) {
+    PutString(&out, imp);
+  }
+  return out;
+}
+
+std::optional<Image> Image::Deserialize(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  uint32_t magic;
+  uint32_t version;
+  if (!reader.GetU32(&magic) || magic != kMagic || !reader.GetU32(&version) ||
+      version != kVersion) {
+    return std::nullopt;
+  }
+  Image img;
+  std::string name;
+  if (!reader.GetString(&name)) {
+    return std::nullopt;
+  }
+  img.set_module_name(name);
+  uint32_t text_size;
+  if (!reader.GetU32(&text_size) || text_size % kInstrSize != 0) {
+    return std::nullopt;
+  }
+  if (!reader.GetBytes(&img.mutable_text(), text_size)) {
+    return std::nullopt;
+  }
+  uint32_t nsyms;
+  if (!reader.GetU32(&nsyms)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < nsyms; ++i) {
+    ImageSymbol sym;
+    if (!reader.GetString(&sym.name) || !reader.GetU32(&sym.addr) || !reader.GetU32(&sym.size)) {
+      return std::nullopt;
+    }
+    img.AddSymbol(std::move(sym));
+  }
+  uint32_t nimports;
+  if (!reader.GetU32(&nimports)) {
+    return std::nullopt;
+  }
+  for (uint32_t i = 0; i < nimports; ++i) {
+    std::string imp;
+    if (!reader.GetString(&imp)) {
+      return std::nullopt;
+    }
+    img.InternImport(imp);
+  }
+  if (!reader.AtEnd()) {
+    return std::nullopt;
+  }
+  return img;
+}
+
+}  // namespace lfi

@@ -1,0 +1,73 @@
+// SimELF: the binary image format the LFI analyses consume.
+//
+// A module image holds one text section of fixed-width ISA instructions, a
+// symbol table for the functions it defines, and an import table for the
+// external library functions it calls (the analogue of an ELF dynamic symbol
+// table + PLT). The call-site analyzer (§5) scans images for `call @import`
+// instructions; the profiler (§2) analyzes the images of library modules.
+// Images serialize to a simple container format so "binaries" can live on
+// disk, mirroring the paper's setting where the tester only has binaries.
+
+#ifndef LFI_IMAGE_IMAGE_H_
+#define LFI_IMAGE_IMAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace lfi {
+
+struct ImageSymbol {
+  std::string name;
+  uint32_t addr = 0;  // byte offset of the first instruction in text
+  uint32_t size = 0;  // size in bytes
+};
+
+class Image {
+ public:
+  const std::string& module_name() const { return module_name_; }
+  void set_module_name(std::string name) { module_name_ = std::move(name); }
+
+  const std::vector<uint8_t>& text() const { return text_; }
+  std::vector<uint8_t>& mutable_text() { return text_; }
+  size_t instruction_count() const { return text_.size() / kInstrSize; }
+
+  const std::vector<ImageSymbol>& symbols() const { return symbols_; }
+  void AddSymbol(ImageSymbol sym) { symbols_.push_back(std::move(sym)); }
+
+  const std::vector<std::string>& imports() const { return imports_; }
+  // Returns the index of `name` in the import table, adding it if new.
+  int InternImport(const std::string& name);
+  // Returns the import index or -1 when the module does not import `name`.
+  int ImportIndex(const std::string& name) const;
+
+  // Symbol lookup by name; nullptr when absent.
+  const ImageSymbol* FindSymbol(const std::string& name) const;
+  // The defined function containing byte offset `addr`; nullptr when none.
+  const ImageSymbol* SymbolContaining(uint32_t addr) const;
+
+  // Decodes the instruction at `offset`; false on failure.
+  bool Decode(size_t offset, Instruction* out) const {
+    return DecodeInstruction(text_, offset, out);
+  }
+
+  // Full-module disassembly listing (for logs and debugging).
+  std::string Disassemble() const;
+
+  // Container (de)serialization.
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<Image> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  std::string module_name_;
+  std::vector<uint8_t> text_;
+  std::vector<ImageSymbol> symbols_;
+  std::vector<std::string> imports_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_IMAGE_IMAGE_H_

@@ -1,0 +1,198 @@
+#include "image/vm.h"
+
+#include "util/string_util.h"
+
+namespace lfi {
+
+VmResult Vm::Run(const std::string& function, size_t max_instructions) {
+  VmResult result;
+  const ImageSymbol* sym = image_->FindSymbol(function);
+  if (sym == nullptr) {
+    result.trap = "unknown function " + function;
+    return result;
+  }
+
+  int64_t regs[kNumRegisters] = {};
+  for (const auto& [reg, value] : init_regs_) {
+    if (reg >= 0 && reg < kNumRegisters) {
+      regs[reg] = value;
+    }
+  }
+  // The stack pointer starts in the middle of a scratch memory arena; the
+  // errno base points at a distinguished cell.
+  std::map<int64_t, int64_t> memory;
+  constexpr int64_t kStackBase = 0x10000;
+  constexpr int64_t kErrnoCell = 0x20000;
+  regs[kSpReg] = kStackBase;
+  regs[kErrnoReg] = kErrnoCell;
+
+  std::vector<size_t> call_stack;
+  std::vector<int64_t> data_stack;
+  size_t pc = sym->addr;
+  bool zf = false;
+  bool sf = false;
+
+  while (result.instructions < max_instructions) {
+    Instruction instr;
+    if (!image_->Decode(pc, &instr)) {
+      result.trap = StrFormat("bad instruction at 0x%zx", pc);
+      return result;
+    }
+    ++result.instructions;
+    size_t next = pc + kInstrSize;
+    switch (instr.op) {
+      case Op::kNop:
+        break;
+      case Op::kHalt:
+        result.ok = true;
+        result.retval = regs[kRetReg];
+        return result;
+      case Op::kMovRR:
+        regs[instr.rd] = regs[instr.rs];
+        break;
+      case Op::kMovRI:
+        regs[instr.rd] = instr.imm;
+        break;
+      case Op::kLoad:
+        regs[instr.rd] = memory[regs[instr.rs] + instr.imm];
+        break;
+      case Op::kStore: {
+        int64_t addr = regs[instr.rd] + instr.imm;
+        memory[addr] = regs[instr.rs];
+        if (regs[instr.rd] == kErrnoCell) {
+          result.errno_value = static_cast<int>(regs[instr.rs]);
+        }
+        break;
+      }
+      case Op::kAdd:
+        regs[instr.rd] += regs[instr.rs];
+        break;
+      case Op::kSub:
+        regs[instr.rd] -= regs[instr.rs];
+        break;
+      case Op::kMul:
+        regs[instr.rd] *= regs[instr.rs];
+        break;
+      case Op::kAnd:
+        regs[instr.rd] &= regs[instr.rs];
+        break;
+      case Op::kOr:
+        regs[instr.rd] |= regs[instr.rs];
+        break;
+      case Op::kXor:
+        regs[instr.rd] ^= regs[instr.rs];
+        break;
+      case Op::kAddI:
+        regs[instr.rd] += instr.imm;
+        break;
+      case Op::kCmpRR: {
+        int64_t diff = regs[instr.rd] - regs[instr.rs];
+        zf = diff == 0;
+        sf = diff < 0;
+        break;
+      }
+      case Op::kCmpRI: {
+        int64_t diff = regs[instr.rd] - instr.imm;
+        zf = diff == 0;
+        sf = diff < 0;
+        break;
+      }
+      case Op::kTest: {
+        int64_t v = regs[instr.rd] & regs[instr.rs];
+        zf = v == 0;
+        sf = v < 0;
+        break;
+      }
+      case Op::kJmp:
+        next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        break;
+      case Op::kJe:
+        if (zf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kJne:
+        if (!zf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kJl:
+        if (sf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kJle:
+        if (sf || zf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kJg:
+        if (!sf && !zf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kJge:
+        if (!sf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kJs:
+        if (sf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kJns:
+        if (!sf) {
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kCall:
+        if (instr.flags == kCallImport) {
+          std::string name;
+          if (instr.imm >= 0 && static_cast<size_t>(instr.imm) < image_->imports().size()) {
+            name = image_->imports()[static_cast<size_t>(instr.imm)];
+          }
+          regs[kRetReg] = import_handler_ ? import_handler_(name) : 0;
+          // Caller-saved registers are clobbered deterministically.
+          for (int r = 1; r <= 5; ++r) {
+            regs[r] = 0;
+          }
+        } else {
+          call_stack.push_back(next);
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+        }
+        break;
+      case Op::kCallR:
+        result.trap = "indirect call in VM";
+        return result;
+      case Op::kRet:
+        if (call_stack.empty()) {
+          result.ok = true;
+          result.retval = regs[kRetReg];
+          return result;
+        }
+        next = call_stack.back();
+        call_stack.pop_back();
+        break;
+      case Op::kPush:
+        data_stack.push_back(regs[instr.rd]);
+        break;
+      case Op::kPop:
+        if (data_stack.empty()) {
+          result.trap = "pop from empty stack";
+          return result;
+        }
+        regs[instr.rd] = data_stack.back();
+        data_stack.pop_back();
+        break;
+      case Op::kOpCount:
+        result.trap = "bad opcode";
+        return result;
+    }
+    pc = next;
+  }
+  result.trap = "out of fuel";
+  return result;
+}
+
+}  // namespace lfi

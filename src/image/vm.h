@@ -1,0 +1,54 @@
+// A small interpreter for the virtual ISA.
+//
+// The analyses in this repository are purely static, like the paper's; the
+// VM exists to *validate* them: executing a library stub under every
+// environment selector must produce exactly the (retval, errno) modes the
+// profiler inferred, and executing an application function must exercise the
+// branches the call-site analyzer reasoned about. Tests use it as a ground-
+// truth oracle.
+
+#ifndef LFI_IMAGE_VM_H_
+#define LFI_IMAGE_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "image/image.h"
+
+namespace lfi {
+
+struct VmResult {
+  bool ok = false;            // false: trap (bad decode, stack underflow, fuel)
+  int64_t retval = 0;         // r0 at the final ret
+  std::optional<int> errno_value;  // last store through the errno base, if any
+  size_t instructions = 0;    // executed count
+  std::string trap;           // reason when !ok
+};
+
+class Vm {
+ public:
+  explicit Vm(const Image* image) : image_(image) {}
+
+  // Pre-sets a register (e.g. r9, the stub environment selector).
+  void SetRegister(int reg, int64_t value) { init_regs_[reg] = value; }
+
+  // Handles calls to imported functions; returns the callee's r0. Default:
+  // every import returns 0.
+  using ImportHandler = std::function<int64_t(const std::string& name)>;
+  void set_import_handler(ImportHandler handler) { import_handler_ = std::move(handler); }
+
+  // Runs `function` until ret (with an empty call stack) or trap.
+  VmResult Run(const std::string& function, size_t max_instructions = 100000);
+
+ private:
+  const Image* image_;
+  std::map<int, int64_t> init_regs_;
+  ImportHandler import_handler_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_IMAGE_VM_H_

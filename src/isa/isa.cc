@@ -1,0 +1,158 @@
+#include "isa/isa.h"
+
+#include "util/string_util.h"
+
+namespace lfi {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kNop:
+      return "nop";
+    case Op::kHalt:
+      return "halt";
+    case Op::kMovRR:
+      return "mov";
+    case Op::kMovRI:
+      return "movi";
+    case Op::kLoad:
+      return "load";
+    case Op::kStore:
+      return "store";
+    case Op::kAdd:
+      return "add";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kAnd:
+      return "and";
+    case Op::kOr:
+      return "or";
+    case Op::kXor:
+      return "xor";
+    case Op::kAddI:
+      return "addi";
+    case Op::kCmpRR:
+      return "cmp";
+    case Op::kCmpRI:
+      return "cmpi";
+    case Op::kTest:
+      return "test";
+    case Op::kJmp:
+      return "jmp";
+    case Op::kJe:
+      return "je";
+    case Op::kJne:
+      return "jne";
+    case Op::kJl:
+      return "jl";
+    case Op::kJle:
+      return "jle";
+    case Op::kJg:
+      return "jg";
+    case Op::kJge:
+      return "jge";
+    case Op::kJs:
+      return "js";
+    case Op::kJns:
+      return "jns";
+    case Op::kCall:
+      return "call";
+    case Op::kCallR:
+      return "callr";
+    case Op::kRet:
+      return "ret";
+    case Op::kPush:
+      return "push";
+    case Op::kPop:
+      return "pop";
+    case Op::kOpCount:
+      break;
+  }
+  return "?";
+}
+
+void EncodeInstruction(const Instruction& instr, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(instr.op));
+  out->push_back(instr.rd);
+  out->push_back(instr.rs);
+  out->push_back(instr.flags);
+  uint32_t imm = static_cast<uint32_t>(instr.imm);
+  out->push_back(static_cast<uint8_t>(imm));
+  out->push_back(static_cast<uint8_t>(imm >> 8));
+  out->push_back(static_cast<uint8_t>(imm >> 16));
+  out->push_back(static_cast<uint8_t>(imm >> 24));
+}
+
+bool DecodeInstruction(const std::vector<uint8_t>& text, size_t offset, Instruction* out) {
+  if (offset % kInstrSize != 0 || offset + kInstrSize > text.size()) {
+    return false;
+  }
+  uint8_t op = text[offset];
+  if (op >= static_cast<uint8_t>(Op::kOpCount)) {
+    return false;
+  }
+  out->op = static_cast<Op>(op);
+  out->rd = text[offset + 1];
+  out->rs = text[offset + 2];
+  out->flags = text[offset + 3];
+  uint32_t imm = static_cast<uint32_t>(text[offset + 4]) |
+                 (static_cast<uint32_t>(text[offset + 5]) << 8) |
+                 (static_cast<uint32_t>(text[offset + 6]) << 16) |
+                 (static_cast<uint32_t>(text[offset + 7]) << 24);
+  out->imm = static_cast<int32_t>(imm);
+  if (out->rd >= kNumRegisters || out->rs >= kNumRegisters) {
+    return false;
+  }
+  return true;
+}
+
+std::string FormatInstruction(const Instruction& i) {
+  switch (i.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kRet:
+      return OpName(i.op);
+    case Op::kMovRR:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kCmpRR:
+    case Op::kTest:
+      return StrFormat("%s r%d, r%d", OpName(i.op), i.rd, i.rs);
+    case Op::kMovRI:
+    case Op::kAddI:
+    case Op::kCmpRI:
+      return StrFormat("%s r%d, %d", OpName(i.op), i.rd, i.imm);
+    case Op::kLoad:
+      return StrFormat("load r%d, [r%d%+d]", i.rd, i.rs, i.imm);
+    case Op::kStore:
+      return StrFormat("store [r%d%+d], r%d", i.rd, i.imm, i.rs);
+    case Op::kJmp:
+    case Op::kJe:
+    case Op::kJne:
+    case Op::kJl:
+    case Op::kJle:
+    case Op::kJg:
+    case Op::kJge:
+    case Op::kJs:
+    case Op::kJns:
+      return StrFormat("%s 0x%x", OpName(i.op), static_cast<uint32_t>(i.imm));
+    case Op::kCall:
+      return i.flags == kCallImport ? StrFormat("call @import:%d", i.imm)
+                                    : StrFormat("call 0x%x", static_cast<uint32_t>(i.imm));
+    case Op::kCallR:
+      return StrFormat("callr r%d", i.rs);
+    case Op::kPush:
+    case Op::kPop:
+      return StrFormat("%s r%d", OpName(i.op), i.rd);
+    case Op::kOpCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace lfi

@@ -1,0 +1,109 @@
+// A compact virtual instruction set.
+//
+// The paper's profiler and call-site analyzer run directly on x86 binaries
+// (§5, §6). This repository substitutes a small fixed-width ISA so the same
+// binary-level analyses -- call-site discovery, partial CFG construction,
+// return-value dataflow -- are implemented for real, deterministically, and
+// without depending on a host disassembler. The ISA is deliberately x86-shaped
+// where it matters to the analyses: a return-value register (r0), a stack
+// pointer (r13), flag-setting compares consumed by conditional jumps, direct
+// and indirect calls, and loads/stores for register spills.
+//
+// Encoding: every instruction is exactly 8 bytes:
+//   byte 0: opcode
+//   byte 1: rd (destination / first operand register)
+//   byte 2: rs (source / second operand register)
+//   byte 3: flags (kCall: 1 = import target; otherwise 0)
+//   bytes 4..7: imm, signed 32-bit little-endian
+// Branch targets are absolute byte offsets within the module's text section.
+// Direct call targets are either text offsets (flags=0) or import-table
+// indices (flags=1); the import table plays the role of the PLT.
+
+#ifndef LFI_ISA_ISA_H_
+#define LFI_ISA_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfi {
+
+enum class Op : uint8_t {
+  kNop = 0,
+  kHalt,
+  kMovRR,   // rd = rs
+  kMovRI,   // rd = imm
+  kLoad,    // rd = mem[rs + imm]
+  kStore,   // mem[rd + imm] = rs
+  kAdd,     // rd += rs
+  kSub,     // rd -= rs
+  kMul,     // rd *= rs
+  kAnd,     // rd &= rs
+  kOr,      // rd |= rs
+  kXor,     // rd ^= rs
+  kAddI,    // rd += imm
+  kCmpRR,   // flags := compare(rd, rs)
+  kCmpRI,   // flags := compare(rd, imm)
+  kTest,    // flags := rd & rs (sets zero/sign)
+  kJmp,     // pc = imm
+  kJe,      // jump if equal
+  kJne,     // jump if not equal
+  kJl,      // jump if less (signed)
+  kJle,     // jump if less-or-equal
+  kJg,      // jump if greater
+  kJge,     // jump if greater-or-equal
+  kJs,      // jump if sign (negative)
+  kJns,     // jump if not sign
+  kCall,    // direct call (local text offset or import index, see flags)
+  kCallR,   // indirect call through rs
+  kRet,
+  kPush,    // push rd
+  kPop,     // pop rd
+  kOpCount,
+};
+
+inline constexpr size_t kInstrSize = 8;
+inline constexpr int kNumRegisters = 16;
+// Calling convention registers (mirrors the x86-64 SysV roles the analyses
+// care about).
+inline constexpr uint8_t kRetReg = 0;   // return value (rax analogue)
+inline constexpr uint8_t kSpReg = 13;   // stack pointer
+inline constexpr uint8_t kErrnoReg = 14;  // TLS errno base (see profiler)
+
+// kCall flags values.
+inline constexpr uint8_t kCallLocal = 0;
+inline constexpr uint8_t kCallImport = 1;
+
+struct Instruction {
+  Op op = Op::kNop;
+  uint8_t rd = 0;
+  uint8_t rs = 0;
+  uint8_t flags = 0;
+  int32_t imm = 0;
+
+  bool IsConditionalJump() const {
+    return op >= Op::kJe && op <= Op::kJns;
+  }
+  bool IsJump() const { return op == Op::kJmp || IsConditionalJump(); }
+  bool IsCall() const { return op == Op::kCall || op == Op::kCallR; }
+  // True when control cannot fall through to the next instruction.
+  bool IsTerminator() const { return op == Op::kJmp || op == Op::kRet || op == Op::kHalt; }
+};
+
+// Returns the lowercase mnemonic ("movi", "je", ...).
+const char* OpName(Op op);
+
+// Encodes one instruction into exactly kInstrSize bytes appended to *out.
+void EncodeInstruction(const Instruction& instr, std::vector<uint8_t>* out);
+
+// Decodes the instruction at byte offset `offset`. Returns false when the
+// offset is out of range, misaligned, or the opcode byte is invalid.
+bool DecodeInstruction(const std::vector<uint8_t>& text, size_t offset, Instruction* out);
+
+// Human-readable rendering, e.g. "cmpi r0, -1". Import names, when known, are
+// resolved by the caller (see Disassembler in image/).
+std::string FormatInstruction(const Instruction& instr);
+
+}  // namespace lfi
+
+#endif  // LFI_ISA_ISA_H_

@@ -1,0 +1,110 @@
+#include "profiler/fault_profile.h"
+
+#include <algorithm>
+
+#include "util/errno_codes.h"
+#include "util/string_util.h"
+#include "xml/xml.h"
+
+namespace lfi {
+
+std::set<int64_t> FunctionProfile::ErrorCodes() const {
+  std::set<int64_t> codes;
+  for (const ErrorSpec& e : errors) {
+    codes.insert(e.retval);
+  }
+  return codes;
+}
+
+const FunctionProfile* FaultProfile::Find(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::string FaultProfile::ToXml() const {
+  XmlDocument doc("profile");
+  doc.root()->SetAttr("library", library_);
+  for (const auto& [name, fn] : functions_) {
+    XmlNode* fn_node = doc.root()->AddChild("function");
+    fn_node->SetAttr("name", name);
+    for (const ErrorSpec& e : fn.errors) {
+      XmlNode* err = fn_node->AddChild("error");
+      err->SetAttr("retval", StrFormat("%lld", static_cast<long long>(e.retval)));
+      if (!e.errnos.empty()) {
+        std::vector<std::string> names;
+        names.reserve(e.errnos.size());
+        for (int v : e.errnos) {
+          names.push_back(ErrnoName(v));
+        }
+        err->SetAttr("errno", Join(names, ","));
+      }
+    }
+    for (int64_t v : fn.success_constants) {
+      XmlNode* ok = fn_node->AddChild("success");
+      ok->SetAttr("retval", StrFormat("%lld", static_cast<long long>(v)));
+    }
+    if (fn.has_computed_success) {
+      fn_node->AddChild("success")->SetAttr("retval", "computed");
+    }
+  }
+  return doc.ToString();
+}
+
+std::optional<FaultProfile> FaultProfile::FromXml(const std::string& xml, std::string* error) {
+  XmlError xml_error;
+  auto doc = XmlParse(xml, &xml_error);
+  if (!doc || doc->root() == nullptr || doc->root()->name() != "profile") {
+    if (error != nullptr) {
+      *error = xml_error.message.empty() ? "not a <profile> document" : xml_error.message;
+    }
+    return std::nullopt;
+  }
+  FaultProfile profile(doc->root()->AttrOr("library", ""));
+  for (const XmlNode* fn_node : doc->root()->Children("function")) {
+    FunctionProfile fn;
+    fn.name = fn_node->AttrOr("name", "");
+    if (fn.name.empty()) {
+      if (error != nullptr) {
+        *error = "<function> missing name";
+      }
+      return std::nullopt;
+    }
+    for (const XmlNode* err : fn_node->Children("error")) {
+      ErrorSpec spec;
+      auto retval = ParseInt(err->AttrOr("retval", ""));
+      if (!retval) {
+        if (error != nullptr) {
+          *error = "bad <error retval> in " + fn.name;
+        }
+        return std::nullopt;
+      }
+      spec.retval = *retval;
+      std::string errnos = err->AttrOr("errno", "");
+      if (!errnos.empty()) {
+        for (const std::string& name : Split(errnos, ',')) {
+          auto v = ErrnoFromName(std::string(Trim(name)));
+          if (!v) {
+            if (error != nullptr) {
+              *error = "unknown errno '" + name + "' in " + fn.name;
+            }
+            return std::nullopt;
+          }
+          spec.errnos.push_back(*v);
+        }
+      }
+      fn.errors.push_back(std::move(spec));
+    }
+    for (const XmlNode* ok : fn_node->Children("success")) {
+      std::string retval = ok->AttrOr("retval", "");
+      if (retval == "computed") {
+        fn.has_computed_success = true;
+      } else if (auto v = ParseInt(retval)) {
+        fn.success_constants.push_back(*v);
+      }
+    }
+    profile.AddFunction(std::move(fn));
+  }
+  return profile;
+}
+
+}  // namespace lfi

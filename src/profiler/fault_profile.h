@@ -1,0 +1,68 @@
+// Library fault profiles (§2).
+//
+// A fault profile records, for every function a library exports, the error
+// return values the function can produce and the errno side effects that can
+// accompany each of them -- e.g. read() can return -1 with errno in {EAGAIN,
+// EBADF, EINTR, EIO}, or 0. Profiles are produced automatically by the
+// LibraryProfiler from the library binary and are stored as XML, as in the
+// paper. The call-site analyzer consumes the profile's error-code set E, and
+// injection scenarios draw (retval, errno) pairs from it.
+
+#ifndef LFI_PROFILER_FAULT_PROFILE_H_
+#define LFI_PROFILER_FAULT_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lfi {
+
+// One error mode: a return value and the errnos that may accompany it.
+struct ErrorSpec {
+  int64_t retval = 0;
+  std::vector<int> errnos;  // possibly empty (e.g. read() returning 0)
+
+  bool operator==(const ErrorSpec& o) const = default;
+};
+
+struct FunctionProfile {
+  std::string name;
+  std::vector<ErrorSpec> errors;
+  // Constant non-error return values seen in the binary (e.g. 0 for success
+  // in int-returning functions that cannot fail any other way).
+  std::vector<int64_t> success_constants;
+  // True when some path returns a computed (non-constant) value, e.g. a byte
+  // count or a heap pointer.
+  bool has_computed_success = false;
+
+  // E: the set of error return codes, for Algorithm 1.
+  std::set<int64_t> ErrorCodes() const;
+};
+
+class FaultProfile {
+ public:
+  FaultProfile() = default;
+  explicit FaultProfile(std::string library) : library_(std::move(library)) {}
+
+  const std::string& library() const { return library_; }
+  void set_library(std::string library) { library_ = std::move(library); }
+
+  void AddFunction(FunctionProfile fn) { functions_[fn.name] = std::move(fn); }
+  const FunctionProfile* Find(const std::string& name) const;
+  const std::map<std::string, FunctionProfile>& functions() const { return functions_; }
+
+  // Serializes to the XML profile format; parses it back.
+  std::string ToXml() const;
+  static std::optional<FaultProfile> FromXml(const std::string& xml, std::string* error = nullptr);
+
+ private:
+  std::string library_;
+  std::map<std::string, FunctionProfile> functions_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_PROFILER_FAULT_PROFILE_H_

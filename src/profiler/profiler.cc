@@ -1,0 +1,184 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "analysis/dataflow.h"
+
+namespace lfi {
+namespace {
+
+struct PathState {
+  size_t offset;
+  std::vector<std::optional<int64_t>> consts;  // per register
+  std::set<int> errnos;
+  std::set<size_t> visited;  // offsets on this path (loop cut)
+  size_t length = 0;
+};
+
+struct PathOutcome {
+  std::optional<int64_t> retval;
+  std::set<int> errnos;
+};
+
+}  // namespace
+
+FunctionProfile LibraryProfiler::ProfileFunction(const Image& library,
+                                                 const std::string& name) const {
+  FunctionProfile fn;
+  fn.name = name;
+  const ImageSymbol* sym = library.FindSymbol(name);
+  if (sym == nullptr) {
+    return fn;
+  }
+
+  std::vector<PathOutcome> outcomes;
+  std::vector<PathState> stack;
+  PathState init;
+  init.offset = sym->addr;
+  init.consts.assign(kNumRegisters, std::nullopt);
+  stack.push_back(std::move(init));
+  size_t paths = 0;
+
+  while (!stack.empty() && paths < options_.max_paths_per_function) {
+    PathState st = std::move(stack.back());
+    stack.pop_back();
+
+    while (true) {
+      if (st.length > options_.max_path_length || st.visited.count(st.offset) != 0 ||
+          st.offset >= sym->addr + sym->size) {
+        ++paths;  // abandoned path (loop or fell off the function)
+        break;
+      }
+      st.visited.insert(st.offset);
+      ++st.length;
+      Instruction instr;
+      if (!library.Decode(st.offset, &instr)) {
+        ++paths;
+        break;
+      }
+      size_t next = st.offset + kInstrSize;
+      bool done = false;
+      switch (instr.op) {
+        case Op::kMovRI:
+          st.consts[instr.rd] = instr.imm;
+          break;
+        case Op::kMovRR:
+          st.consts[instr.rd] = st.consts[instr.rs];
+          break;
+        case Op::kAddI:
+          if (st.consts[instr.rd]) {
+            st.consts[instr.rd] = *st.consts[instr.rd] + instr.imm;
+          }
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kAnd:
+        case Op::kOr:
+        case Op::kXor:
+        case Op::kLoad:
+        case Op::kPop:
+          st.consts[instr.rd] = std::nullopt;
+          break;
+        case Op::kStore:
+          if (instr.rd == kErrnoReg && st.consts[instr.rs]) {
+            st.errnos.insert(static_cast<int>(*st.consts[instr.rs]));
+          }
+          break;
+        case Op::kCall:
+        case Op::kCallR:
+          for (int r = 0; r < kNumRegisters; ++r) {
+            if (IsCallerSaved(r)) {
+              st.consts[static_cast<size_t>(r)] = std::nullopt;
+            }
+          }
+          break;
+        case Op::kJmp:
+          next = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+          break;
+        case Op::kJe:
+        case Op::kJne:
+        case Op::kJl:
+        case Op::kJle:
+        case Op::kJg:
+        case Op::kJge:
+        case Op::kJs:
+        case Op::kJns: {
+          // Fork: taken branch pushed, fall-through continues inline.
+          PathState taken = st;
+          taken.offset = static_cast<size_t>(static_cast<uint32_t>(instr.imm));
+          stack.push_back(std::move(taken));
+          break;
+        }
+        case Op::kRet:
+        case Op::kHalt: {
+          PathOutcome outcome;
+          outcome.retval = st.consts[kRetReg];
+          outcome.errnos = st.errnos;
+          outcomes.push_back(std::move(outcome));
+          ++paths;
+          done = true;
+          break;
+        }
+        default:
+          break;
+      }
+      if (done) {
+        break;
+      }
+      st.offset = next;
+    }
+  }
+
+  // Aggregate outcomes into the profile entry.
+  std::map<int64_t, std::set<int>> error_modes;
+  std::set<int64_t> successes;
+  for (const PathOutcome& o : outcomes) {
+    if (!o.retval) {
+      fn.has_computed_success = true;
+      continue;
+    }
+    bool is_error = *o.retval < 0 || !o.errnos.empty();
+    if (is_error) {
+      error_modes[*o.retval].insert(o.errnos.begin(), o.errnos.end());
+    } else {
+      successes.insert(*o.retval);
+    }
+  }
+  // pthread-style convention: a function that returns 0 on success and small
+  // positive constants on other paths (with no errno side effect) is
+  // returning error numbers directly, like pthread_mutex_lock returning
+  // EDEADLK. Reclassify those constants as error modes. This is a heuristic,
+  // like the rest of the profiler, but it is precise on the libraries here.
+  if (!fn.has_computed_success && successes.count(0) != 0) {
+    for (auto it = successes.begin(); it != successes.end();) {
+      if (*it > 0 && *it <= 255) {
+        error_modes[*it];  // error mode with no errno
+        it = successes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& [retval, errnos] : error_modes) {
+    ErrorSpec spec;
+    spec.retval = retval;
+    spec.errnos.assign(errnos.begin(), errnos.end());
+    fn.errors.push_back(std::move(spec));
+  }
+  fn.success_constants.assign(successes.begin(), successes.end());
+  return fn;
+}
+
+FaultProfile LibraryProfiler::Profile(const Image& library) const {
+  FaultProfile profile(library.module_name());
+  for (const ImageSymbol& sym : library.symbols()) {
+    profile.AddFunction(ProfileFunction(library, sym.name));
+  }
+  return profile;
+}
+
+}  // namespace lfi

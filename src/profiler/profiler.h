@@ -1,0 +1,47 @@
+// The library profiler (§2).
+//
+// Operates directly on a library binary. For each exported function it
+// enumerates execution paths (bounded DFS over the function body, with
+// light-weight constant propagation) and records:
+//   - the constant return values reachable at each ret, and
+//   - the errno side effects written on the way there (stores through the
+//     TLS errno base register, r14).
+// A constant return value is classified as an *error* when it is negative or
+// when errno was set on the path producing it -- this covers both the
+// -1/errno convention of int-returning calls and the NULL/errno convention of
+// pointer-returning calls (malloc, fopen, opendir). Everything else is a
+// success constant; paths returning computed values are recorded as computed
+// successes. The result is the library's fault profile.
+
+#ifndef LFI_PROFILER_PROFILER_H_
+#define LFI_PROFILER_PROFILER_H_
+
+#include "image/image.h"
+#include "profiler/fault_profile.h"
+
+namespace lfi {
+
+class LibraryProfiler {
+ public:
+  struct Options {
+    size_t max_paths_per_function = 4096;
+    size_t max_path_length = 2048;  // instructions
+  };
+
+  LibraryProfiler() = default;
+  explicit LibraryProfiler(Options options) : options_(options) {}
+
+  // Profiles every function the image defines.
+  FaultProfile Profile(const Image& library) const;
+
+  // Profiles a single function; returns an empty profile entry when the
+  // symbol is unknown.
+  FunctionProfile ProfileFunction(const Image& library, const std::string& name) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_PROFILER_PROFILER_H_

@@ -1,0 +1,82 @@
+#include "profiler/stub_gen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "image/assembler.h"
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+// One concrete path through the stub.
+struct Mode {
+  bool computed = false;           // return a non-constant value
+  int64_t retval = 0;              // when !computed
+  std::optional<int> errno_value;  // errno side effect, when any
+};
+
+void EmitMode(const Mode& mode, std::string* out) {
+  if (mode.computed) {
+    *out += "  mov r0, r8\n  ret\n";
+    return;
+  }
+  if (mode.errno_value) {
+    *out += StrFormat("  movi r1, %d\n  store [err+0], r1\n", *mode.errno_value);
+  }
+  *out += StrFormat("  movi r0, %lld\n  ret\n", static_cast<long long>(mode.retval));
+}
+
+}  // namespace
+
+std::string GenerateLibraryAsm(const FaultProfile& profile) {
+  std::string out = StrFormat("module %s\n\n", profile.library().c_str());
+  for (const auto& [name, fn] : profile.functions()) {
+    // Enumerate the concrete modes: one per (retval, errno) pair, one per
+    // success constant, one computed-success tail when applicable.
+    std::vector<Mode> modes;
+    for (const ErrorSpec& err : fn.errors) {
+      if (err.errnos.empty()) {
+        modes.push_back(Mode{false, err.retval, std::nullopt});
+      }
+      for (int errno_value : err.errnos) {
+        modes.push_back(Mode{false, err.retval, errno_value});
+      }
+    }
+    for (int64_t success : fn.success_constants) {
+      modes.push_back(Mode{false, success, std::nullopt});
+    }
+    if (fn.has_computed_success || modes.empty()) {
+      modes.push_back(Mode{true, 0, std::nullopt});
+    }
+
+    out += StrFormat("func %s\n", name.c_str());
+    // r9 stands in for the opaque environment condition selecting the mode at
+    // run time; every mode except the last is guarded, the last is the
+    // fall-through, so the profiler sees exactly the ground-truth mode set.
+    for (size_t i = 0; i + 1 < modes.size(); ++i) {
+      out += StrFormat("  cmpi r9, %zu\n  jne .case%zu\n", i, i + 1);
+      EmitMode(modes[i], &out);
+      out += StrFormat(".case%zu:\n", i + 1);
+    }
+    EmitMode(modes.back(), &out);
+    out += "end\n\n";
+  }
+  return out;
+}
+
+Image GenerateLibraryImage(const FaultProfile& profile) {
+  AsmError error;
+  auto image = Assemble(GenerateLibraryAsm(profile), &error);
+  if (!image) {
+    // Generator and assembler disagree: an internal bug, not an input error.
+    std::fprintf(stderr, "stub_gen: assembly failed at line %d: %s\n", error.line,
+                 error.message.c_str());
+    std::abort();
+  }
+  return std::move(*image);
+}
+
+}  // namespace lfi

@@ -1,0 +1,31 @@
+// Library stub ("binary distribution") generation.
+//
+// The virtual libraries in this repository have two representations: the C++
+// implementation the runtime dispatches to, and a SimELF binary that plays
+// the role of the on-disk shared object the paper's profiler analyzes. This
+// generator produces the binary from the library's ground-truth fault
+// profile: each (retval, errno) error mode becomes a distinct path through
+// the stub, selected by an opaque environment register, exactly the shape a
+// real library's error paths take. The LibraryProfiler recovers the profile
+// from the generated binary; tests assert the round trip is exact.
+
+#ifndef LFI_PROFILER_STUB_GEN_H_
+#define LFI_PROFILER_STUB_GEN_H_
+
+#include <string>
+
+#include "image/image.h"
+#include "profiler/fault_profile.h"
+
+namespace lfi {
+
+// Emits assembly text for the whole library described by `profile`.
+std::string GenerateLibraryAsm(const FaultProfile& profile);
+
+// Assembles the generated text. Aborts only on internal generator bugs, so
+// failures surface in tests rather than silently.
+Image GenerateLibraryImage(const FaultProfile& profile);
+
+}  // namespace lfi
+
+#endif  // LFI_PROFILER_STUB_GEN_H_

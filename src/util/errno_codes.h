@@ -1,0 +1,70 @@
+// Virtual-platform errno values.
+//
+// The virtual libc (src/vlib) communicates error side effects through a
+// thread-local errno, exactly like the real platform LFI targets. The values
+// mirror Linux numbering; names use a k-prefix because <cerrno> reserves the
+// bare identifiers as macros. Scenario files and fault profiles refer to
+// errnos by their conventional names ("EINTR"), so bidirectional name/value
+// mapping lives here too.
+
+#ifndef LFI_UTIL_ERRNO_CODES_H_
+#define LFI_UTIL_ERRNO_CODES_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lfi {
+
+inline constexpr int kEOK = 0;
+inline constexpr int kEPERM = 1;
+inline constexpr int kENOENT = 2;
+inline constexpr int kESRCH = 3;
+inline constexpr int kEINTR = 4;
+inline constexpr int kEIO = 5;
+inline constexpr int kENXIO = 6;
+inline constexpr int kEBADF = 9;
+inline constexpr int kEAGAIN = 11;
+inline constexpr int kENOMEM = 12;
+inline constexpr int kEACCES = 13;
+inline constexpr int kEFAULT = 14;
+inline constexpr int kEBUSY = 16;
+inline constexpr int kEEXIST = 17;
+inline constexpr int kEXDEV = 18;
+inline constexpr int kENODEV = 19;
+inline constexpr int kENOTDIR = 20;
+inline constexpr int kEISDIR = 21;
+inline constexpr int kEINVAL = 22;
+inline constexpr int kENFILE = 23;
+inline constexpr int kEMFILE = 24;
+inline constexpr int kENOTTY = 25;
+inline constexpr int kEFBIG = 27;
+inline constexpr int kENOSPC = 28;
+inline constexpr int kESPIPE = 29;
+inline constexpr int kEROFS = 30;
+inline constexpr int kEMLINK = 31;
+inline constexpr int kEPIPE = 32;
+inline constexpr int kEDOM = 33;
+inline constexpr int kERANGE = 34;
+inline constexpr int kEDEADLK = 35;
+inline constexpr int kENAMETOOLONG = 36;
+inline constexpr int kENOSYS = 38;
+inline constexpr int kENOTEMPTY = 39;
+inline constexpr int kELOOP = 40;
+inline constexpr int kEMSGSIZE = 90;
+inline constexpr int kECONNRESET = 104;
+inline constexpr int kENOBUFS = 105;
+inline constexpr int kENOTCONN = 107;
+inline constexpr int kETIMEDOUT = 110;
+inline constexpr int kECONNREFUSED = 111;
+inline constexpr int kEHOSTUNREACH = 113;
+
+// "EINTR" for kEINTR; "E<value>" for values without a name.
+std::string ErrnoName(int value);
+
+// Inverse of ErrnoName; also accepts a decimal value string.
+std::optional<int> ErrnoFromName(std::string_view name);
+
+}  // namespace lfi
+
+#endif  // LFI_UTIL_ERRNO_CODES_H_

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this repository that needs randomness (random triggers, packet
+// loss, workload generators) draws from an explicitly seeded Rng so that tests
+// and benchmark runs are reproducible bit for bit.
+
+#ifndef LFI_UTIL_RNG_H_
+#define LFI_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace lfi {
+
+// xorshift64* generator. Small, fast, and deterministic across platforms,
+// which is all the fault-injection campaign needs (no crypto use).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(Scramble(seed)) {}
+
+  // Returns a uniformly distributed 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  // Returns a value in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Returns a double uniformly distributed in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) / 9007199254740992.0; }
+
+  // Returns true with the given probability (clamped to [0, 1]).
+  bool Chance(double probability) {
+    if (probability <= 0.0) {
+      return false;
+    }
+    if (probability >= 1.0) {
+      return true;
+    }
+    return NextDouble() < probability;
+  }
+
+  // Returns a value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  // splitmix64 finalizer: decorrelates small sequential seeds (1, 2, 3, ...)
+  // so per-trial streams are independent.
+  static uint64_t Scramble(uint64_t seed) {
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z = z ^ (z >> 31);
+    return z ? z : 1;
+  }
+
+  uint64_t state_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_UTIL_RNG_H_

@@ -1,0 +1,45 @@
+// SHA-1 message digest (FIPS 180-1).
+//
+// The mini-Git application (src/apps/git) is a content-addressed object store,
+// exactly like the real Git it stands in for, so it needs a real SHA-1. This is
+// a from-scratch implementation with a streaming interface.
+
+#ifndef LFI_UTIL_SHA1_H_
+#define LFI_UTIL_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace lfi {
+
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+
+  Sha1();
+
+  // Absorbs more input. May be called any number of times before Finish().
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  // Completes the digest. The object must not be reused afterwards.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  // One-shot convenience: returns the 40-character lowercase hex digest.
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t total_bits_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_UTIL_SHA1_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared across the tool chain.
+
+#ifndef LFI_UTIL_STRING_UTIL_H_
+#define LFI_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfi {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Parses a signed integer in decimal, or hex when prefixed with 0x. Returns
+// nullopt on any malformed input (no partial parses).
+std::optional<int64_t> ParseInt(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins the items with `sep` between them.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+// Lowercases ASCII characters.
+std::string AsciiLower(std::string_view s);
+
+}  // namespace lfi
+
+#endif  // LFI_UTIL_STRING_UTIL_H_

@@ -1,0 +1,88 @@
+// The virtual call stack.
+//
+// LFI's call-stack trigger matches injections against the frames active when
+// a library call is intercepted (module name + offset, the same identifiers
+// the call-site analyzer emits). Applications maintain this stack through
+// ScopedFrame guards: each application function pushes a frame on entry, and
+// each library call site updates the frame's offset to the call instruction's
+// address in the application binary -- the analogue of the return address a
+// real backtrace() would show.
+
+#ifndef LFI_VLIB_CALL_STACK_H_
+#define LFI_VLIB_CALL_STACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfi {
+
+struct StackFrame {
+  std::string module;    // e.g. "mini-git"
+  std::string function;  // symbol, e.g. "read_ref"
+  uint32_t offset = 0;   // current call-site offset within the module binary
+};
+
+class CallStack {
+ public:
+  void Push(StackFrame frame) { frames_.push_back(std::move(frame)); }
+  void Pop() {
+    if (!frames_.empty()) {
+      frames_.pop_back();
+    }
+  }
+  bool empty() const { return frames_.empty(); }
+  size_t depth() const { return frames_.size(); }
+  const std::vector<StackFrame>& frames() const { return frames_; }
+  StackFrame* top() { return frames_.empty() ? nullptr : &frames_.back(); }
+  const StackFrame* top() const { return frames_.empty() ? nullptr : &frames_.back(); }
+
+  // True when any active frame belongs to `module`.
+  bool HasModule(const std::string& module) const {
+    for (const auto& f : frames_) {
+      if (f.module == module) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // True when any active frame is `function` (optionally also matching module).
+  bool HasFunction(const std::string& function) const {
+    for (const auto& f : frames_) {
+      if (f.function == function) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<StackFrame> frames_;
+};
+
+// RAII frame guard. `set_offset` marks the current call site before each
+// library call, mirroring how a return address pinpoints the call site.
+class ScopedFrame {
+ public:
+  ScopedFrame(CallStack* stack, std::string module, std::string function)
+      : stack_(stack) {
+    stack_->Push(StackFrame{std::move(module), std::move(function), 0});
+  }
+  ~ScopedFrame() { stack_->Pop(); }
+  ScopedFrame(const ScopedFrame&) = delete;
+  ScopedFrame& operator=(const ScopedFrame&) = delete;
+
+  void set_offset(uint32_t offset) {
+    if (StackFrame* top = stack_->top()) {
+      top->offset = offset;
+    }
+  }
+
+ private:
+  CallStack* stack_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_VLIB_CALL_STACK_H_

@@ -1,0 +1,48 @@
+// The interposition boundary between applications and virtual libraries.
+//
+// Every call an application makes into a virtual library (libc, libxml,
+// libapr) is funneled through an Interposer before the real implementation
+// runs -- the same place the paper's generated shim libraries occupy via
+// LD_PRELOAD. The LFI runtime implements this interface; when no interposer
+// is installed, calls pass straight through.
+//
+// All arguments cross the boundary as machine words (the paper's stubs assume
+// word-sized arguments because no prototypes are available); pointer
+// arguments carry the raw pointer value, and triggers that know a function's
+// signature may cast them back, exactly like the va_arg-based triggers in §3.
+
+#ifndef LFI_VLIB_INTERPOSER_H_
+#define LFI_VLIB_INTERPOSER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lfi {
+
+using Word = uint64_t;
+using ArgVec = std::vector<Word>;
+
+class VirtualLibc;
+
+// Outcome of consulting the interposer for one intercepted call.
+struct InjectionDecision {
+  bool inject = false;
+  int64_t retval = 0;
+  int errno_value = 0;  // 0 = do not touch errno
+};
+
+class Interposer {
+ public:
+  virtual ~Interposer() = default;
+
+  // Called for every intercepted library call, before the implementation.
+  // `libc` is the calling context (call stack, errno, helper calls for
+  // triggers that inspect system state, e.g. fstat on an fd).
+  virtual InjectionDecision OnCall(VirtualLibc* libc, std::string_view function,
+                                   const ArgVec& args) = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_VLIB_INTERPOSER_H_

@@ -1,0 +1,81 @@
+#include "vlib/library_profiles.h"
+
+#include "util/errno_codes.h"
+
+namespace lfi {
+namespace {
+
+FunctionProfile Fn(std::string name, std::vector<ErrorSpec> errors,
+                   std::vector<int64_t> successes, bool computed) {
+  FunctionProfile fn;
+  fn.name = std::move(name);
+  fn.errors = std::move(errors);
+  fn.success_constants = std::move(successes);
+  fn.has_computed_success = computed;
+  return fn;
+}
+
+}  // namespace
+
+FaultProfile LibcProfile() {
+  FaultProfile p("libc");
+  // fd I/O. retval/errno sets mirror the POSIX behaviour of the virtual
+  // implementations in virtual_libc.cc.
+  p.AddFunction(Fn("open", {{-1, {kENOENT, kEACCES, kEISDIR, kEMFILE, kEINTR}}}, {}, true));
+  p.AddFunction(Fn("close", {{-1, {kEBADF, kEIO, kEINTR}}}, {0}, false));
+  p.AddFunction(Fn("read", {{-1, {kEAGAIN, kEBADF, kEINTR, kEIO}}}, {0}, true));
+  p.AddFunction(Fn("write", {{-1, {kEAGAIN, kEBADF, kEINTR, kEIO, kENOSPC, kEPIPE}}}, {}, true));
+  p.AddFunction(Fn("lseek", {{-1, {kEBADF, kEINVAL, kESPIPE}}}, {}, true));
+  p.AddFunction(Fn("fstat", {{-1, {kEBADF, kEIO}}}, {0}, false));
+  p.AddFunction(Fn("stat", {{-1, {kENOENT, kEACCES, kENAMETOOLONG}}}, {0}, false));
+  p.AddFunction(Fn("fcntl", {{-1, {kEBADF, kEINVAL, kEDEADLK, kEAGAIN}}}, {0}, true));
+  p.AddFunction(Fn("unlink", {{-1, {kENOENT, kEACCES, kEBUSY, kEIO}}}, {0}, false));
+  p.AddFunction(Fn("readlink", {{-1, {kENOENT, kEINVAL, kEACCES}}}, {}, true));
+  p.AddFunction(Fn("rename", {{-1, {kENOENT, kEACCES, kEXDEV, kENOSPC}}}, {0}, false));
+  p.AddFunction(Fn("mkdir", {{-1, {kEEXIST, kENOENT, kEACCES, kENOSPC}}}, {0}, false));
+  p.AddFunction(Fn("rmdir", {{-1, {kENOENT, kENOTEMPTY, kEBUSY}}}, {0}, false));
+  p.AddFunction(Fn("pipe", {{-1, {kEMFILE, kENFILE}}}, {0}, false));
+  // Streams: fopen/opendir return NULL (0) with errno; fread/fwrite report
+  // short counts (0) with the stream error flag.
+  p.AddFunction(Fn("fopen", {{0, {kENOENT, kEACCES, kEMFILE, kEINTR, kENOMEM}}}, {}, true));
+  p.AddFunction(Fn("fclose", {{-1, {kEBADF, kEIO}}}, {0}, false));
+  p.AddFunction(Fn("fread", {{0, {kEIO, kEINTR}}}, {}, true));
+  p.AddFunction(Fn("fwrite", {{0, {kEIO, kENOSPC, kEINTR}}}, {}, true));
+  p.AddFunction(Fn("fflush", {{-1, {kEBADF, kEIO, kENOSPC}}}, {0}, false));
+  p.AddFunction(Fn("opendir", {{0, {kENOENT, kENOTDIR, kEACCES, kEMFILE, kENOMEM}}}, {}, true));
+  p.AddFunction(Fn("readdir", {{0, {kEBADF}}}, {}, true));
+  p.AddFunction(Fn("closedir", {{-1, {kEBADF}}}, {0}, false));
+  // Heap: NULL with ENOMEM.
+  p.AddFunction(Fn("malloc", {{0, {kENOMEM}}}, {}, true));
+  p.AddFunction(Fn("calloc", {{0, {kENOMEM}}}, {}, true));
+  p.AddFunction(Fn("realloc", {{0, {kENOMEM}}}, {}, true));
+  // Environment.
+  p.AddFunction(Fn("setenv", {{-1, {kEINVAL, kENOMEM}}}, {0}, false));
+  p.AddFunction(Fn("unsetenv", {{-1, {kEINVAL}}}, {0}, false));
+  // Mutexes: non-zero errno-style return codes.
+  p.AddFunction(Fn("pthread_mutex_lock", {{kEDEADLK, {}}, {kEINVAL, {}}}, {0}, false));
+  p.AddFunction(Fn("pthread_mutex_unlock", {{kEPERM, {}}, {kEINVAL, {}}}, {0}, false));
+  // Sockets.
+  p.AddFunction(Fn("socket", {{-1, {kEMFILE, kENFILE, kENOBUFS, kENOMEM}}}, {}, true));
+  p.AddFunction(Fn("bind", {{-1, {kEACCES, kEEXIST, kEINVAL}}}, {0}, false));
+  p.AddFunction(
+      Fn("sendto", {{-1, {kEAGAIN, kEBADF, kECONNRESET, kEINTR, kEMSGSIZE, kENOBUFS}}}, {}, true));
+  p.AddFunction(Fn("recvfrom", {{-1, {kEAGAIN, kEBADF, kECONNRESET, kEINTR, kENOMEM}}}, {}, true));
+  return p;
+}
+
+FaultProfile LibxmlProfile() {
+  FaultProfile p("libxml2");
+  p.AddFunction(Fn("xmlNewTextWriterDoc", {{0, {kENOMEM}}}, {}, true));
+  p.AddFunction(Fn("xmlTextWriterWriteElement", {{-1, {kENOMEM}}}, {0}, false));
+  return p;
+}
+
+FaultProfile LibaprProfile() {
+  FaultProfile p("libapr");
+  p.AddFunction(Fn("apr_file_read", {{-1, {kEAGAIN, kEBADF, kEINTR, kEIO}}}, {0}, true));
+  p.AddFunction(Fn("apr_stat", {{-1, {kEBADF, kENOENT}}}, {0}, false));
+  return p;
+}
+
+}  // namespace lfi

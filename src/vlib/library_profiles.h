@@ -1,0 +1,29 @@
+// Ground-truth fault profiles for the virtual libraries.
+//
+// These describe the error behaviour of the virtual libc / libxml / libapr
+// implementations: which error return values each function produces and the
+// errnos that accompany them. They serve three purposes:
+//   1. stub_gen turns them into the library "binaries" the profiler analyzes
+//      (tests assert the profiler recovers these profiles exactly);
+//   2. the call-site analyzer consumes their error-code sets E;
+//   3. injection scenarios draw (retval, errno) pairs from them.
+
+#ifndef LFI_VLIB_LIBRARY_PROFILES_H_
+#define LFI_VLIB_LIBRARY_PROFILES_H_
+
+#include "profiler/fault_profile.h"
+
+namespace lfi {
+
+// The virtual libc's profile ("libc").
+FaultProfile LibcProfile();
+
+// The virtual libxml's profile ("libxml2").
+FaultProfile LibxmlProfile();
+
+// The virtual apr's profile ("libapr").
+FaultProfile LibaprProfile();
+
+}  // namespace lfi
+
+#endif  // LFI_VLIB_LIBRARY_PROFILES_H_

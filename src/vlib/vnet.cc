@@ -1,0 +1,61 @@
+#include "vlib/vnet.h"
+
+namespace lfi {
+
+bool VirtualNet::Bind(int port) {
+  if (queues_.count(port) != 0) {
+    return false;
+  }
+  queues_[port];
+  return true;
+}
+
+void VirtualNet::Unbind(int port) { queues_.erase(port); }
+
+bool VirtualNet::IsBound(int port) const { return queues_.count(port) != 0; }
+
+long VirtualNet::Send(int src_port, int dst_port, const std::string& payload) {
+  auto it = queues_.find(dst_port);
+  if (it == queues_.end()) {
+    ++dropped_;
+    return static_cast<long>(payload.size());  // UDP: fire and forget
+  }
+  if (loss_probability_ > 0.0 && rng_.Chance(loss_probability_)) {
+    ++dropped_;
+    return static_cast<long>(payload.size());
+  }
+  if (tick_delivery_) {
+    staged_.emplace_back(dst_port, Datagram{src_port, payload});
+  } else {
+    it->second.push_back(Datagram{src_port, payload});
+  }
+  ++delivered_;
+  return static_cast<long>(payload.size());
+}
+
+void VirtualNet::AdvanceTick() {
+  for (auto& [port, dgram] : staged_) {
+    auto it = queues_.find(port);
+    if (it != queues_.end()) {
+      it->second.push_back(std::move(dgram));
+    }
+  }
+  staged_.clear();
+}
+
+bool VirtualNet::Receive(int port, Datagram* out) {
+  auto it = queues_.find(port);
+  if (it == queues_.end() || it->second.empty()) {
+    return false;
+  }
+  *out = std::move(it->second.front());
+  it->second.pop_front();
+  return true;
+}
+
+size_t VirtualNet::QueueDepth(int port) const {
+  auto it = queues_.find(port);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace lfi

@@ -1,0 +1,72 @@
+// Virtual datagram network.
+//
+// A loopback UDP-style fabric connecting the replicas of the distributed
+// applications (PBFT). Endpoints are small integer ports; each port owns a
+// message queue. Like the paper's setup, *deteriorated network conditions*
+// are produced by LFI injecting failures into sendto/recvfrom at the library
+// boundary -- the fabric itself is reliable by default, with optional
+// physical-loss knobs for experiments that want baseline noise.
+
+#ifndef LFI_VLIB_VNET_H_
+#define LFI_VLIB_VNET_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lfi {
+
+struct Datagram {
+  int src_port = 0;
+  std::string payload;
+};
+
+class VirtualNet {
+ public:
+  explicit VirtualNet(uint64_t seed = 1) : rng_(seed) {}
+
+  // Binds a queue for `port`; returns false when already bound.
+  bool Bind(int port);
+  void Unbind(int port);
+  bool IsBound(int port) const;
+
+  // Delivers `payload` to `dst_port`. Returns bytes accepted (always the
+  // payload size unless the destination is unbound or physical loss fires).
+  // An unbound destination silently drops, like UDP.
+  long Send(int src_port, int dst_port, const std::string& payload);
+
+  // Pops the next datagram for `port`; false when the queue is empty.
+  bool Receive(int port, Datagram* out);
+
+  size_t QueueDepth(int port) const;
+
+  // Physical-loss probability applied to every Send (default 0).
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  // Tick-synchronous delivery: when enabled, Send() stages datagrams and
+  // AdvanceTick() makes them receivable, giving every message a uniform
+  // one-tick latency. Discrete-event simulations (PBFT) use this so results
+  // do not depend on the order processes are stepped within a tick.
+  void set_tick_delivery(bool enabled) { tick_delivery_ = enabled; }
+  void AdvanceTick();
+
+  uint64_t delivered_count() const { return delivered_; }
+  uint64_t dropped_count() const { return dropped_; }
+
+ private:
+  std::map<int, std::deque<Datagram>> queues_;
+  std::vector<std::pair<int, Datagram>> staged_;
+  bool tick_delivery_ = false;
+  Rng rng_;
+  double loss_probability_ = 0.0;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_VLIB_VNET_H_

@@ -1,0 +1,490 @@
+#include "xml/xml.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace lfi {
+
+void XmlNode::SetAttr(std::string_view key, std::string_view value) {
+  for (auto& kv : attrs_) {
+    if (kv.first == key) {
+      kv.second = std::string(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(key), std::string(value));
+}
+
+std::optional<std::string> XmlNode::Attr(std::string_view key) const {
+  for (const auto& kv : attrs_) {
+    if (kv.first == key) {
+      return kv.second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string XmlNode::AttrOr(std::string_view key, std::string_view def) const {
+  auto v = Attr(key);
+  return v ? *v : std::string(def);
+}
+
+std::optional<int64_t> XmlNode::IntAttr(std::string_view key) const {
+  auto v = Attr(key);
+  if (!v) {
+    return std::nullopt;
+  }
+  return ParseInt(*v);
+}
+
+XmlNode* XmlNode::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+  return children_.back().get();
+}
+
+const XmlNode* XmlNode::Child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+XmlNode* XmlNode::Child(std::string_view name) {
+  for (const auto& c : children_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) {
+      out.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+std::string XmlNode::ChildText(std::string_view name, std::string_view def) const {
+  const XmlNode* c = Child(name);
+  return c ? std::string(Trim(c->text())) : std::string(def);
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string XmlNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& kv : attrs_) {
+    out += " " + kv.first + "=\"" + XmlEscape(kv.second) + "\"";
+  }
+  std::string trimmed(Trim(text_));
+  if (children_.empty() && trimmed.empty()) {
+    out += " />\n";
+    return out;
+  }
+  out += ">";
+  if (!trimmed.empty()) {
+    out += XmlEscape(trimmed);
+  }
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) {
+      out += c->ToString(indent + 1);
+    }
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+std::string XmlDocument::ToString() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if (root_) {
+    out += root_->ToString();
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view input, XmlError* error) : in_(input), error_(error) {}
+
+  std::unique_ptr<XmlDocument> Parse() {
+    SkipProlog();
+    auto root = ParseElement();
+    if (!root) {
+      return nullptr;
+    }
+    SkipMisc();
+    if (pos_ != in_.size()) {
+      return Fail("trailing content after document element");
+    }
+    auto doc = std::make_unique<XmlDocument>();
+    doc->set_root(std::move(root));
+    return doc;
+  }
+
+ private:
+  std::unique_ptr<XmlDocument> Fail(std::string message) {
+    if (error_ && error_->message.empty()) {
+      error_->message = std::move(message);
+      error_->line = line_;
+    }
+    return nullptr;
+  }
+
+  bool FailBool(std::string message) {
+    Fail(std::move(message));
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+
+  char Advance() {
+    char c = in_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  bool Match(std::string_view s) {
+    if (in_.size() - pos_ < s.size() || in_.substr(pos_, s.size()) != s) {
+      return false;
+    }
+    for (size_t i = 0; i < s.size(); ++i) {
+      Advance();
+    }
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  bool SkipComment() {
+    if (!Match("<!--")) {
+      return false;
+    }
+    while (!AtEnd()) {
+      if (Match("-->")) {
+        return true;
+      }
+      Advance();
+    }
+    FailBool("unterminated comment");
+    return true;
+  }
+
+  bool SkipPi() {
+    if (!Match("<?")) {
+      return false;
+    }
+    while (!AtEnd()) {
+      if (Match("?>")) {
+        return true;
+      }
+      Advance();
+    }
+    FailBool("unterminated processing instruction");
+    return true;
+  }
+
+  bool SkipDoctype() {
+    if (!Match("<!DOCTYPE")) {
+      return false;
+    }
+    int depth = 1;
+    while (!AtEnd() && depth > 0) {
+      char c = Advance();
+      if (c == '<') {
+        ++depth;
+      } else if (c == '>') {
+        --depth;
+      }
+    }
+    return true;
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        return;
+      }
+      if (SkipComment() || SkipPi()) {
+        continue;
+      }
+      return;
+    }
+  }
+
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        return;
+      }
+      if (SkipPi() || SkipComment() || SkipDoctype()) {
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' || c == '-' ||
+           c == '.';
+  }
+
+  std::string ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      return "";
+    }
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name.push_back(Advance());
+    }
+    return name;
+  }
+
+  // Decodes the predefined entities plus decimal/hex character references.
+  bool AppendReference(std::string* out) {
+    // Called just after consuming '&'.
+    std::string ent;
+    while (!AtEnd() && Peek() != ';' && ent.size() < 10) {
+      ent.push_back(Advance());
+    }
+    if (AtEnd() || Peek() != ';') {
+      return FailBool("malformed entity reference");
+    }
+    Advance();  // ';'
+    if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      std::optional<int64_t> code;
+      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = ParseInt("0x" + ent.substr(2));
+      } else {
+        code = ParseInt(ent.substr(1));
+      }
+      if (!code || *code < 0 || *code > 0x10ffff) {
+        return FailBool("bad character reference");
+      }
+      // Encode as UTF-8.
+      uint32_t cp = static_cast<uint32_t>(*code);
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      } else {
+        out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      }
+    } else {
+      return FailBool("unknown entity &" + ent + ";");
+    }
+    return true;
+  }
+
+  bool ParseAttrValue(std::string* out) {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return FailBool("expected quoted attribute value");
+    }
+    char quote = Advance();
+    while (!AtEnd() && Peek() != quote) {
+      char c = Advance();
+      if (c == '&') {
+        if (!AppendReference(out)) {
+          return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (AtEnd()) {
+      return FailBool("unterminated attribute value");
+    }
+    Advance();  // closing quote
+    return true;
+  }
+
+  std::unique_ptr<XmlNode> ParseElement() {
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '<') {
+      Fail("expected element");
+      return nullptr;
+    }
+    Advance();  // '<'
+    std::string name = ParseName();
+    if (name.empty()) {
+      Fail("expected element name");
+      return nullptr;
+    }
+    auto node = std::make_unique<XmlNode>(name);
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        Fail("unterminated start tag");
+        return nullptr;
+      }
+      if (Peek() == '/') {
+        Advance();
+        if (AtEnd() || Advance() != '>') {
+          Fail("malformed empty-element tag");
+          return nullptr;
+        }
+        return node;
+      }
+      if (Peek() == '>') {
+        Advance();
+        break;
+      }
+      std::string attr = ParseName();
+      if (attr.empty()) {
+        Fail("expected attribute name");
+        return nullptr;
+      }
+      SkipWhitespace();
+      if (AtEnd() || Advance() != '=') {
+        Fail("expected '=' after attribute name");
+        return nullptr;
+      }
+      SkipWhitespace();
+      std::string value;
+      if (!ParseAttrValue(&value)) {
+        return nullptr;
+      }
+      node->SetAttr(attr, value);
+    }
+    // Content.
+    while (true) {
+      if (AtEnd()) {
+        Fail("unterminated element <" + name + ">");
+        return nullptr;
+      }
+      if (Peek() == '<') {
+        if (Match("</")) {
+          std::string close = ParseName();
+          SkipWhitespace();
+          if (close != name) {
+            Fail("mismatched close tag </" + close + "> for <" + name + ">");
+            return nullptr;
+          }
+          if (AtEnd() || Advance() != '>') {
+            Fail("malformed close tag");
+            return nullptr;
+          }
+          return node;
+        }
+        if (SkipComment()) {
+          if (error_ && !error_->message.empty()) {
+            return nullptr;
+          }
+          continue;
+        }
+        if (Match("<![CDATA[")) {
+          std::string text;
+          while (!AtEnd()) {
+            if (Match("]]>")) {
+              break;
+            }
+            text.push_back(Advance());
+          }
+          node->append_text(text);
+          continue;
+        }
+        auto child = ParseElement();
+        if (!child) {
+          return nullptr;
+        }
+        node->children_ref().push_back(std::move(child));
+        continue;
+      }
+      // Character data.
+      std::string text;
+      while (!AtEnd() && Peek() != '<') {
+        char c = Advance();
+        if (c == '&') {
+          if (!AppendReference(&text)) {
+            return nullptr;
+          }
+        } else {
+          text.push_back(c);
+        }
+      }
+      node->append_text(text);
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  XmlError* error_;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlDocument> XmlParse(std::string_view input, XmlError* error) {
+  XmlError local;
+  Parser parser(input, error ? error : &local);
+  return parser.Parse();
+}
+
+}  // namespace lfi

@@ -1,0 +1,99 @@
+// Minimal XML document model, parser, and writer.
+//
+// LFI's fault-injection scenarios and library fault profiles are XML documents
+// (§4.1 of the paper chose XML so scenarios are both human- and
+// machine-readable). The 2010 tool used libxml2; this substrate implements the
+// subset the tool chain needs from scratch: elements, attributes, text,
+// comments, XML declarations, and the five predefined entities. It is a DOM --
+// documents are small (scenario files, profiles), so simplicity wins.
+
+#ifndef LFI_XML_XML_H_
+#define LFI_XML_XML_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfi {
+
+class XmlNode;
+using XmlNodePtr = XmlNode*;
+
+// One element in the tree. Text content is stored on the element itself
+// (concatenation of all its text children), which is all the scenario and
+// profile formats require; mixed content order is not preserved.
+class XmlNode {
+ public:
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view text) { text_.append(text); }
+
+  // Attributes.
+  void SetAttr(std::string_view key, std::string_view value);
+  std::optional<std::string> Attr(std::string_view key) const;
+  // Returns the attribute or `def` when absent.
+  std::string AttrOr(std::string_view key, std::string_view def) const;
+  // Parses the attribute as an integer; nullopt when absent or malformed.
+  std::optional<int64_t> IntAttr(std::string_view key) const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const { return attrs_; }
+
+  // Children.
+  XmlNode* AddChild(std::string name);
+  const std::vector<std::unique_ptr<XmlNode>>& children() const { return children_; }
+  // Mutable access for tree builders (parser, scenario generators).
+  std::vector<std::unique_ptr<XmlNode>>& children_ref() { return children_; }
+  // First child with the given element name, or nullptr.
+  const XmlNode* Child(std::string_view name) const;
+  XmlNode* Child(std::string_view name);
+  // All children with the given element name.
+  std::vector<const XmlNode*> Children(std::string_view name) const;
+  // Text of the named child, or `def` when the child is absent.
+  std::string ChildText(std::string_view name, std::string_view def = "") const;
+
+  // Serializes this node (and subtree) as indented XML.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+// A parsed document. Owns the root element.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  explicit XmlDocument(std::string root_name) : root_(new XmlNode(std::move(root_name))) {}
+
+  XmlNode* root() { return root_.get(); }
+  const XmlNode* root() const { return root_.get(); }
+  void set_root(std::unique_ptr<XmlNode> root) { root_ = std::move(root); }
+
+  // Serializes with an XML declaration.
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<XmlNode> root_;
+};
+
+// Parse error with 1-based line information.
+struct XmlError {
+  std::string message;
+  int line = 0;
+};
+
+// Parses a document. On failure returns nullptr and fills *error (if given).
+std::unique_ptr<XmlDocument> XmlParse(std::string_view input, XmlError* error = nullptr);
+
+// Escapes text for use as XML character data / attribute values.
+std::string XmlEscape(std::string_view s);
+
+}  // namespace lfi
+
+#endif  // LFI_XML_XML_H_

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "coverage/coverage.h"
+
+namespace lfi {
+namespace {
+
+TEST(Coverage, StatsCountBlocksAndLines) {
+  CoverageMap cov;
+  cov.RegisterBlock("a", /*recovery=*/false, 10);
+  cov.RegisterBlock("b", /*recovery=*/true, 5);
+  cov.RegisterBlock("c", /*recovery=*/true, 3);
+  cov.Hit("a");
+  cov.Hit("b");
+
+  auto stats = cov.ComputeStats();
+  EXPECT_EQ(stats.total_blocks, 3u);
+  EXPECT_EQ(stats.covered_blocks, 2u);
+  EXPECT_EQ(stats.total_lines, 18);
+  EXPECT_EQ(stats.covered_lines, 15);
+  EXPECT_EQ(stats.recovery_blocks, 2u);
+  EXPECT_EQ(stats.covered_recovery_blocks, 1u);
+  EXPECT_EQ(stats.recovery_lines, 8);
+  EXPECT_EQ(stats.covered_recovery_lines, 5);
+  EXPECT_NEAR(stats.line_coverage(), 100.0 * 15 / 18, 0.01);
+  EXPECT_NEAR(stats.recovery_block_coverage(), 50.0, 0.01);
+}
+
+TEST(Coverage, DuplicateRegistrationKeepsFirst) {
+  CoverageMap cov;
+  cov.RegisterBlock("a", true, 7);
+  cov.RegisterBlock("a", false, 100);
+  auto stats = cov.ComputeStats();
+  EXPECT_EQ(stats.total_blocks, 1u);
+  EXPECT_EQ(stats.recovery_lines, 7);
+}
+
+TEST(Coverage, UnknownHitAutoRegisters) {
+  CoverageMap cov;
+  cov.Hit("ghost");
+  auto stats = cov.ComputeStats();
+  EXPECT_EQ(stats.total_blocks, 1u);
+  EXPECT_EQ(stats.covered_blocks, 1u);
+}
+
+TEST(Coverage, ResetHitsKeepsRegistration) {
+  CoverageMap cov;
+  cov.RegisterBlock("a", true, 4);
+  cov.Hit("a");
+  cov.ResetHits();
+  auto stats = cov.ComputeStats();
+  EXPECT_EQ(stats.total_blocks, 1u);
+  EXPECT_EQ(stats.covered_blocks, 0u);
+}
+
+TEST(Coverage, AbsorbHitsAccumulates) {
+  CoverageMap master;
+  master.RegisterBlock("a", true, 4);
+  master.RegisterBlock("b", true, 4);
+
+  CoverageMap run1;
+  run1.Hit("a");
+  CoverageMap run2;
+  run2.Hit("b");
+  master.AbsorbHits(run1);
+  master.AbsorbHits(run2);
+
+  auto stats = master.ComputeStats();
+  EXPECT_EQ(stats.covered_recovery_blocks, 2u);
+  EXPECT_TRUE(master.WasHit("a"));
+  EXPECT_TRUE(master.WasHit("b"));
+}
+
+TEST(Coverage, NewlyCoveredVersusBaseline) {
+  CoverageMap baseline;
+  baseline.RegisterBlock("a", false, 1);
+  baseline.Hit("a");
+
+  CoverageMap with_lfi;
+  with_lfi.RegisterBlock("a", false, 1);
+  with_lfi.RegisterBlock("b", true, 1);
+  with_lfi.Hit("a");
+  with_lfi.Hit("b");
+
+  auto fresh = with_lfi.NewlyCoveredVersus(baseline);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], "b");
+}
+
+TEST(Coverage, EmptyMapStats) {
+  CoverageMap cov;
+  auto stats = cov.ComputeStats();
+  EXPECT_EQ(stats.line_coverage(), 0.0);
+  EXPECT_EQ(stats.recovery_block_coverage(), 0.0);
+}
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "image/assembler.h"
+#include "image/image.h"
+#include "isa/isa.h"
+
+namespace lfi {
+namespace {
+
+TEST(IsaEncoding, RoundTripSimple) {
+  Instruction in;
+  in.op = Op::kMovRI;
+  in.rd = 3;
+  in.imm = -12345;
+  std::vector<uint8_t> bytes;
+  EncodeInstruction(in, &bytes);
+  ASSERT_EQ(bytes.size(), kInstrSize);
+  Instruction out;
+  ASSERT_TRUE(DecodeInstruction(bytes, 0, &out));
+  EXPECT_EQ(out.op, Op::kMovRI);
+  EXPECT_EQ(out.rd, 3);
+  EXPECT_EQ(out.imm, -12345);
+}
+
+class IsaOpRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsaOpRoundTrip, EncodeDecode) {
+  Instruction in;
+  in.op = static_cast<Op>(GetParam());
+  in.rd = 5;
+  in.rs = 9;
+  in.flags = in.op == Op::kCall ? kCallImport : 0;
+  in.imm = 0x7f00ee11;
+  std::vector<uint8_t> bytes;
+  EncodeInstruction(in, &bytes);
+  Instruction out;
+  ASSERT_TRUE(DecodeInstruction(bytes, 0, &out));
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.rd, in.rd);
+  EXPECT_EQ(out.rs, in.rs);
+  EXPECT_EQ(out.flags, in.flags);
+  EXPECT_EQ(out.imm, in.imm);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, IsaOpRoundTrip,
+                         ::testing::Range(0, static_cast<int>(Op::kOpCount)));
+
+TEST(IsaDecoding, RejectsBadOpcode) {
+  std::vector<uint8_t> bytes(kInstrSize, 0);
+  bytes[0] = static_cast<uint8_t>(Op::kOpCount);
+  Instruction out;
+  EXPECT_FALSE(DecodeInstruction(bytes, 0, &out));
+}
+
+TEST(IsaDecoding, RejectsBadRegister) {
+  Instruction in;
+  in.op = Op::kMovRR;
+  std::vector<uint8_t> bytes;
+  EncodeInstruction(in, &bytes);
+  bytes[1] = 16;  // register out of range
+  Instruction out;
+  EXPECT_FALSE(DecodeInstruction(bytes, 0, &out));
+}
+
+TEST(IsaDecoding, RejectsMisalignedAndShort) {
+  std::vector<uint8_t> bytes(kInstrSize * 2, 0);
+  Instruction out;
+  EXPECT_FALSE(DecodeInstruction(bytes, 3, &out));
+  EXPECT_FALSE(DecodeInstruction(bytes, kInstrSize * 2, &out));
+}
+
+TEST(IsaFormat, Mnemonics) {
+  Instruction i;
+  i.op = Op::kCmpRI;
+  i.rd = 0;
+  i.imm = -1;
+  EXPECT_EQ(FormatInstruction(i), "cmpi r0, -1");
+  i.op = Op::kLoad;
+  i.rd = 2;
+  i.rs = 13;
+  i.imm = 8;
+  EXPECT_EQ(FormatInstruction(i), "load r2, [r13+8]");
+}
+
+TEST(Assembler, MinimalFunction) {
+  auto image = Assemble(R"(
+module demo
+func main
+  movi r0, 42
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(image->module_name(), "demo");
+  ASSERT_EQ(image->symbols().size(), 1u);
+  EXPECT_EQ(image->symbols()[0].name, "main");
+  EXPECT_EQ(image->instruction_count(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  auto image = Assemble(R"(
+module demo
+func f
+  cmpi r0, -1
+  je .err
+  movi r1, 0
+  ret
+.err:
+  movi r1, 1
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  Instruction instr;
+  ASSERT_TRUE(image->Decode(1 * kInstrSize, &instr));
+  EXPECT_EQ(instr.op, Op::kJe);
+  EXPECT_EQ(instr.imm, 4 * static_cast<int>(kInstrSize));  // .err label
+}
+
+TEST(Assembler, LocalCallAndImport) {
+  auto image = Assemble(R"(
+module demo
+func helper
+  ret
+end
+func main
+  call helper
+  call read
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(image->ImportIndex("read"), 0);
+  EXPECT_EQ(image->ImportIndex("helper"), -1);
+  Instruction instr;
+  ASSERT_TRUE(image->Decode(1 * kInstrSize, &instr));  // call helper
+  EXPECT_EQ(instr.op, Op::kCall);
+  EXPECT_EQ(instr.flags, kCallLocal);
+  EXPECT_EQ(instr.imm, 0);
+  ASSERT_TRUE(image->Decode(2 * kInstrSize, &instr));  // call read
+  EXPECT_EQ(instr.flags, kCallImport);
+}
+
+TEST(Assembler, ForwardCallResolvesLocal) {
+  auto image = Assemble(R"(
+module demo
+func main
+  call later
+  ret
+end
+func later
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  Instruction instr;
+  ASSERT_TRUE(image->Decode(0, &instr));
+  EXPECT_EQ(instr.flags, kCallLocal);
+  EXPECT_EQ(instr.imm, 2 * static_cast<int>(kInstrSize));
+  EXPECT_TRUE(image->imports().empty());
+}
+
+TEST(Assembler, MemoryOperands) {
+  auto image = Assemble(R"(
+module demo
+func f
+  store [sp+16], r0
+  load r1, [sp+16]
+  store [sp-8], r2
+  load r3, [r7]
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  Instruction instr;
+  ASSERT_TRUE(image->Decode(0, &instr));
+  EXPECT_EQ(instr.op, Op::kStore);
+  EXPECT_EQ(instr.rd, kSpReg);
+  EXPECT_EQ(instr.imm, 16);
+  ASSERT_TRUE(image->Decode(2 * kInstrSize, &instr));
+  EXPECT_EQ(instr.imm, -8);
+  ASSERT_TRUE(image->Decode(3 * kInstrSize, &instr));
+  EXPECT_EQ(instr.rs, 7);
+  EXPECT_EQ(instr.imm, 0);
+}
+
+TEST(Assembler, RegisterAliases) {
+  auto image = Assemble(R"(
+module demo
+func f
+  mov rv, r3
+  store [err+0], r1
+  mov r2, sp
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  Instruction instr;
+  ASSERT_TRUE(image->Decode(0, &instr));
+  EXPECT_EQ(instr.rd, kRetReg);
+  ASSERT_TRUE(image->Decode(kInstrSize, &instr));
+  EXPECT_EQ(instr.rd, kErrnoReg);
+}
+
+TEST(Assembler, CommentsIgnored) {
+  auto image = Assemble(R"(
+module demo  ; trailing comment
+# full-line comment
+func f
+  ret  # done
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(image->instruction_count(), 1u);
+}
+
+struct AsmErrorCase {
+  const char* name;
+  const char* source;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<AsmErrorCase> {};
+
+TEST_P(AssemblerErrors, Rejects) {
+  AsmError error;
+  auto image = Assemble(GetParam().source, &error);
+  EXPECT_FALSE(image.has_value());
+  EXPECT_FALSE(error.message.empty());
+  EXPECT_GT(error.line, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrors,
+    ::testing::Values(
+        AsmErrorCase{"UndefinedLabel", "module m\nfunc f\n  jmp .nowhere\n  ret\nend\n"},
+        AsmErrorCase{"DuplicateLabel", "module m\nfunc f\n.l:\n.l:\n  ret\nend\n"},
+        AsmErrorCase{"MissingEnd", "module m\nfunc f\n  ret\n"},
+        AsmErrorCase{"NestedFunc", "module m\nfunc f\nfunc g\n  ret\nend\nend\n"},
+        AsmErrorCase{"InstrOutsideFunc", "module m\n  ret\n"},
+        AsmErrorCase{"BadRegister", "module m\nfunc f\n  mov r99, r0\n  ret\nend\n"},
+        AsmErrorCase{"BadMnemonic", "module m\nfunc f\n  frobnicate r1\n  ret\nend\n"},
+        AsmErrorCase{"BadOperandCount", "module m\nfunc f\n  mov r1\n  ret\nend\n"},
+        AsmErrorCase{"EmptyFunction", "module m\nfunc f\nend\n"},
+        AsmErrorCase{"DuplicateFunction",
+                     "module m\nfunc f\n  ret\nend\nfunc f\n  ret\nend\n"},
+        AsmErrorCase{"JumpToBareName", "module m\nfunc f\n  jmp somewhere\n  ret\nend\n"}),
+    [](const ::testing::TestParamInfo<AsmErrorCase>& info) { return info.param.name; });
+
+TEST(Image, SerializeDeserializeRoundTrip) {
+  auto image = Assemble(R"(
+module roundtrip
+func a
+  call read
+  cmpi r0, -1
+  je .e
+  ret
+.e:
+  movi r0, 0
+  ret
+end
+func b
+  call a
+  call write
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  auto bytes = image->Serialize();
+  auto restored = Image::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->module_name(), "roundtrip");
+  EXPECT_EQ(restored->text(), image->text());
+  ASSERT_EQ(restored->symbols().size(), 2u);
+  EXPECT_EQ(restored->symbols()[1].name, "b");
+  EXPECT_EQ(restored->imports(), image->imports());
+}
+
+TEST(Image, DeserializeRejectsCorruption) {
+  auto image = Assemble("module m\nfunc f\n  ret\nend\n");
+  ASSERT_TRUE(image.has_value());
+  auto bytes = image->Serialize();
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(Image::Deserialize(bad).has_value());
+  // Truncated.
+  bad = bytes;
+  bad.resize(bad.size() - 1);
+  EXPECT_FALSE(Image::Deserialize(bad).has_value());
+  // Trailing garbage.
+  bad = bytes;
+  bad.push_back(0);
+  EXPECT_FALSE(Image::Deserialize(bad).has_value());
+}
+
+TEST(Image, SymbolContaining) {
+  auto image = Assemble(R"(
+module m
+func first
+  nop
+  ret
+end
+func second
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(image->SymbolContaining(0)->name, "first");
+  EXPECT_EQ(image->SymbolContaining(kInstrSize)->name, "first");
+  EXPECT_EQ(image->SymbolContaining(2 * kInstrSize)->name, "second");
+  EXPECT_EQ(image->SymbolContaining(999 * kInstrSize), nullptr);
+}
+
+TEST(Image, DisassembleResolvesNames) {
+  auto image = Assemble(R"(
+module m
+func f
+  call read
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  std::string listing = image->Disassemble();
+  EXPECT_NE(listing.find("call read@plt"), std::string::npos);
+  EXPECT_NE(listing.find("f:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfi

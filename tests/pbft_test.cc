@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "apps/pbft/pbft.h"
+#include "core/controller.h"
+#include "core/distributed.h"
+#include "core/runtime.h"
+#include "core/stock_triggers.h"
+#include "util/errno_codes.h"
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+class PbftTest : public ::testing::Test {
+ protected:
+  PbftTest() { EnsureStockTriggersRegistered(); }
+  VirtualFs fs_;
+};
+
+TEST_F(PbftTest, ServesRequestsWithoutFaults) {
+  VirtualNet net(1);
+  PbftConfig config;
+  PbftCluster cluster(&fs_, &net, config);
+  ASSERT_TRUE(cluster.Start());
+  int ticks = cluster.RunWorkload(/*requests=*/20, /*max_ticks=*/2000);
+  EXPECT_EQ(cluster.client().completed(), 20);
+  EXPECT_LT(ticks, 2000);
+  EXPECT_FALSE(cluster.crashed());
+  // All replicas execute all requests in the same order (state digests agree).
+  for (int i = 0; i < cluster.n(); ++i) {
+    EXPECT_GE(cluster.replica(i).executed(), 20);
+  }
+}
+
+TEST_F(PbftTest, ReplicasAgreeOnExecutionCount) {
+  VirtualNet net(2);
+  PbftConfig config;
+  PbftCluster cluster(&fs_, &net, config);
+  ASSERT_TRUE(cluster.Start());
+  cluster.RunWorkload(10, 2000);
+  int64_t executed = cluster.replica(0).executed();
+  for (int i = 1; i < cluster.n(); ++i) {
+    EXPECT_EQ(cluster.replica(i).executed(), executed);
+  }
+}
+
+TEST_F(PbftTest, PeriodicCheckpointsWritten) {
+  VirtualNet net(3);
+  PbftConfig config;
+  config.checkpoint_interval = 8;
+  PbftCluster cluster(&fs_, &net, config);
+  ASSERT_TRUE(cluster.Start());
+  cluster.RunWorkload(10, 3000);
+  EXPECT_TRUE(fs_.FileExists("/pbft/replica0.ckpt"));
+}
+
+TEST_F(PbftTest, SurvivesModeratePhysicalLoss) {
+  VirtualNet net(4);
+  net.set_loss_probability(0.2);
+  PbftConfig config;
+  PbftCluster cluster(&fs_, &net, config);
+  ASSERT_TRUE(cluster.Start());
+  cluster.RunWorkload(10, 8000);
+  EXPECT_EQ(cluster.client().completed(), 10);
+  EXPECT_FALSE(cluster.crashed());
+}
+
+TEST_F(PbftTest, LossSlowsThroughputMonotonically) {
+  auto ticks_for = [&](double loss) {
+    VirtualFs fs;
+    VirtualNet net(7);
+    net.set_loss_probability(loss);
+    PbftConfig config;
+    PbftCluster cluster(&fs, &net, config);
+    EXPECT_TRUE(cluster.Start());
+    return cluster.RunWorkload(15, 50000);
+  };
+  int base = ticks_for(0.0);
+  int heavy = ticks_for(0.8);
+  EXPECT_GT(heavy, base);
+}
+
+TEST_F(PbftTest, ShutdownWritesFinalCheckpoint) {
+  VirtualNet net(5);
+  PbftConfig config;
+  PbftCluster cluster(&fs_, &net, config);
+  ASSERT_TRUE(cluster.Start());
+  cluster.RunWorkload(5, 2000);
+  cluster.replica(1).Shutdown();
+  EXPECT_TRUE(fs_.FileExists("/pbft/replica1.final"));
+}
+
+TEST_F(PbftTest, ShutdownFopenBugCrashes) {
+  VirtualNet net(6);
+  PbftConfig config;
+  PbftCluster cluster(&fs_, &net, config);
+  ASSERT_TRUE(cluster.Start());
+  cluster.RunWorkload(5, 2000);
+
+  const AppBinary& binary = PbftBinary();
+  Scenario s;
+  TriggerDecl decl;
+  decl.id = "site";
+  decl.class_name = "CallStackTrigger";
+  auto args = std::make_unique<XmlNode>("args");
+  XmlNode* frame = args->AddChild("frame");
+  frame->AddChild("module")->set_text(binary.image().module_name());
+  frame->AddChild("offset")->set_text(StrFormat("%x", binary.SiteOffset("pbft.shutdown.fopen")));
+  decl.args = std::shared_ptr<XmlNode>(args.release());
+  s.AddTrigger(std::move(decl));
+  FunctionAssoc assoc;
+  assoc.function = "fopen";
+  assoc.retval = 0;
+  assoc.errno_value = kEINVAL;
+  assoc.triggers.push_back(TriggerRef{"site", false});
+  s.AddFunction(std::move(assoc));
+
+  TestController controller(s);
+  TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
+    cluster.replica(0).Shutdown();
+    return true;
+  });
+  EXPECT_EQ(outcome.status, ExitStatus::kCrash);
+  EXPECT_NE(outcome.crash_where.find("fwrite"), std::string::npos);
+}
+
+// The release/debug asymmetry of the view-change bug.
+class PbftViewChangeBug : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PbftViewChangeBug, DebugBuildHaltsReleaseBuildCrashes) {
+  bool debug_build = GetParam();
+  bool saw_release_crash = false;
+  bool saw_debug_halt = false;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    VirtualFs fs;
+    VirtualNet net(seed);
+    PbftConfig config;
+    config.debug_build = debug_build;
+    PbftCluster cluster(&fs, &net, config);
+    ASSERT_TRUE(cluster.Start());
+
+    Scenario dist;
+    TriggerDecl decl;
+    decl.id = "dist";
+    decl.class_name = "DistributedTrigger";
+    dist.AddTrigger(decl);
+    for (const char* fn : {"sendto", "recvfrom"}) {
+      FunctionAssoc assoc;
+      assoc.function = fn;
+      assoc.retval = -1;
+      assoc.errno_value = kEIO;
+      assoc.triggers.push_back(TriggerRef{"dist", false});
+      dist.AddFunction(assoc);
+    }
+    RandomLossController controller(0.35, seed);
+    std::vector<std::unique_ptr<Runtime>> runtimes;
+    for (int i = 0; i < cluster.n(); ++i) {
+      cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
+      runtimes.push_back(std::make_unique<Runtime>(dist));
+      cluster.replica(i).libc().set_interposer(runtimes.back().get());
+    }
+    cluster.RunWorkload(30, 4000);
+    if (cluster.crashed()) {
+      EXPECT_FALSE(debug_build) << "debug build must not crash: "
+                                << cluster.crash_reason();
+      saw_release_crash = true;
+      break;
+    }
+    for (int i = 0; i < cluster.n(); ++i) {
+      if (cluster.replica(i).halted()) {
+        saw_debug_halt = true;
+      }
+    }
+    if (debug_build && saw_debug_halt) {
+      break;
+    }
+  }
+  if (debug_build) {
+    EXPECT_TRUE(saw_debug_halt);
+  } else {
+    EXPECT_TRUE(saw_release_crash);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Builds, PbftViewChangeBug, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "debug" : "release";
+                         });
+
+TEST_F(PbftTest, ViewChangeReplacesPrimary) {
+  // Black out the primary's communication entirely: the backups elect a new
+  // primary and the system keeps serving requests.
+  VirtualNet net(8);
+  PbftConfig config;
+  PbftCluster cluster(&fs_, &net, config);
+  ASSERT_TRUE(cluster.Start());
+
+  Scenario dist;
+  TriggerDecl decl;
+  decl.id = "dist";
+  decl.class_name = "DistributedTrigger";
+  dist.AddTrigger(decl);
+  for (const char* fn : {"sendto", "recvfrom"}) {
+    FunctionAssoc assoc;
+    assoc.function = fn;
+    assoc.retval = -1;
+    assoc.errno_value = kEIO;
+    assoc.triggers.push_back(TriggerRef{"dist", false});
+    dist.AddFunction(assoc);
+  }
+  BlackoutController controller("replica0");
+  std::vector<std::unique_ptr<Runtime>> runtimes;
+  for (int i = 0; i < cluster.n(); ++i) {
+    cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
+    runtimes.push_back(std::make_unique<Runtime>(dist));
+    cluster.replica(i).libc().set_interposer(runtimes.back().get());
+  }
+  cluster.RunWorkload(10, 8000);
+  EXPECT_GE(cluster.client().completed(), 10);
+  EXPECT_GT(cluster.replica(1).view(), 0);  // a view change happened
+}
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "image/assembler.h"
+#include "profiler/fault_profile.h"
+#include "profiler/profiler.h"
+#include "profiler/stub_gen.h"
+#include "util/errno_codes.h"
+#include "vlib/library_profiles.h"
+
+namespace lfi {
+namespace {
+
+// Compares two function profiles modulo ordering.
+void ExpectSameProfile(const FunctionProfile& a, const FunctionProfile& b) {
+  auto norm = [](FunctionProfile fn) {
+    for (auto& e : fn.errors) {
+      std::sort(e.errnos.begin(), e.errnos.end());
+    }
+    std::sort(fn.errors.begin(), fn.errors.end(),
+              [](const ErrorSpec& x, const ErrorSpec& y) { return x.retval < y.retval; });
+    std::sort(fn.success_constants.begin(), fn.success_constants.end());
+    return fn;
+  };
+  FunctionProfile na = norm(a);
+  FunctionProfile nb = norm(b);
+  EXPECT_EQ(na.errors, nb.errors) << "function " << a.name;
+  EXPECT_EQ(na.success_constants, nb.success_constants) << "function " << a.name;
+  EXPECT_EQ(na.has_computed_success, nb.has_computed_success) << "function " << a.name;
+}
+
+TEST(Profiler, InfersReturnConstantAndErrno) {
+  auto image = Assemble(R"(
+module lib
+func f
+  cmpi r9, 0
+  jne .ok
+  movi r1, 4
+  store [err+0], r1
+  movi r0, -1
+  ret
+.ok:
+  movi r0, 0
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  LibraryProfiler profiler;
+  FunctionProfile fn = profiler.ProfileFunction(*image, "f");
+  ASSERT_EQ(fn.errors.size(), 1u);
+  EXPECT_EQ(fn.errors[0].retval, -1);
+  ASSERT_EQ(fn.errors[0].errnos.size(), 1u);
+  EXPECT_EQ(fn.errors[0].errnos[0], kEINTR);
+  ASSERT_EQ(fn.success_constants.size(), 1u);
+  EXPECT_EQ(fn.success_constants[0], 0);
+  EXPECT_FALSE(fn.has_computed_success);
+}
+
+TEST(Profiler, ComputedReturnDetected) {
+  auto image = Assemble(R"(
+module lib
+func f
+  mov r0, r8
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  LibraryProfiler profiler;
+  FunctionProfile fn = profiler.ProfileFunction(*image, "f");
+  EXPECT_TRUE(fn.has_computed_success);
+  EXPECT_TRUE(fn.errors.empty());
+}
+
+TEST(Profiler, NullWithErrnoIsError) {
+  // Pointer convention: returning 0 with errno set is an error mode.
+  auto image = Assemble(R"(
+module lib
+func mallocish
+  cmpi r9, 0
+  jne .ok
+  movi r1, 12
+  store [err+0], r1
+  movi r0, 0
+  ret
+.ok:
+  mov r0, r8
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  LibraryProfiler profiler;
+  FunctionProfile fn = profiler.ProfileFunction(*image, "mallocish");
+  ASSERT_EQ(fn.errors.size(), 1u);
+  EXPECT_EQ(fn.errors[0].retval, 0);
+  EXPECT_EQ(fn.errors[0].errnos, std::vector<int>{kENOMEM});
+  EXPECT_TRUE(fn.has_computed_success);
+}
+
+TEST(Profiler, MultipleErrnosAggregatedPerRetval) {
+  auto image = Assemble(R"(
+module lib
+func f
+  cmpi r9, 0
+  jne .c1
+  movi r1, 4
+  store [err+0], r1
+  movi r0, -1
+  ret
+.c1:
+  cmpi r9, 1
+  jne .ok
+  movi r1, 5
+  store [err+0], r1
+  movi r0, -1
+  ret
+.ok:
+  mov r0, r8
+  ret
+end
+)");
+  ASSERT_TRUE(image.has_value());
+  LibraryProfiler profiler;
+  FunctionProfile fn = profiler.ProfileFunction(*image, "f");
+  ASSERT_EQ(fn.errors.size(), 1u);
+  EXPECT_EQ(fn.errors[0].errnos, (std::vector<int>{kEINTR, kEIO}));
+}
+
+TEST(Profiler, UnknownSymbolGivesEmptyProfile) {
+  auto image = Assemble("module lib\nfunc f\n  ret\nend\n");
+  ASSERT_TRUE(image.has_value());
+  LibraryProfiler profiler;
+  FunctionProfile fn = profiler.ProfileFunction(*image, "missing");
+  EXPECT_TRUE(fn.errors.empty());
+  EXPECT_FALSE(fn.has_computed_success);
+}
+
+// The headline property (§2): the profiler recovers the ground-truth profile
+// of every function from the generated library binary alone.
+class ProfileRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileRoundTrip, StubGenThenProfileIsIdentity) {
+  FaultProfile truth;
+  switch (GetParam()) {
+    case 0:
+      truth = LibcProfile();
+      break;
+    case 1:
+      truth = LibxmlProfile();
+      break;
+    default:
+      truth = LibaprProfile();
+      break;
+  }
+  Image binary = GenerateLibraryImage(truth);
+  EXPECT_EQ(binary.module_name(), truth.library());
+
+  LibraryProfiler profiler;
+  FaultProfile recovered = profiler.Profile(binary);
+  ASSERT_EQ(recovered.functions().size(), truth.functions().size());
+  for (const auto& [name, fn] : truth.functions()) {
+    const FunctionProfile* got = recovered.Find(name);
+    ASSERT_NE(got, nullptr) << name;
+    ExpectSameProfile(fn, *got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Libraries, ProfileRoundTrip, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return "libc";
+                             case 1:
+                               return "libxml";
+                             default:
+                               return "libapr";
+                           }
+                         });
+
+TEST(FaultProfileXml, RoundTrip) {
+  FaultProfile truth = LibcProfile();
+  std::string xml = truth.ToXml();
+  std::string error;
+  auto parsed = FaultProfile::FromXml(xml, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->library(), "libc");
+  ASSERT_EQ(parsed->functions().size(), truth.functions().size());
+  for (const auto& [name, fn] : truth.functions()) {
+    const FunctionProfile* got = parsed->Find(name);
+    ASSERT_NE(got, nullptr) << name;
+    ExpectSameProfile(fn, *got);
+  }
+}
+
+TEST(FaultProfileXml, ErrorCodesSet) {
+  FaultProfile profile = LibcProfile();
+  const FunctionProfile* read = profile.Find("read");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->ErrorCodes(), std::set<int64_t>{-1});
+  const FunctionProfile* lock = profile.Find("pthread_mutex_lock");
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->ErrorCodes(), (std::set<int64_t>{kEDEADLK, kEINVAL}));
+}
+
+TEST(FaultProfileXml, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(FaultProfile::FromXml("<notprofile/>", &error).has_value());
+  EXPECT_FALSE(
+      FaultProfile::FromXml("<profile><function/></profile>", &error).has_value());
+  EXPECT_FALSE(FaultProfile::FromXml(
+                   "<profile><function name='f'><error retval='x'/></function></profile>",
+                   &error)
+                   .has_value());
+}
+
+TEST(FaultProfileXml, ReadExampleMatchesPaper) {
+  // §2: "when returning -1, read() could also set the TLS variable errno to
+  // EAGAIN, EBADF, EINTR, etc."
+  FaultProfile profile = LibcProfile();
+  const FunctionProfile* read = profile.Find("read");
+  ASSERT_NE(read, nullptr);
+  ASSERT_EQ(read->errors.size(), 1u);
+  const auto& errnos = read->errors[0].errnos;
+  EXPECT_NE(std::find(errnos.begin(), errnos.end(), kEAGAIN), errnos.end());
+  EXPECT_NE(std::find(errnos.begin(), errnos.end(), kEBADF), errnos.end());
+  EXPECT_NE(std::find(errnos.begin(), errnos.end(), kEINTR), errnos.end());
+}
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/errno_codes.h"
+#include "util/rng.h"
+#include "util/sha1.h"
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StringUtil, ParseIntDecimal) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_EQ(ParseInt("  13 ").value(), 13);
+}
+
+TEST(StringUtil, ParseIntHex) {
+  EXPECT_EQ(ParseInt("0x1f").value(), 31);
+  EXPECT_EQ(ParseInt("0xABC").value(), 0xabc);
+}
+
+TEST(StringUtil, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("12x").has_value());
+  EXPECT_FALSE(ParseInt("abc").has_value());
+  EXPECT_FALSE(ParseInt("1 2").has_value());
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%s=%d", "x", 5), "x=5");
+  EXPECT_EQ(StrFormat("%06x", 0xa9), "0000a9");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Rng, NextDoubleInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(42);
+  int hits = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Chance(0.3)) {
+      ++hits;
+    }
+  }
+  double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+// FIPS 180-1 test vectors.
+TEST(Sha1, KnownVectors) {
+  EXPECT_EQ(Sha1::HexDigest("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1::HexDigest(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1::HexDigest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionA) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  auto digest = h.Finish();
+  static const char kHex[] = "0123456789abcdef";
+  std::string hex;
+  for (uint8_t b : digest) {
+    hex.push_back(kHex[b >> 4]);
+    hex.push_back(kHex[b & 0xf]);
+  }
+  EXPECT_EQ(hex, "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog repeatedly";
+  Sha1 h;
+  for (char c : data) {
+    h.Update(&c, 1);
+  }
+  auto digest = h.Finish();
+  Sha1 h2;
+  h2.Update(data);
+  EXPECT_EQ(digest, h2.Finish());
+}
+
+TEST(ErrnoCodes, RoundTripNames) {
+  for (int v : {kEINTR, kEIO, kEAGAIN, kENOMEM, kEINVAL, kENOENT, kECONNRESET}) {
+    EXPECT_EQ(ErrnoFromName(ErrnoName(v)).value(), v);
+  }
+}
+
+TEST(ErrnoCodes, NamedValues) {
+  EXPECT_EQ(ErrnoName(kEINTR), "EINTR");
+  EXPECT_EQ(ErrnoName(kEAGAIN), "EAGAIN");
+  EXPECT_EQ(ErrnoFromName("ENOMEM").value(), kENOMEM);
+}
+
+TEST(ErrnoCodes, NumericFallback) {
+  EXPECT_EQ(ErrnoName(999), "E999");
+  EXPECT_EQ(ErrnoFromName("77").value(), 77);
+  EXPECT_FALSE(ErrnoFromName("NOTANERRNO").has_value());
+}
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/errno_codes.h"
+#include "vlib/sim_crash.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+namespace {
+
+class VlibTest : public ::testing::Test {
+ protected:
+  VlibTest() : libc_(&fs_, &net_, "test-proc") {
+    fs_.MkDir("/data");
+  }
+
+  VirtualFs fs_;
+  VirtualNet net_;
+  VirtualLibc libc_;
+};
+
+TEST_F(VlibTest, OpenMissingFileFails) {
+  EXPECT_EQ(libc_.Open("/data/missing", kORdOnly), -1);
+  EXPECT_EQ(libc_.verrno(), kENOENT);
+}
+
+TEST_F(VlibTest, CreateWriteReadRoundTrip) {
+  int fd = libc_.Open("/data/f", kOWrOnly | kOCreate);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(libc_.Write(fd, "hello", 5), 5);
+  EXPECT_EQ(libc_.Close(fd), 0);
+
+  fd = libc_.Open("/data/f", kORdOnly);
+  ASSERT_GE(fd, 0);
+  char buf[16];
+  EXPECT_EQ(libc_.Read(fd, buf, sizeof buf), 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  EXPECT_EQ(libc_.Read(fd, buf, sizeof buf), 0);  // EOF
+  EXPECT_EQ(libc_.Close(fd), 0);
+}
+
+TEST_F(VlibTest, OpenWithoutParentFails) {
+  EXPECT_EQ(libc_.Open("/nodir/f", kOWrOnly | kOCreate), -1);
+  EXPECT_EQ(libc_.verrno(), kENOENT);
+}
+
+TEST_F(VlibTest, TruncateClearsContent) {
+  fs_.WriteFile("/data/f", "old content");
+  int fd = libc_.Open("/data/f", kOWrOnly | kOTrunc);
+  ASSERT_GE(fd, 0);
+  libc_.Close(fd);
+  EXPECT_EQ(fs_.GetFile("/data/f")->data, "");
+}
+
+TEST_F(VlibTest, AppendSeeksToEnd) {
+  fs_.WriteFile("/data/f", "abc");
+  int fd = libc_.Open("/data/f", kOWrOnly | kOAppend);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(libc_.Write(fd, "def", 3), 3);
+  libc_.Close(fd);
+  EXPECT_EQ(fs_.GetFile("/data/f")->data, "abcdef");
+}
+
+TEST_F(VlibTest, LseekWhence) {
+  fs_.WriteFile("/data/f", "0123456789");
+  int fd = libc_.Open("/data/f", kORdOnly);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(libc_.Lseek(fd, 4, kSeekSet), 4);
+  char c;
+  EXPECT_EQ(libc_.Read(fd, &c, 1), 1);
+  EXPECT_EQ(c, '4');
+  EXPECT_EQ(libc_.Lseek(fd, 2, kSeekCur), 7);
+  EXPECT_EQ(libc_.Lseek(fd, -1, kSeekEnd), 9);
+  EXPECT_EQ(libc_.Lseek(fd, -100, kSeekSet), -1);
+  EXPECT_EQ(libc_.verrno(), kEINVAL);
+}
+
+TEST_F(VlibTest, BadFdErrors) {
+  char buf[4];
+  EXPECT_EQ(libc_.Read(42, buf, 4), -1);
+  EXPECT_EQ(libc_.verrno(), kEBADF);
+  EXPECT_EQ(libc_.Close(42), -1);
+  EXPECT_EQ(libc_.Write(42, buf, 4), -1);
+}
+
+TEST_F(VlibTest, FdsAreReused) {
+  int fd1 = libc_.Open("/data/a", kOWrOnly | kOCreate);
+  ASSERT_GE(fd1, 0);
+  libc_.Close(fd1);
+  int fd2 = libc_.Open("/data/b", kOWrOnly | kOCreate);
+  EXPECT_EQ(fd1, fd2);
+}
+
+TEST_F(VlibTest, StatAndFstat) {
+  fs_.WriteFile("/data/f", "xyz");
+  VStat st;
+  ASSERT_EQ(libc_.Stat("/data/f", &st), 0);
+  EXPECT_EQ(st.size, 3u);
+  EXPECT_FALSE(st.is_fifo);
+  ASSERT_EQ(libc_.Stat("/data", &st), 0);
+  EXPECT_TRUE(st.is_dir);
+  EXPECT_EQ(libc_.Stat("/data/none", &st), -1);
+
+  int fd = libc_.Open("/data/f", kORdOnly);
+  ASSERT_EQ(libc_.Fstat(fd, &st), 0);
+  EXPECT_EQ(st.size, 3u);
+}
+
+TEST_F(VlibTest, PipeIsFifo) {
+  int fds[2];
+  ASSERT_EQ(libc_.Pipe(fds), 0);
+  VStat st;
+  ASSERT_EQ(libc_.Fstat(fds[0], &st), 0);
+  EXPECT_TRUE(st.is_fifo);
+  EXPECT_EQ(libc_.Write(fds[1], "ab", 2), 2);
+  char buf[4];
+  EXPECT_EQ(libc_.Read(fds[0], buf, 4), 2);
+}
+
+TEST_F(VlibTest, UnlinkRename) {
+  fs_.WriteFile("/data/a", "1");
+  EXPECT_EQ(libc_.Rename("/data/a", "/data/b"), 0);
+  EXPECT_FALSE(fs_.FileExists("/data/a"));
+  EXPECT_TRUE(fs_.FileExists("/data/b"));
+  EXPECT_EQ(libc_.Unlink("/data/b"), 0);
+  EXPECT_EQ(libc_.Unlink("/data/b"), -1);
+  EXPECT_EQ(libc_.verrno(), kENOENT);
+}
+
+TEST_F(VlibTest, MkDirRmDir) {
+  EXPECT_EQ(libc_.MkDir("/data/sub"), 0);
+  EXPECT_EQ(libc_.MkDir("/data/sub"), -1);
+  EXPECT_EQ(libc_.verrno(), kEEXIST);
+  fs_.WriteFile("/data/sub/f", "x");
+  EXPECT_EQ(libc_.RmDir("/data/sub"), -1);
+  EXPECT_EQ(libc_.verrno(), kENOTEMPTY);
+  fs_.Remove("/data/sub/f");
+  EXPECT_EQ(libc_.RmDir("/data/sub"), 0);
+}
+
+TEST_F(VlibTest, StreamsRoundTrip) {
+  VFile* f = libc_.FOpen("/data/s", "w");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(libc_.FWrite("stream", 6, f), 6u);
+  EXPECT_EQ(libc_.FFlush(f), 0);
+  EXPECT_EQ(libc_.FClose(f), 0);
+
+  f = libc_.FOpen("/data/s", "r");
+  ASSERT_NE(f, nullptr);
+  char buf[8];
+  EXPECT_EQ(libc_.FRead(buf, 8, f), 6u);
+  EXPECT_TRUE(std::memcmp(buf, "stream", 6) == 0);
+  EXPECT_EQ(libc_.FRead(buf, 8, f), 0u);
+  EXPECT_TRUE(f->eof);
+  libc_.FClose(f);
+}
+
+TEST_F(VlibTest, FOpenMissingReturnsNull) {
+  EXPECT_EQ(libc_.FOpen("/data/none", "r"), nullptr);
+  EXPECT_EQ(libc_.verrno(), kENOENT);
+  EXPECT_EQ(libc_.FOpen("/data/x", "q"), nullptr);
+  EXPECT_EQ(libc_.verrno(), kEINVAL);
+}
+
+TEST_F(VlibTest, FwriteNullStreamCrashes) {
+  // The PBFT checkpoint bug from Table 1: fwrite on a NULL FILE*.
+  EXPECT_THROW(libc_.FWrite("x", 1, nullptr), SimCrash);
+}
+
+TEST_F(VlibTest, DirectoryIteration) {
+  fs_.WriteFile("/data/one", "");
+  fs_.WriteFile("/data/two", "");
+  libc_.MkDir("/data/sub");
+  VDir* d = libc_.OpenDir("/data");
+  ASSERT_NE(d, nullptr);
+  std::set<std::string> names;
+  while (const char* e = libc_.ReadDir(d)) {
+    names.insert(e);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"one", "two", "sub"}));
+  EXPECT_EQ(libc_.CloseDir(d), 0);
+}
+
+TEST_F(VlibTest, OpenDirMissingReturnsNull) {
+  EXPECT_EQ(libc_.OpenDir("/nope"), nullptr);
+  EXPECT_EQ(libc_.verrno(), kENOENT);
+  fs_.WriteFile("/data/f", "");
+  EXPECT_EQ(libc_.OpenDir("/data/f"), nullptr);
+  EXPECT_EQ(libc_.verrno(), kENOTDIR);
+}
+
+TEST_F(VlibTest, ReaddirNullCrashes) {
+  // The Git bug from Table 1: readdir(NULL) after a failed opendir.
+  EXPECT_THROW(libc_.ReadDir(nullptr), SimCrash);
+}
+
+TEST_F(VlibTest, MallocFreeTracking) {
+  void* p = libc_.Malloc(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(libc_.live_allocations(), 1u);
+  libc_.Free(p);
+  EXPECT_EQ(libc_.live_allocations(), 0u);
+  libc_.Free(nullptr);  // no-op, like free(NULL)
+}
+
+TEST_F(VlibTest, CallocZeroes) {
+  auto* p = static_cast<unsigned char*>(libc_.Calloc(8, 4));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(p[i], 0);
+  }
+  libc_.Free(p);
+}
+
+TEST_F(VlibTest, InvalidFreeAborts) {
+  int x;
+  EXPECT_THROW(libc_.Free(&x), SimCrash);
+}
+
+TEST_F(VlibTest, Environment) {
+  EXPECT_EQ(libc_.GetEnv("PATH"), nullptr);
+  EXPECT_EQ(libc_.SetEnv("PATH", "/bin", 1), 0);
+  EXPECT_STREQ(libc_.GetEnv("PATH"), "/bin");
+  EXPECT_EQ(libc_.SetEnv("PATH", "/usr/bin", 0), 0);  // no overwrite
+  EXPECT_STREQ(libc_.GetEnv("PATH"), "/bin");
+  EXPECT_EQ(libc_.SetEnv("PATH", "/usr/bin", 1), 0);
+  EXPECT_STREQ(libc_.GetEnv("PATH"), "/usr/bin");
+  EXPECT_EQ(libc_.UnsetEnv("PATH"), 0);
+  EXPECT_EQ(libc_.GetEnv("PATH"), nullptr);
+  EXPECT_EQ(libc_.SetEnv("BAD=NAME", "x", 1), -1);
+  EXPECT_EQ(libc_.verrno(), kEINVAL);
+}
+
+TEST_F(VlibTest, MutexLockUnlock) {
+  VMutex m{"m", 0};
+  EXPECT_EQ(libc_.MutexLock(&m), 0);
+  EXPECT_EQ(m.held, 1);
+  EXPECT_EQ(libc_.MutexUnlock(&m), 0);
+  EXPECT_EQ(m.held, 0);
+}
+
+TEST_F(VlibTest, DoubleUnlockCrashes) {
+  VMutex m{"m", 0};
+  libc_.MutexLock(&m);
+  libc_.MutexUnlock(&m);
+  EXPECT_THROW(libc_.MutexUnlock(&m), SimCrash);
+}
+
+TEST_F(VlibTest, SocketsSendReceive) {
+  VirtualLibc peer(&fs_, &net_, "peer");
+  int s1 = libc_.Socket();
+  int s2 = peer.Socket();
+  ASSERT_EQ(libc_.BindSocket(s1, 100), 0);
+  ASSERT_EQ(peer.BindSocket(s2, 200), 0);
+
+  EXPECT_EQ(libc_.SendTo(s1, "ping", 4, 200), 4);
+  char buf[16];
+  int src = -1;
+  EXPECT_EQ(peer.RecvFrom(s2, buf, sizeof buf, &src), 4);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  EXPECT_EQ(src, 100);
+  // Empty queue: EAGAIN (non-blocking).
+  EXPECT_EQ(peer.RecvFrom(s2, buf, sizeof buf, &src), -1);
+  EXPECT_EQ(peer.verrno(), kEAGAIN);
+}
+
+TEST_F(VlibTest, BindConflictFails) {
+  int s1 = libc_.Socket();
+  int s2 = libc_.Socket();
+  ASSERT_EQ(libc_.BindSocket(s1, 7), 0);
+  EXPECT_EQ(libc_.BindSocket(s2, 7), -1);
+  EXPECT_EQ(libc_.verrno(), kEEXIST);
+}
+
+TEST_F(VlibTest, CloseUnbindsSocketPort) {
+  int s = libc_.Socket();
+  ASSERT_EQ(libc_.BindSocket(s, 55), 0);
+  EXPECT_TRUE(net_.IsBound(55));
+  libc_.Close(s);
+  EXPECT_FALSE(net_.IsBound(55));
+}
+
+TEST_F(VlibTest, XmlWriter) {
+  VXmlWriter* w = libc_.XmlNewTextWriterDoc();
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(libc_.XmlWriterWriteElement(w, "queries", "42"), 0);
+  std::string doc = libc_.XmlFreeTextWriter(w);
+  EXPECT_NE(doc.find("<queries>42</queries>"), std::string::npos);
+}
+
+TEST_F(VlibTest, Fcntl) {
+  int fd = libc_.Open("/data/f", kOWrOnly | kOCreate);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(libc_.Fcntl(fd, kFGetFl, 0), kOWrOnly | kOCreate);
+  EXPECT_EQ(libc_.Fcntl(fd, kFSetFl, kONonBlock), 0);
+  EXPECT_EQ(libc_.Fcntl(fd, kFGetFl, 0), kONonBlock);
+  EXPECT_EQ(libc_.Fcntl(fd, kFGetLk, 0), 0);
+  EXPECT_EQ(libc_.Fcntl(fd, 99, 0), -1);
+  EXPECT_EQ(libc_.verrno(), kEINVAL);
+}
+
+TEST_F(VlibTest, GlobalsAndServices) {
+  EXPECT_FALSE(libc_.GetGlobal("thread_count").has_value());
+  libc_.SetGlobal("thread_count", 65);
+  EXPECT_EQ(libc_.GetGlobal("thread_count").value(), 65);
+  int marker;
+  libc_.SetService("svc", &marker);
+  EXPECT_EQ(libc_.GetService("svc"), &marker);
+  EXPECT_EQ(libc_.GetService("other"), nullptr);
+}
+
+// --- interposition ------------------------------------------------------------
+
+class DenyAllReads : public Interposer {
+ public:
+  InjectionDecision OnCall(VirtualLibc* libc, std::string_view function,
+                           const ArgVec& args) override {
+    (void)libc;
+    (void)args;
+    ++calls;
+    InjectionDecision d;
+    if (function == "read") {
+      d.inject = true;
+      d.retval = -1;
+      d.errno_value = kEIO;
+    }
+    return d;
+  }
+  int calls = 0;
+};
+
+TEST_F(VlibTest, InterposerInjectsErrorAndErrno) {
+  fs_.WriteFile("/data/f", "content");
+  DenyAllReads shim;
+  libc_.set_interposer(&shim);
+  int fd = libc_.Open("/data/f", kORdOnly);
+  ASSERT_GE(fd, 0);
+  char buf[8];
+  EXPECT_EQ(libc_.Read(fd, buf, 8), -1);
+  EXPECT_EQ(libc_.verrno(), kEIO);
+  libc_.set_interposer(nullptr);
+  EXPECT_EQ(libc_.Read(fd, buf, 8), 7);  // pass-through restored
+  EXPECT_GT(shim.calls, 0);
+}
+
+TEST_F(VlibTest, InterposerSeesAllBoundaryCalls) {
+  DenyAllReads shim;
+  libc_.set_interposer(&shim);
+  libc_.Malloc(4);
+  VMutex m{"m", 0};
+  libc_.MutexLock(&m);
+  libc_.MutexUnlock(&m);
+  libc_.set_interposer(nullptr);
+  EXPECT_EQ(shim.calls, 3);
+}
+
+class RecursiveTrigger : public Interposer {
+ public:
+  explicit RecursiveTrigger(VirtualLibc* libc) : libc_(libc) {}
+  InjectionDecision OnCall(VirtualLibc*, std::string_view function, const ArgVec&) override {
+    ++depth_;
+    EXPECT_EQ(depth_, 1) << "interposer re-entered for " << function;
+    // Trigger-issued calls must bypass interception.
+    VStat st;
+    libc_->Stat("/data", &st);
+    --depth_;
+    return {};
+  }
+
+ private:
+  VirtualLibc* libc_;
+  int depth_ = 0;
+};
+
+TEST_F(VlibTest, TriggerCallsBypassInterception) {
+  RecursiveTrigger shim(&libc_);
+  libc_.set_interposer(&shim);
+  libc_.Malloc(8);
+  libc_.set_interposer(nullptr);
+}
+
+TEST_F(VlibTest, VnetLossDropsMessages) {
+  VirtualNet lossy(42);
+  lossy.set_loss_probability(1.0);
+  VirtualLibc a(&fs_, &lossy, "a");
+  VirtualLibc b(&fs_, &lossy, "b");
+  int sa = a.Socket();
+  int sb = b.Socket();
+  ASSERT_EQ(a.BindSocket(sa, 1), 0);
+  ASSERT_EQ(b.BindSocket(sb, 2), 0);
+  EXPECT_EQ(a.SendTo(sa, "x", 1, 2), 1);  // fire-and-forget
+  char buf[4];
+  EXPECT_EQ(b.RecvFrom(sb, buf, 4, nullptr), -1);
+  EXPECT_EQ(lossy.dropped_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,231 @@
+// VM tests, including the oracle property: executing a generated library
+// stub under every environment selector yields exactly the fault modes the
+// static profiler inferred from the same binary.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "image/assembler.h"
+#include "image/vm.h"
+#include "profiler/profiler.h"
+#include "profiler/stub_gen.h"
+#include "vlib/library_profiles.h"
+
+namespace lfi {
+namespace {
+
+Image Asm(const std::string& src) {
+  AsmError error;
+  auto image = Assemble(src, &error);
+  EXPECT_TRUE(image.has_value()) << error.message;
+  return std::move(*image);
+}
+
+TEST(Vm, ArithmeticAndBranches) {
+  Image image = Asm(R"(
+module m
+func f
+  movi r1, 10
+  movi r2, 32
+  add r1, r2
+  cmpi r1, 42
+  jne .bad
+  movi r0, 1
+  ret
+.bad:
+  movi r0, 0
+  ret
+end
+)");
+  Vm vm(&image);
+  VmResult r = vm.Run("f");
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_EQ(r.retval, 1);
+}
+
+TEST(Vm, LoopTerminates) {
+  Image image = Asm(R"(
+module m
+func f
+  movi r1, 0
+  movi r0, 0
+.loop:
+  addi r0, 3
+  addi r1, 1
+  cmpi r1, 10
+  jl .loop
+  ret
+end
+)");
+  Vm vm(&image);
+  VmResult r = vm.Run("f");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.retval, 30);
+}
+
+TEST(Vm, StackAndMemory) {
+  Image image = Asm(R"(
+module m
+func f
+  movi r1, 7
+  push r1
+  movi r1, 0
+  pop r2
+  store [sp+8], r2
+  load r0, [sp+8]
+  ret
+end
+)");
+  Vm vm(&image);
+  VmResult r = vm.Run("f");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.retval, 7);
+}
+
+TEST(Vm, LocalCallsReturn) {
+  Image image = Asm(R"(
+module m
+func helper
+  movi r0, 5
+  ret
+end
+func f
+  call helper
+  addi r0, 1
+  ret
+end
+)");
+  Vm vm(&image);
+  VmResult r = vm.Run("f");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.retval, 6);
+}
+
+TEST(Vm, ImportHandlerSuppliesReturnValues) {
+  Image image = Asm(R"(
+module m
+func f
+  call read
+  ret
+end
+)");
+  Vm vm(&image);
+  vm.set_import_handler([](const std::string& name) { return name == "read" ? -1 : 0; });
+  VmResult r = vm.Run("f");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.retval, -1);
+}
+
+TEST(Vm, ErrnoStoreCaptured) {
+  Image image = Asm(R"(
+module m
+func f
+  movi r1, 4
+  store [err+0], r1
+  movi r0, -1
+  ret
+end
+)");
+  Vm vm(&image);
+  VmResult r = vm.Run("f");
+  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.errno_value.has_value());
+  EXPECT_EQ(*r.errno_value, 4);
+}
+
+TEST(Vm, InfiniteLoopTrapsOnFuel) {
+  Image image = Asm(R"(
+module m
+func f
+.spin:
+  jmp .spin
+end
+)");
+  Vm vm(&image);
+  VmResult r = vm.Run("f", 1000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.trap, "out of fuel");
+}
+
+TEST(Vm, UnknownFunctionTraps) {
+  Image image = Asm("module m\nfunc f\n  ret\nend\n");
+  Vm vm(&image);
+  EXPECT_FALSE(vm.Run("ghost").ok);
+}
+
+// The oracle property: for every libc function, the set of (retval, errno)
+// behaviours the stub binary can actually execute equals the profile the
+// static profiler infers from it.
+class VmOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmOracle, ProfilerModesMatchExecution) {
+  FaultProfile truth;
+  switch (GetParam()) {
+    case 0:
+      truth = LibcProfile();
+      break;
+    case 1:
+      truth = LibxmlProfile();
+      break;
+    default:
+      truth = LibaprProfile();
+      break;
+  }
+  Image binary = GenerateLibraryImage(truth);
+  LibraryProfiler profiler;
+  FaultProfile inferred = profiler.Profile(binary);
+
+  for (const auto& [name, fn] : inferred.functions()) {
+    // Execute under selectors 0..N+2 and collect observed error modes
+    // (constant returns that are negative or accompanied by errno, plus the
+    // pthread convention of small positive error numbers).
+    std::set<std::pair<int64_t, int>> executed_modes;
+    std::set<int64_t> executed_errors;
+    for (int selector = 0; selector < 64; ++selector) {
+      Vm vm(&binary);
+      vm.SetRegister(9, selector);
+      vm.SetRegister(8, 0x7f000000 + selector);  // "computed" result source
+      VmResult r = vm.Run(name);
+      ASSERT_TRUE(r.ok) << name << " selector " << selector << ": " << r.trap;
+      bool pthread_style = r.retval > 0 && r.retval <= 255 && !r.errno_value;
+      if (r.retval < 0 || r.errno_value || pthread_style) {
+        if (r.retval < 0 || r.errno_value) {
+          executed_modes.insert({r.retval, r.errno_value.value_or(0)});
+        }
+        executed_errors.insert(r.retval);
+      }
+    }
+    // Every inferred error mode must be executable...
+    for (const ErrorSpec& spec : fn.errors) {
+      if (spec.errnos.empty()) {
+        EXPECT_TRUE(executed_errors.count(spec.retval))
+            << name << " retval " << spec.retval;
+      }
+      for (int e : spec.errnos) {
+        EXPECT_TRUE(executed_modes.count({spec.retval, e}))
+            << name << " retval " << spec.retval << " errno " << e;
+      }
+    }
+    // ...and every executed error retval must be in the inferred profile.
+    std::set<int64_t> inferred_errors = fn.ErrorCodes();
+    for (int64_t v : executed_errors) {
+      EXPECT_TRUE(inferred_errors.count(v)) << name << " executed retval " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Libraries, VmOracle, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0:
+                               return "libc";
+                             case 1:
+                               return "libxml";
+                             default:
+                               return "libapr";
+                           }
+                         });
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,180 @@
+// Property-based tests for the xdiff substrate: whatever inputs we throw at
+// them, diff scripts must transform a into b, merges must respect both
+// sides' changes, and patience diff must agree with Myers on equality of
+// endpoints.
+
+#include <gtest/gtest.h>
+
+#include "apps/git/xdiff.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "vlib/virtual_libc.h"
+
+namespace lfi {
+namespace {
+
+// Applies an edit script to reconstruct the target sequence.
+std::vector<std::string> ApplyDiff(const std::vector<DiffEdit>& edits) {
+  std::vector<std::string> out;
+  for (const auto& e : edits) {
+    if (e.kind != DiffEdit::Kind::kDelete) {
+      out.push_back(e.line);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ApplyDiffReverse(const std::vector<DiffEdit>& edits) {
+  std::vector<std::string> out;
+  for (const auto& e : edits) {
+    if (e.kind != DiffEdit::Kind::kInsert) {
+      out.push_back(e.line);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> RandomLines(Rng* rng, size_t max_len, int alphabet) {
+  std::vector<std::string> out;
+  size_t len = rng->NextBelow(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(StrFormat("line-%d", static_cast<int>(rng->NextBelow(
+                                           static_cast<uint64_t>(alphabet)))));
+  }
+  return out;
+}
+
+class MyersProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MyersProperty, ScriptTransformsAIntoB) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  for (int iter = 0; iter < 50; ++iter) {
+    auto a = RandomLines(&rng, 20, 6);
+    auto b = RandomLines(&rng, 20, 6);
+    auto edits = MyersDiff(a, b);
+    EXPECT_EQ(ApplyDiff(edits), b);
+    EXPECT_EQ(ApplyDiffReverse(edits), a);
+  }
+}
+
+TEST_P(MyersProperty, IdenticalInputsYieldOnlyKeeps) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 3);
+  auto a = RandomLines(&rng, 30, 4);
+  for (const auto& e : MyersDiff(a, a)) {
+    EXPECT_EQ(e.kind, DiffEdit::Kind::kKeep);
+  }
+}
+
+TEST_P(MyersProperty, EditCountBoundedBySizes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 1);
+  auto a = RandomLines(&rng, 15, 5);
+  auto b = RandomLines(&rng, 15, 5);
+  int changes = 0;
+  for (const auto& e : MyersDiff(a, b)) {
+    changes += e.kind != DiffEdit::Kind::kKeep;
+  }
+  EXPECT_LE(static_cast<size_t>(changes), a.size() + b.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MyersProperty, ::testing::Range(1, 9));
+
+class MergeProperty : public ::testing::TestWithParam<int> {
+ protected:
+  MergeProperty() : libc_(&fs_, &net_, "xdiff-test") {}
+  VirtualFs fs_;
+  VirtualNet net_;
+  VirtualLibc libc_;
+};
+
+TEST_P(MergeProperty, OneSidedChangesAlwaysMergeCleanly) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 41 + 11);
+  for (int iter = 0; iter < 30; ++iter) {
+    auto base = RandomLines(&rng, 12, 8);
+    auto ours = RandomLines(&rng, 12, 8);
+    // theirs == base: the merge must produce exactly ours.
+    MergeResult r = XMerge3(&libc_, nullptr, 0, 0, base, ours, base);
+    EXPECT_FALSE(r.conflict);
+    EXPECT_EQ(r.lines, ours) << "iter " << iter;
+    // Symmetric case.
+    MergeResult r2 = XMerge3(&libc_, nullptr, 0, 0, base, base, ours);
+    EXPECT_FALSE(r2.conflict);
+    EXPECT_EQ(r2.lines, ours);
+  }
+}
+
+TEST_P(MergeProperty, IdenticalChangesAreNotConflicts) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 59 + 2);
+  auto base = RandomLines(&rng, 10, 5);
+  auto change = RandomLines(&rng, 10, 5);
+  MergeResult r = XMerge3(&libc_, nullptr, 0, 0, base, change, change);
+  EXPECT_FALSE(r.conflict);
+  EXPECT_EQ(r.lines, change);
+}
+
+TEST_P(MergeProperty, MergeLeaksNoAllocations) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  auto base = RandomLines(&rng, 10, 4);
+  auto ours = RandomLines(&rng, 10, 4);
+  auto theirs = RandomLines(&rng, 10, 4);
+  size_t before = libc_.live_allocations();
+  XMerge3(&libc_, nullptr, 0, 0, base, ours, theirs);
+  EXPECT_EQ(libc_.live_allocations(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeProperty, ::testing::Range(1, 7));
+
+class PatienceProperty : public ::testing::TestWithParam<int> {
+ protected:
+  PatienceProperty() : libc_(&fs_, &net_, "xdiff-test") {}
+  VirtualFs fs_;
+  VirtualNet net_;
+  VirtualLibc libc_;
+};
+
+TEST_P(PatienceProperty, ScriptTransformsAIntoB) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 5);
+  for (int iter = 0; iter < 30; ++iter) {
+    auto a = RandomLines(&rng, 16, 10);
+    auto b = RandomLines(&rng, 16, 10);
+    auto edits = PatienceDiff(&libc_, nullptr, 0, a, b);
+    EXPECT_EQ(ApplyDiff(edits), b);
+    EXPECT_EQ(ApplyDiffReverse(edits), a);
+  }
+}
+
+TEST_P(PatienceProperty, AnchorsOnUniqueCommonLines) {
+  // Unique common lines must survive as keeps.
+  std::vector<std::string> a = {"x", "UNIQUE", "y"};
+  std::vector<std::string> b = {"p", "UNIQUE", "q"};
+  auto edits = PatienceDiff(&libc_, nullptr, 0, a, b);
+  bool kept_unique = false;
+  for (const auto& e : edits) {
+    if (e.kind == DiffEdit::Kind::kKeep && e.line == "UNIQUE") {
+      kept_unique = true;
+    }
+  }
+  EXPECT_TRUE(kept_unique);
+  (void)GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatienceProperty, ::testing::Range(1, 5));
+
+TEST(SplitJoin, RoundTrip) {
+  std::string text = "a\nbb\n\nccc\n";
+  EXPECT_EQ(JoinLines(SplitLines(text)), text);
+  EXPECT_TRUE(SplitLines("").empty());
+  // Trailing line without newline is preserved by Split (Join normalizes).
+  auto lines = SplitLines("x\ny");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "y");
+}
+
+TEST(RenderDiff, MarksEditKinds) {
+  std::vector<DiffEdit> edits = {{DiffEdit::Kind::kKeep, "same"},
+                                 {DiffEdit::Kind::kDelete, "old"},
+                                 {DiffEdit::Kind::kInsert, "new"}};
+  EXPECT_EQ(RenderDiff(edits), " same\n-old\n+new\n");
+}
+
+}  // namespace
+}  // namespace lfi

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+#include "xml/xml.h"
+
+namespace lfi {
+namespace {
+
+TEST(XmlParse, SimpleElement) {
+  auto doc = XmlParse("<root/>");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->root()->name(), "root");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParse, Attributes) {
+  auto doc = XmlParse(R"(<function name="read" argc="3" return="-1" errno="EINVAL"/>)");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->root()->AttrOr("name", ""), "read");
+  EXPECT_EQ(doc->root()->IntAttr("argc").value(), 3);
+  EXPECT_EQ(doc->root()->AttrOr("return", ""), "-1");
+  EXPECT_EQ(doc->root()->AttrOr("errno", ""), "EINVAL");
+  EXPECT_FALSE(doc->root()->Attr("missing").has_value());
+}
+
+TEST(XmlParse, SingleQuotedAttributes) {
+  auto doc = XmlParse("<a x='1' y='two'/>");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->root()->AttrOr("x", ""), "1");
+  EXPECT_EQ(doc->root()->AttrOr("y", ""), "two");
+}
+
+TEST(XmlParse, NestedChildren) {
+  auto doc = XmlParse(R"(
+    <trigger id="readTrig2" class="ReadPipe">
+      <args>
+        <low>1024</low>
+        <high>4096</high>
+      </args>
+    </trigger>)");
+  ASSERT_NE(doc, nullptr);
+  const XmlNode* args = doc->root()->Child("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->ChildText("low"), "1024");
+  EXPECT_EQ(args->ChildText("high"), "4096");
+  EXPECT_EQ(args->ChildText("absent", "def"), "def");
+}
+
+TEST(XmlParse, MultipleSameNameChildren) {
+  auto doc = XmlParse("<f><reftrigger ref='a'/><reftrigger ref='b'/></f>");
+  ASSERT_NE(doc, nullptr);
+  auto refs = doc->root()->Children("reftrigger");
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0]->AttrOr("ref", ""), "a");
+  EXPECT_EQ(refs[1]->AttrOr("ref", ""), "b");
+}
+
+TEST(XmlParse, PredefinedEntities) {
+  auto doc = XmlParse("<a v=\"&lt;&gt;&amp;&quot;&apos;\">x &amp; y</a>");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->root()->AttrOr("v", ""), "<>&\"'");
+  EXPECT_EQ(std::string(Trim(doc->root()->text())), "x & y");
+}
+
+TEST(XmlParse, CharacterReferences) {
+  auto doc = XmlParse("<a>&#65;&#x42;</a>");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(std::string(Trim(doc->root()->text())), "AB");
+}
+
+TEST(XmlParse, Comments) {
+  auto doc = XmlParse("<!-- header --><a><!-- inside -->text</a><!-- trailer -->");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(std::string(Trim(doc->root()->text())), "text");
+}
+
+TEST(XmlParse, DeclarationAndDoctype) {
+  auto doc = XmlParse("<?xml version=\"1.0\"?><!DOCTYPE scenario><scenario/>");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->root()->name(), "scenario");
+}
+
+TEST(XmlParse, Cdata) {
+  auto doc = XmlParse("<a><![CDATA[<raw> & stuff]]></a>");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(std::string(Trim(doc->root()->text())), "<raw> & stuff");
+}
+
+TEST(XmlParse, ErrorMismatchedTags) {
+  XmlError error;
+  auto doc = XmlParse("<a><b></a></b>", &error);
+  EXPECT_EQ(doc, nullptr);
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(XmlParse, ErrorUnterminated) {
+  XmlError error;
+  EXPECT_EQ(XmlParse("<a><b>", &error), nullptr);
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(XmlParse, ErrorUnknownEntity) {
+  XmlError error;
+  EXPECT_EQ(XmlParse("<a>&bogus;</a>", &error), nullptr);
+}
+
+TEST(XmlParse, ErrorTrailingContent) {
+  XmlError error;
+  EXPECT_EQ(XmlParse("<a/><b/>", &error), nullptr);
+}
+
+TEST(XmlParse, ErrorLineNumbers) {
+  XmlError error;
+  EXPECT_EQ(XmlParse("<a>\n\n<b></c>\n</a>", &error), nullptr);
+  EXPECT_EQ(error.line, 3);
+}
+
+TEST(XmlSerialize, RoundTrip) {
+  XmlDocument doc("scenario");
+  XmlNode* trig = doc.root()->AddChild("trigger");
+  trig->SetAttr("id", "t1");
+  trig->SetAttr("class", "RandomTrigger");
+  XmlNode* args = trig->AddChild("args");
+  args->AddChild("probability")->set_text("0.25");
+  XmlNode* fn = doc.root()->AddChild("function");
+  fn->SetAttr("name", "read");
+  fn->SetAttr("return", "-1");
+  fn->AddChild("reftrigger")->SetAttr("ref", "t1");
+
+  std::string xml = doc.ToString();
+  auto parsed = XmlParse(xml);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->root()->Children("trigger").size(), 1u);
+  EXPECT_EQ(parsed->root()->Child("trigger")->Child("args")->ChildText("probability"), "0.25");
+  EXPECT_EQ(parsed->root()->Child("function")->AttrOr("name", ""), "read");
+}
+
+TEST(XmlSerialize, EscapesSpecialCharacters) {
+  XmlDocument doc("a");
+  doc.root()->SetAttr("v", "<&\">");
+  doc.root()->set_text("x < y & z");
+  std::string xml = doc.ToString();
+  auto parsed = XmlParse(xml);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->root()->AttrOr("v", ""), "<&\">");
+  EXPECT_EQ(std::string(Trim(parsed->root()->text())), "x < y & z");
+}
+
+TEST(XmlNode, SetAttrOverwrites) {
+  XmlNode node("n");
+  node.SetAttr("k", "1");
+  node.SetAttr("k", "2");
+  EXPECT_EQ(node.AttrOr("k", ""), "2");
+  EXPECT_EQ(node.attrs().size(), 1u);
+}
+
+TEST(XmlParse, DeeplyNested) {
+  std::string xml;
+  const int kDepth = 50;
+  for (int i = 0; i < kDepth; ++i) {
+    xml += "<n>";
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    xml += "</n>";
+  }
+  auto doc = XmlParse(xml);
+  ASSERT_NE(doc, nullptr);
+  const XmlNode* cur = doc->root();
+  int depth = 1;
+  while (cur->Child("n") != nullptr) {
+    cur = cur->Child("n");
+    ++depth;
+  }
+  EXPECT_EQ(depth, kDepth);
+}
+
+}  // namespace
+}  // namespace lfi
