@@ -8,18 +8,25 @@
 //   lfi_tool analyze <app.self> <library.self> [function]
 //                                            call-site report + generated
 //                                            injection scenarios (C_not)
+//   lfi_tool campaign {git|mysql|bind|pbft|all} [workers]
+//                                            run the §7.1 bug campaign on the
+//                                            parallel engine; workers <= 0
+//                                            means one per hardware thread
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "analysis/callsite_analyzer.h"
 #include "apps/bind/bind.h"
+#include "apps/common/bug_campaign.h"
 #include "apps/git/git.h"
 #include "apps/httpd/httpd.h"
 #include "apps/mysql/mysql.h"
 #include "apps/pbft/pbft.h"
+#include "core/analysis_cache.h"
 #include "core/scenario_gen.h"
 #include "core/stock_triggers.h"
 #include "profiler/profiler.h"
@@ -57,8 +64,35 @@ int Usage() {
                "  lfi_tool emit-app {git|bind|mysql|pbft|httpd} <out.self>\n"
                "  lfi_tool disasm <binary.self>\n"
                "  lfi_tool profile <library.self>\n"
-               "  lfi_tool analyze <app.self> <library.self> [function]\n");
+               "  lfi_tool analyze <app.self> <library.self> [function]\n"
+               "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers]\n");
   return 2;
+}
+
+int RunCampaignCommand(const std::string& system, int workers) {
+  lfi::CampaignConfig config;
+  config.workers = workers;
+  std::vector<lfi::FoundBug> bugs;
+  if (system == "git") {
+    bugs = lfi::RunGitCampaign(config);
+  } else if (system == "mysql") {
+    bugs = lfi::RunMysqlCampaign(config);
+  } else if (system == "bind") {
+    bugs = lfi::RunBindCampaign(config);
+  } else if (system == "pbft") {
+    bugs = lfi::RunPbftCampaign(config);
+  } else if (system == "all") {
+    bugs = lfi::RunFullCampaign(config);
+  } else {
+    return Usage();
+  }
+  std::printf("%-7s %-20s %-55s %s\n", "system", "kind", "where", "injected");
+  for (const lfi::FoundBug& bug : bugs) {
+    std::printf("%-7s %-20s %-55s %s\n", bug.system.c_str(), bug.kind.c_str(),
+                bug.where.c_str(), bug.injected.c_str());
+  }
+  std::printf("%zu distinct bug(s)\n", bugs.size());
+  return 0;
 }
 
 
@@ -125,17 +159,19 @@ int main(int argc, char** argv) {
     if (!app || !lib) {
       return 1;
     }
-    lfi::LibraryProfiler profiler;
-    lfi::FaultProfile profile = profiler.Profile(*lib);
-    lfi::CallSiteAnalyzer analyzer;
-    std::vector<lfi::CallSiteReport> all;
+    lfi::AnalysisCache& cache = lfi::AnalysisCache::Instance();
+    const lfi::FaultProfile& profile = cache.Profile(
+        lib->module_name(), [&] { return lfi::LibraryProfiler().Profile(*lib); });
     std::string only = args.size() == 4 ? args[3] : "";
-    for (const auto& [name, fn] : profile.functions()) {
-      if (!only.empty() && name != only) {
-        continue;
-      }
-      for (auto& report : analyzer.Analyze(*app, name, fn.ErrorCodes())) {
-        all.push_back(std::move(report));
+    std::vector<lfi::CallSiteReport> all;
+    if (only.empty()) {
+      all = cache.Reports(*app, profile);
+    } else {
+      // Filtered query: analyze just the one function instead of paying for
+      // a full cached pass this one-shot process would never reuse.
+      lfi::CallSiteAnalyzer analyzer;
+      if (const lfi::FunctionProfile* fn = profile.Find(only)) {
+        all = analyzer.Analyze(*app, only, fn->ErrorCodes());
       }
     }
     std::printf("%-12s %-10s %-24s %s\n", "function", "offset", "in", "class");
@@ -148,6 +184,10 @@ int main(int argc, char** argv) {
                 scenarios.unchecked.functions().size());
     std::printf("%s", scenarios.unchecked.ToXml().c_str());
     return 0;
+  }
+  if (cmd == "campaign" && (args.size() == 2 || args.size() == 3)) {
+    int workers = args.size() == 3 ? std::atoi(args[2].c_str()) : 1;
+    return RunCampaignCommand(args[1], workers);
   }
   return Usage();
 }

@@ -3,15 +3,14 @@
 #include <memory>
 #include <set>
 
-#include "analysis/callsite_analyzer.h"
 #include "apps/bind/bind.h"
 #include "apps/git/git.h"
 #include "apps/mysql/mysql.h"
 #include "apps/pbft/pbft.h"
+#include "core/analysis_cache.h"
 #include "core/controller.h"
 #include "core/custom_triggers.h"
 #include "core/distributed.h"
-#include "core/scenario_gen.h"
 #include "core/stock_triggers.h"
 #include "util/errno_codes.h"
 #include "util/string_util.h"
@@ -20,100 +19,46 @@
 namespace lfi {
 namespace {
 
-std::string SiteLabel(const CallSiteReport& report) {
-  return StrFormat("%s@%s+0x%x", report.site.function.c_str(), report.site.enclosing.c_str(),
-                   report.site.offset);
+// Ground-truth profiles, memoized process-wide so concurrent workers and
+// repeated campaigns share one copy (stub_gen/profiler round-trip them
+// exactly, so ground truth and recovered profiles are interchangeable).
+const FaultProfile& CachedLibcProfile() {
+  return AnalysisCache::Instance().Profile("libc", LibcProfile);
 }
 
-// Runs the analyzer over every profiled function of `binary` and returns the
-// generated single-site scenarios for the non-fully-checked sites.
-std::vector<std::pair<Scenario, std::string>> AnalyzerScenarios(const AppBinary& binary,
-                                                                const FaultProfile& profile) {
-  std::vector<std::pair<Scenario, std::string>> out;
-  CallSiteAnalyzer analyzer;
-  for (const auto& [name, fn] : profile.functions()) {
-    for (const CallSiteReport& report :
-         analyzer.Analyze(binary.image(), name, fn.ErrorCodes())) {
-      if (report.check_class == CheckClass::kFull) {
-        continue;
-      }
-      Scenario scenario = GenerateSiteScenario(report, profile);
-      if (!scenario.functions().empty()) {
-        out.emplace_back(std::move(scenario), SiteLabel(report));
-      }
-    }
-  }
-  return out;
-}
-
-Scenario RandomScenario(const std::string& function, int64_t retval, int errno_value,
-                        double probability, uint64_t seed) {
-  Scenario s;
-  TriggerDecl decl;
-  decl.id = "rand";
-  decl.class_name = "RandomTrigger";
-  auto args = std::make_unique<XmlNode>("args");
-  args->AddChild("probability")->set_text(StrFormat("%g", probability));
-  args->AddChild("seed")->set_text(StrFormat("%llu", (unsigned long long)seed));
-  decl.args = std::shared_ptr<XmlNode>(args.release());
-  s.AddTrigger(std::move(decl));
-  FunctionAssoc assoc;
-  assoc.function = function;
-  assoc.retval = retval;
-  assoc.errno_value = errno_value;
-  assoc.triggers.push_back(TriggerRef{"rand", false});
-  s.AddFunction(std::move(assoc));
-  return s;
-}
-
-Scenario CallCountScenario(const std::string& function, uint64_t count, int64_t retval,
-                           int errno_value) {
-  Scenario s;
-  TriggerDecl decl;
-  decl.id = "nth";
-  decl.class_name = "CallCountTrigger";
-  auto args = std::make_unique<XmlNode>("args");
-  args->AddChild("count")->set_text(StrFormat("%llu", (unsigned long long)count));
-  decl.args = std::shared_ptr<XmlNode>(args.release());
-  s.AddTrigger(std::move(decl));
-  FunctionAssoc assoc;
-  assoc.function = function;
-  assoc.retval = retval;
-  assoc.errno_value = errno_value;
-  assoc.triggers.push_back(TriggerRef{"nth", false});
-  s.AddFunction(std::move(assoc));
-  return s;
+const FaultProfile& CachedLibxmlProfile() {
+  return AnalysisCache::Instance().Profile("libxml2", LibxmlProfile);
 }
 
 }  // namespace
 
-std::vector<FoundBug> RunGitCampaign() {
+std::vector<FoundBug> RunGitCampaign(const CampaignConfig& config) {
   EnsureStockTriggersRegistered();
-  std::set<FoundBug> bugs;
-  FaultProfile profile = LibcProfile();
+  std::vector<CampaignJob> jobs = AnalyzerJobs(GitBinary().image(), CachedLibcProfile());
 
-  for (auto& [scenario, label] : AnalyzerScenarios(GitBinary(), profile)) {
+  CampaignEngine engine({.workers = config.workers});
+  return engine.Run(jobs, [](const CampaignJob& job) {
+    std::vector<FoundBug> bugs;
     VirtualFs fs;
     VirtualNet net;
     MiniGit git(&fs, &net, "/repo");
-    TestController controller(scenario);
+    TestController controller(job.scenario, SeededOptions(job.seed));
     TestOutcome outcome =
         controller.RunTest(&git.libc(), [&] { return git.RunDefaultTestSuite(); });
     if (outcome.crashed()) {
-      bugs.insert({"git", CrashKindName(outcome.crash_kind), outcome.crash_where, label});
+      bugs.push_back({"git", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
     } else if (outcome.injections > 0 && !git.Fsck()) {
       // The fault was absorbed but the repository is corrupt: silent data
       // loss (the setenv/hook bug).
-      bugs.insert({"git", "data loss", "repository corrupted by hook environment", label});
+      bugs.push_back({"git", "data loss", "repository corrupted by hook environment", job.label});
     }
-  }
-  return {bugs.begin(), bugs.end()};
+    return bugs;
+  });
 }
 
-std::vector<FoundBug> RunMysqlCampaign() {
+std::vector<FoundBug> RunMysqlCampaign(const CampaignConfig& config) {
   EnsureStockTriggersRegistered();
-  std::set<FoundBug> bugs;
-  FaultProfile profile = LibcProfile();
+  const FaultProfile& profile = CachedLibcProfile();
 
   auto workload = [](MiniMysql& mysql) {
     mysql.libc().fs()->WriteFile("/mysql/share/errmsg.sys",
@@ -125,109 +70,100 @@ std::vector<FoundBug> RunMysqlCampaign() {
   };
 
   // Phase 1: analyzer-generated scenarios.
-  for (auto& [scenario, label] : AnalyzerScenarios(MysqlBinary(), profile)) {
-    VirtualFs fs;
-    VirtualNet net;
-    MiniMysql mysql(&fs, &net, "/mysql");
-    TestController controller(scenario);
-    TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] { return workload(mysql); });
-    if (outcome.crashed()) {
-      bugs.insert({"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where, label});
-    }
-  }
+  std::vector<CampaignJob> jobs = AnalyzerJobs(MysqlBinary().image(), profile);
 
   // Phase 2: random injection (the paper ran 1,000 random tests against
   // MySQL and distilled 35 crashes into the two Table 1 bugs).
-  int runs = 0;
   for (const char* function : {"close", "read"}) {
     const FunctionProfile* fn = profile.Find(function);
     int64_t retval = fn->errors.front().retval;
     int errno_value = fn->errors.front().errnos.empty() ? 0 : kEIO;
     for (uint64_t seed = 1; seed <= 50; ++seed) {
-      ++runs;
-      VirtualFs fs;
-      VirtualNet net;
-      MiniMysql mysql(&fs, &net, "/mysql");
-      TestController controller(RandomScenario(function, retval, errno_value, 0.1, seed));
-      TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] { return workload(mysql); });
-      if (outcome.crashed()) {
-        bugs.insert({"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where,
-                     StrFormat("random 10%% on %s (seed %llu)", function,
-                               (unsigned long long)seed)});
-      }
+      CampaignJob job;
+      job.scenario = MakeRandomScenario(function, retval, errno_value, 0.1, seed);
+      job.label =
+          StrFormat("random 10%% on %s (seed %llu)", function, (unsigned long long)seed);
+      job.seed = seed;
+      jobs.push_back(std::move(job));
     }
   }
-  (void)runs;
-  return {bugs.begin(), bugs.end()};
+
+  CampaignEngine engine({.workers = config.workers});
+  return engine.Run(jobs, [&workload](const CampaignJob& job) {
+    std::vector<FoundBug> bugs;
+    VirtualFs fs;
+    VirtualNet net;
+    MiniMysql mysql(&fs, &net, "/mysql");
+    TestController controller(job.scenario, SeededOptions(job.seed));
+    TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] { return workload(mysql); });
+    if (outcome.crashed()) {
+      bugs.push_back(
+          {"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+    }
+    return bugs;
+  });
 }
 
-std::vector<FoundBug> RunBindCampaign() {
+std::vector<FoundBug> RunBindCampaign(const CampaignConfig& config) {
   EnsureStockTriggersRegistered();
-  std::set<FoundBug> bugs;
-  FaultProfile libc_profile = LibcProfile();
-  FaultProfile libxml_profile = LibxmlProfile();
 
-  auto workload = [](MiniBind& bind) { return bind.RunDefaultTestSuite(); };
-
-  for (const FaultProfile* profile : {&libc_profile, &libxml_profile}) {
-    for (auto& [scenario, label] : AnalyzerScenarios(BindBinary(), *profile)) {
-      VirtualFs fs;
-      VirtualNet net;
-      MiniBind bind(&fs, &net, "/etc/bind");
-      TestController controller(scenario);
-      TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return workload(bind); });
-      if (outcome.crashed()) {
-        bugs.insert({"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, label});
-      }
-    }
+  // Analyzer scenarios against both library profiles.
+  std::vector<CampaignJob> jobs = AnalyzerJobs(BindBinary().image(), CachedLibcProfile());
+  for (CampaignJob& job : AnalyzerJobs(BindBinary().image(), CachedLibxmlProfile())) {
+    jobs.push_back(std::move(job));
   }
 
   // Exhaustive malloc sweep over dst_lib_init: the call *is* checked (so the
   // analyzer reports it fully checked), but the recovery path is broken.
+  // These run a different workload, so they carry their own runner.
   for (uint64_t k = 1; k <= MiniBind::kDstAllocations; ++k) {
+    CampaignJob job;
+    job.scenario = MakeCallCountScenario("malloc", k, 0, kENOMEM);
+    job.label = StrFormat("malloc #%llu = NULL in dst_lib_init", (unsigned long long)k);
+    job.seed = k;
+    job.run = [](const CampaignJob& self) {
+      std::vector<FoundBug> bugs;
+      VirtualFs fs;
+      VirtualNet net;
+      MiniBind bind(&fs, &net, "/etc/bind");
+      TestController controller(self.scenario, SeededOptions(self.seed));
+      TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return bind.DstLibInit(); });
+      if (outcome.crashed()) {
+        bugs.push_back(
+            {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, self.label});
+      }
+      return bugs;
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  CampaignEngine engine({.workers = config.workers});
+  return engine.Run(jobs, [](const CampaignJob& job) {
+    std::vector<FoundBug> bugs;
     VirtualFs fs;
     VirtualNet net;
     MiniBind bind(&fs, &net, "/etc/bind");
-    TestController controller(CallCountScenario("malloc", k, 0, kENOMEM));
-    TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return bind.DstLibInit(); });
+    TestController controller(job.scenario, SeededOptions(job.seed));
+    TestOutcome outcome =
+        controller.RunTest(&bind.libc(), [&] { return bind.RunDefaultTestSuite(); });
     if (outcome.crashed()) {
-      bugs.insert({"bind", CrashKindName(outcome.crash_kind), outcome.crash_where,
-                   StrFormat("malloc #%llu = NULL in dst_lib_init", (unsigned long long)k)});
+      bugs.push_back({"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
     }
-  }
-  return {bugs.begin(), bugs.end()};
+    return bugs;
+  });
 }
 
-std::vector<FoundBug> RunPbftCampaign() {
+std::vector<FoundBug> RunPbftCampaign(const CampaignConfig& config) {
   EnsureStockTriggersRegistered();
-  std::set<FoundBug> bugs;
-  FaultProfile profile = LibcProfile();
 
   // Phase 1: analyzer scenarios against replica 0 (shutdown checkpoint bug).
-  for (auto& [scenario, label] : AnalyzerScenarios(PbftBinary(), profile)) {
-    VirtualFs fs;
-    VirtualNet net;
-    PbftConfig config;
-    PbftCluster cluster(&fs, &net, config);
-    if (!cluster.Start()) {
-      continue;
-    }
-    TestController controller(scenario);
-    TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
-      cluster.RunWorkload(/*requests=*/8, /*max_ticks=*/2000);
-      cluster.replica(0).Shutdown();
-      return cluster.client().completed() >= 8;
-    });
-    if (outcome.crashed()) {
-      bugs.insert({"pbft", CrashKindName(outcome.crash_kind), outcome.crash_where, label});
-    } else if (cluster.crashed()) {
-      bugs.insert({"pbft", "SIGSEGV", cluster.crash_reason(), label});
-    }
-  }
+  std::vector<CampaignJob> jobs = AnalyzerJobs(PbftBinary().image(), CachedLibcProfile());
 
   // Phase 2: distributed random faults in sendto/recvfrom across replicas
   // (release build). Message loss leaves prepare certificates without their
-  // payloads; the crash manifests during the view change.
+  // payloads; the crash manifests during the view change. The serial
+  // campaign stopped fuzzing once two bugs were on the list; max_bugs plus
+  // skip_when_saturated reproduces that cutoff deterministically.
   Scenario dist;
   {
     TriggerDecl decl;
@@ -243,36 +179,69 @@ std::vector<FoundBug> RunPbftCampaign() {
       dist.AddFunction(assoc);
     }
   }
-  for (uint64_t seed = 1; seed <= 20 && bugs.size() < 2; ++seed) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    CampaignJob job;
+    job.scenario = dist;
+    job.label =
+        StrFormat("random sendto/recvfrom faults, seed %llu", (unsigned long long)seed);
+    job.seed = seed;
+    job.skip_when_saturated = !config.exhaustive;
+    job.run = [](const CampaignJob& self) {
+      std::vector<FoundBug> bugs;
+      VirtualFs fs;
+      VirtualNet net;
+      PbftConfig pbft_config;
+      pbft_config.debug_build = false;
+      PbftCluster cluster(&fs, &net, pbft_config);
+      if (!cluster.Start()) {
+        return bugs;
+      }
+      RandomLossController controller(0.35, self.seed);
+      std::vector<std::unique_ptr<Runtime>> runtimes;
+      for (int i = 0; i < cluster.n(); ++i) {
+        cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
+        runtimes.push_back(std::make_unique<Runtime>(self.scenario));
+        cluster.replica(i).libc().set_interposer(runtimes.back().get());
+      }
+      cluster.RunWorkload(/*requests=*/30, /*max_ticks=*/4000);
+      if (cluster.crashed()) {
+        bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), self.label});
+      }
+      return bugs;
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  CampaignEngine engine(
+      {.workers = config.workers, .max_bugs = config.exhaustive ? size_t{0} : size_t{2}});
+  return engine.Run(jobs, [](const CampaignJob& job) {
+    std::vector<FoundBug> bugs;
     VirtualFs fs;
     VirtualNet net;
-    PbftConfig config;
-    config.debug_build = false;
-    PbftCluster cluster(&fs, &net, config);
+    PbftConfig pbft_config;
+    PbftCluster cluster(&fs, &net, pbft_config);
     if (!cluster.Start()) {
-      continue;
+      return bugs;
     }
-    RandomLossController controller(0.35, seed);
-    std::vector<std::unique_ptr<Runtime>> runtimes;
-    for (int i = 0; i < cluster.n(); ++i) {
-      cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
-      runtimes.push_back(std::make_unique<Runtime>(dist));
-      cluster.replica(i).libc().set_interposer(runtimes.back().get());
+    TestController controller(job.scenario, SeededOptions(job.seed));
+    TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
+      cluster.RunWorkload(/*requests=*/8, /*max_ticks=*/2000);
+      cluster.replica(0).Shutdown();
+      return cluster.client().completed() >= 8;
+    });
+    if (outcome.crashed()) {
+      bugs.push_back({"pbft", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+    } else if (cluster.crashed()) {
+      bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
     }
-    cluster.RunWorkload(/*requests=*/30, /*max_ticks=*/4000);
-    if (cluster.crashed()) {
-      bugs.insert({"pbft", "SIGSEGV", cluster.crash_reason(),
-                   StrFormat("random sendto/recvfrom faults, seed %llu",
-                             (unsigned long long)seed)});
-    }
-  }
-  return {bugs.begin(), bugs.end()};
+    return bugs;
+  });
 }
 
-std::vector<FoundBug> RunFullCampaign() {
+std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config) {
   std::set<FoundBug> all;
   for (auto campaign : {RunGitCampaign, RunMysqlCampaign, RunBindCampaign, RunPbftCampaign}) {
-    for (const FoundBug& bug : campaign()) {
+    for (const FoundBug& bug : campaign(config)) {
       all.insert(bug);
     }
   }

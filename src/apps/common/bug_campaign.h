@@ -1,7 +1,7 @@
 // The §7.1 testing campaign: what "LFI entirely on its own" runs.
 //
 // For each target system the campaign
-//   1. profiles the libraries (from their binaries),
+//   1. profiles the libraries (shared through the AnalysisCache),
 //   2. runs the call-site analyzer on the application binary and generates
 //      injection scenarios for the unchecked sites (C_not),
 //   3. runs each scenario against the system's default workload under the
@@ -11,36 +11,36 @@
 //      static classification flags), plus an integrity check for silent data
 //      loss (the Git setenv bug).
 //
+// Scenarios are independent controller runs, so every campaign executes on
+// the CampaignEngine's worker pool; `CampaignConfig::workers` picks the
+// degree of parallelism and the result is identical for any worker count.
 // The result is the Table 1 bug list, deduplicated by crash site.
 
 #ifndef LFI_APPS_COMMON_BUG_CAMPAIGN_H_
 #define LFI_APPS_COMMON_BUG_CAMPAIGN_H_
 
-#include <string>
-#include <tuple>
 #include <vector>
 
-#include "vlib/sim_crash.h"
+#include "core/campaign_engine.h"
 
 namespace lfi {
 
-struct FoundBug {
-  std::string system;       // "git", "mysql", "bind", "pbft"
-  std::string kind;         // "SIGSEGV", "double mutex unlock", "data loss", ...
-  std::string where;        // crash site / corruption description
-  std::string injected;     // the fault that exposed it, e.g. "opendir=NULL@list_branches"
-  bool operator<(const FoundBug& o) const {
-    return std::tie(system, kind, where) < std::tie(o.system, o.kind, o.where);
-  }
+struct CampaignConfig {
+  int workers = 1;  // CampaignEngine worker pool; <= 0 = one per hardware thread
+  // Runs every generated scenario instead of stopping the fuzz phases at the
+  // historical bug counts. The dedup makes the result a superset of the
+  // default run; throughput benchmarks use this so serial and parallel runs
+  // execute identical work.
+  bool exhaustive = false;
 };
 
-std::vector<FoundBug> RunGitCampaign();
-std::vector<FoundBug> RunMysqlCampaign();
-std::vector<FoundBug> RunBindCampaign();
-std::vector<FoundBug> RunPbftCampaign();
+std::vector<FoundBug> RunGitCampaign(const CampaignConfig& config = {});
+std::vector<FoundBug> RunMysqlCampaign(const CampaignConfig& config = {});
+std::vector<FoundBug> RunBindCampaign(const CampaignConfig& config = {});
+std::vector<FoundBug> RunPbftCampaign(const CampaignConfig& config = {});
 
 // All four systems; returns the deduplicated union.
-std::vector<FoundBug> RunFullCampaign();
+std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config = {});
 
 }  // namespace lfi
 

@@ -37,11 +37,16 @@ std::vector<DiffEdit> MyersDiff(const std::vector<std::string>& a,
   const int n = static_cast<int>(a.size());
   const int m = static_cast<int>(b.size());
   const int max = n + m;
-  // V arrays per D for traceback.
+  // V arrays per D for traceback. Sized 2*max+3 so the k == ±d cases may
+  // read V[k±1] without going out of bounds (the classic V[-max-1..max+1]
+  // indexing from Myers' paper; with max = 0 the old 2*max+1 sizing made
+  // V[k+1] read past the end).
   std::vector<std::vector<int>> trace;
-  std::vector<int> v(static_cast<size_t>(2 * max + 1), 0);
+  std::vector<int> v(static_cast<size_t>(2 * max + 3), 0);
 
-  auto vat = [&](std::vector<int>& vec, int k) -> int& { return vec[static_cast<size_t>(k + max)]; };
+  auto vat = [&](std::vector<int>& vec, int k) -> int& {
+    return vec[static_cast<size_t>(k + max + 1)];
+  };
 
   int d_final = -1;
   for (int d = 0; d <= max; ++d) {

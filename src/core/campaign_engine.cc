@@ -1,0 +1,151 @@
+#include "core/campaign_engine.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "core/analysis_cache.h"
+#include "core/scenario_gen.h"
+#include "util/string_util.h"
+#include "util/work_queue.h"
+
+namespace lfi {
+
+bool BugSink::Report(const FoundBug& bug) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bugs_.insert(bug).second;
+}
+
+void BugSink::Report(const std::vector<FoundBug>& bugs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const FoundBug& bug : bugs) {
+    bugs_.insert(bug);
+  }
+}
+
+size_t BugSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bugs_.size();
+}
+
+std::vector<FoundBug> BugSink::Sorted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {bugs_.begin(), bugs_.end()};
+}
+
+std::vector<FoundBug> CampaignEngine::Run(const std::vector<CampaignJob>& jobs,
+                                          const JobRunner& runner) const {
+  // Completed jobs park their results here until every lower-index job has
+  // finished; the cursor then folds them into the sink in job order. That
+  // ordered merge -- not the execution order -- decides dedup winners and
+  // the max_bugs cutoff, which is what makes N workers bit-identical to one.
+  std::vector<std::optional<std::vector<FoundBug>>> pending(jobs.size());
+  BugSink sink;
+  size_t cursor = 0;
+  std::mutex merge_mu;
+  std::atomic<bool> saturated{false};
+
+  auto deliver = [&](size_t index, std::vector<FoundBug> bugs) {
+    std::lock_guard<std::mutex> lock(merge_mu);
+    pending[index] = std::move(bugs);
+    while (cursor < jobs.size() && pending[cursor].has_value()) {
+      bool gated = jobs[cursor].skip_when_saturated && options_.max_bugs != 0 &&
+                   sink.size() >= options_.max_bugs;
+      if (!gated) {
+        sink.Report(*pending[cursor]);
+      }
+      if (options_.max_bugs != 0 && sink.size() >= options_.max_bugs) {
+        saturated.store(true, std::memory_order_release);
+      }
+      pending[cursor].reset();  // the cursor never revisits a merged slot
+      ++cursor;
+    }
+  };
+
+  WorkerPool::ParallelFor(options_.workers, jobs.size(), [&](size_t index, int worker) {
+    (void)worker;
+    const CampaignJob& job = jobs[index];
+    // Advisory fast-path: once saturated, gated jobs skip execution. The
+    // merge-side gate above is the authoritative (deterministic) one; this
+    // only avoids wasted work, since late results are discarded anyway.
+    if (job.skip_when_saturated && saturated.load(std::memory_order_acquire)) {
+      deliver(index, {});
+      return;
+    }
+    deliver(index, job.run ? job.run(job) : runner(job));
+  });
+
+  return sink.Sorted();
+}
+
+std::vector<FoundBug> CampaignEngine::Run(const std::vector<CampaignJob>& jobs) const {
+  return Run(jobs, [](const CampaignJob& job) -> std::vector<FoundBug> {
+    throw std::logic_error("CampaignJob '" + job.label +
+                           "' has no runner and none was passed to Run()");
+  });
+}
+
+std::vector<CampaignJob> AnalyzerJobs(const Image& binary, const FaultProfile& profile,
+                                      uint64_t seed_base) {
+  std::vector<CampaignJob> jobs;
+  const std::vector<CallSiteReport>& reports =
+      AnalysisCache::Instance().Reports(binary, profile);
+  for (const CallSiteReport& report : reports) {
+    if (report.check_class == CheckClass::kFull) {
+      continue;
+    }
+    Scenario scenario = GenerateSiteScenario(report, profile);
+    if (scenario.functions().empty()) {
+      continue;
+    }
+    CampaignJob job;
+    job.scenario = std::move(scenario);
+    job.label = StrFormat("%s@%s+0x%x", report.site.function.c_str(),
+                          report.site.enclosing.c_str(), report.site.offset);
+    job.seed = seed_base + 0x9e3779b97f4a7c15ull * (report.site.offset + 1);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+Scenario MakeRandomScenario(const std::string& function, int64_t retval, int errno_value,
+                            double probability, uint64_t seed) {
+  Scenario s;
+  TriggerDecl decl;
+  decl.id = "rand";
+  decl.class_name = "RandomTrigger";
+  auto args = std::make_unique<XmlNode>("args");
+  args->AddChild("probability")->set_text(StrFormat("%g", probability));
+  args->AddChild("seed")->set_text(StrFormat("%llu", (unsigned long long)seed));
+  decl.args = std::shared_ptr<XmlNode>(args.release());
+  s.AddTrigger(std::move(decl));
+  FunctionAssoc assoc;
+  assoc.function = function;
+  assoc.retval = retval;
+  assoc.errno_value = errno_value;
+  assoc.triggers.push_back(TriggerRef{"rand", false});
+  s.AddFunction(std::move(assoc));
+  return s;
+}
+
+Scenario MakeCallCountScenario(const std::string& function, uint64_t count, int64_t retval,
+                               int errno_value) {
+  Scenario s;
+  TriggerDecl decl;
+  decl.id = "nth";
+  decl.class_name = "CallCountTrigger";
+  auto args = std::make_unique<XmlNode>("args");
+  args->AddChild("count")->set_text(StrFormat("%llu", (unsigned long long)count));
+  decl.args = std::shared_ptr<XmlNode>(args.release());
+  s.AddTrigger(std::move(decl));
+  FunctionAssoc assoc;
+  assoc.function = function;
+  assoc.retval = retval;
+  assoc.errno_value = errno_value;
+  assoc.triggers.push_back(TriggerRef{"nth", false});
+  s.AddFunction(std::move(assoc));
+  return s;
+}
+
+}  // namespace lfi

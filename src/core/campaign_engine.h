@@ -1,0 +1,134 @@
+// The parallel campaign engine.
+//
+// The §7.1 campaign ("LFI entirely on its own") is embarrassingly parallel:
+// every generated scenario is an independent controller run against a fresh
+// instance of the target. The engine exploits that. It takes a batch of
+// CampaignJobs -- built from the analyzer's reports, a random-injection
+// generator, or an explicit list -- shards them across a work-stealing
+// worker pool, runs each through its own TestController, and merges the
+// FoundBug results with the campaign's crash-site dedup.
+//
+// Determinism is load-bearing: results are merged in *job order* no matter
+// which worker finishes first, and jobs carry a per-scenario RNG seed that
+// Runtime::Options threads to the triggers, so an N-worker run returns a bug
+// list bit-identical to the 1-worker (serial) baseline.
+
+#ifndef LFI_CORE_CAMPAIGN_ENGINE_H_
+#define LFI_CORE_CAMPAIGN_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/scenario.h"
+#include "image/image.h"
+#include "profiler/fault_profile.h"
+
+namespace lfi {
+
+// A bug exposed by the campaign, deduplicated by crash site: two injections
+// crashing at the same place in the same system are one bug (Table 1 counts
+// distinct sites, not distinct scenarios).
+struct FoundBug {
+  std::string system;    // "git", "mysql", "bind", "pbft"
+  std::string kind;      // "SIGSEGV", "double mutex unlock", "data loss", ...
+  std::string where;     // crash site / corruption description
+  std::string injected;  // the fault that exposed it, e.g. "opendir=NULL@list_branches"
+  bool operator<(const FoundBug& o) const {
+    return std::tie(system, kind, where) < std::tie(o.system, o.kind, o.where);
+  }
+};
+
+// Thread-safe crash-site dedup. The first report of a site wins (later
+// duplicates keep the original `injected` attribution, like the serial
+// std::set-based campaigns did).
+class BugSink {
+ public:
+  // Returns true when the bug was new (not a duplicate site).
+  bool Report(const FoundBug& bug);
+  void Report(const std::vector<FoundBug>& bugs);
+  size_t size() const;
+  std::vector<FoundBug> Sorted() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::set<FoundBug> bugs_;
+};
+
+// One schedulable unit: a scenario plus everything needed to attribute and
+// reproduce its outcome.
+struct CampaignJob {
+  Scenario scenario;
+  std::string label;  // FoundBug::injected for bugs this job exposes
+  uint64_t seed = 0;  // Runtime::Options::seed; 0 = scenario's own seeds
+  // Self-contained jobs (different workload or harness than the campaign
+  // default) override the campaign-wide runner.
+  std::function<std::vector<FoundBug>(const CampaignJob&)> run;
+  // Subject to CampaignEngine::Options::max_bugs: the job is skipped once
+  // the bugs merged so far (in job order) reach the cap. Models the serial
+  // campaigns' "keep fuzzing until N bugs" loops deterministically.
+  bool skip_when_saturated = false;
+};
+
+class CampaignEngine {
+ public:
+  struct Options {
+    int workers = 1;      // <= 0: one worker per hardware thread
+    size_t max_bugs = 0;  // 0 = run everything; else gate skip_when_saturated jobs
+  };
+
+  using JobRunner = std::function<std::vector<FoundBug>(const CampaignJob&)>;
+
+  CampaignEngine() = default;
+  explicit CampaignEngine(Options options) : options_(options) {}
+
+  // Runs every job (job.run when set, `runner` otherwise) on the worker
+  // pool and returns the deduplicated bug list. The merge happens in job
+  // order, so the result -- including which scenario gets the `injected`
+  // attribution for a shared crash site -- is identical for any worker
+  // count.
+  std::vector<FoundBug> Run(const std::vector<CampaignJob>& jobs, const JobRunner& runner) const;
+
+  // Every job must carry its own `run`; throws std::logic_error otherwise.
+  std::vector<FoundBug> Run(const std::vector<CampaignJob>& jobs) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+// Runtime options carrying a job's deterministic seed.
+inline Runtime::Options SeededOptions(uint64_t seed) {
+  Runtime::Options options;
+  options.seed = seed;
+  return options;
+}
+
+// --- Scenario sources -------------------------------------------------------
+
+// One job per not-fully-checked call site of `binary` against `profile`
+// (reports come from the AnalysisCache, so repeated campaigns and concurrent
+// workers share one analyzer pass). Labels are "function@enclosing+0xoff";
+// per-job seeds derive from `seed_base` and the site offset.
+std::vector<CampaignJob> AnalyzerJobs(const Image& binary, const FaultProfile& profile,
+                                      uint64_t seed_base = 1);
+
+// A single-site random-injection scenario: fail `function` with
+// (retval, errno) at `probability` on every call, stream seeded by `seed`.
+Scenario MakeRandomScenario(const std::string& function, int64_t retval, int errno_value,
+                            double probability, uint64_t seed);
+
+// Fails the `count`-th call to `function` with (retval, errno): the
+// exhaustive-sweep building block (e.g. the BIND dst_lib_init malloc sweep).
+Scenario MakeCallCountScenario(const std::string& function, uint64_t count, int64_t retval,
+                               int errno_value);
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_CAMPAIGN_ENGINE_H_

@@ -10,6 +10,7 @@ Runtime::Runtime(const Scenario& scenario, Options options) : options_(options) 
   for (const TriggerDecl& decl : scenario.triggers()) {
     auto instance = std::make_unique<TriggerInstance>();
     instance->decl = decl;
+    instance->ordinal = instances_.size();
     instance->trigger = TriggerRegistry::Instance().Create(decl.class_name);
     if (instance->trigger == nullptr) {
       error_ += "unknown trigger class '" + decl.class_name + "'; ";
@@ -52,6 +53,12 @@ bool Runtime::EvalConjunction(Assoc& assoc, VirtualLibc* libc, const std::string
     if (!instance->initialized) {
       // Lazy initialization: first evaluation, not program startup (§4.3).
       instance->trigger->Init(instance->decl.args.get());
+      if (options_.seed != 0) {
+        // Golden-ratio stride decorrelates the per-instance streams; the
+        // trigger's own Rng scrambles the raw value again.
+        instance->trigger->Reseed(options_.seed +
+                                  0x9e3779b97f4a7c15ull * (instance->ordinal + 1));
+      }
       instance->initialized = true;
     }
     ++trigger_evaluations_;

@@ -36,6 +36,12 @@ class Runtime : public Interposer {
     // Uses a linear scan over all associations instead of the hash map, to
     // quantify the O(1)-lookup design decision.
     bool linear_lookup = false;
+    // Per-scenario RNG seed. When non-zero, every trigger instance is
+    // Reseed()ed with a stream derived from this value and its declaration
+    // ordinal, making randomized scenarios bit-reproducible regardless of
+    // which campaign worker runs them. Zero leaves triggers on their
+    // declared or default seeds.
+    uint64_t seed = 0;
   };
 
   // Builds the runtime from a scenario. Unknown trigger classes surface in
@@ -68,6 +74,7 @@ class Runtime : public Interposer {
   struct TriggerInstance {
     TriggerDecl decl;
     std::unique_ptr<Trigger> trigger;
+    size_t ordinal = 0;  // declaration position, keys the Reseed stream
     bool initialized = false;
   };
   struct Assoc {

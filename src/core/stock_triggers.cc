@@ -157,6 +157,13 @@ void RandomTrigger::Init(const XmlNode* init_data) {
   }
   if (auto seed = ParseInt(init_data->ChildText("seed"))) {
     rng_ = Rng(static_cast<uint64_t>(*seed));
+    seed_from_args_ = true;
+  }
+}
+
+void RandomTrigger::Reseed(uint64_t seed) {
+  if (!seed_from_args_) {
+    rng_ = Rng(seed);
   }
 }
 

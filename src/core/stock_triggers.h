@@ -77,11 +77,13 @@ DECLARE_TRIGGER(SingletonTrigger) {
 DECLARE_TRIGGER(RandomTrigger) {
  public:
   void Init(const XmlNode* init_data) override;
+  void Reseed(uint64_t seed) override;
   bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
 
  private:
   double probability_ = 0.0;
   Rng rng_{0x1f1f1f1f};
+  bool seed_from_args_ = false;  // an explicit <seed> pins the stream
 };
 
 DECLARE_TRIGGER(DistributedTrigger) {

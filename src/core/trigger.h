@@ -41,6 +41,14 @@ class Trigger {
   // Supports trigger parametrization (§4.1).
   virtual void Init(const XmlNode* init_data) { (void)init_data; }
 
+  // Deterministic reseeding hook for randomized triggers. Called once per
+  // instance, right after Init, when the scenario run carries a seed
+  // (Runtime::Options::seed != 0); the value is derived from that seed and
+  // the instance's declaration ordinal, so every instance gets an
+  // independent, reproducible stream. Triggers whose <args> pin an explicit
+  // seed keep it: the scenario author's choice wins over the harness.
+  virtual void Reseed(uint64_t seed) { (void)seed; }
+
   // The injection decision. Called every time a function associated with
   // this trigger instance is intercepted. Must be efficient: it runs on the
   // application's fast path.

@@ -1,0 +1,111 @@
+#include "util/work_queue.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace lfi {
+
+void WorkStealingQueue::Push(size_t job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.push_back(job);
+}
+
+bool WorkStealingQueue::PopFront(size_t* job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (jobs_.empty()) {
+    return false;
+  }
+  *job = jobs_.front();
+  jobs_.pop_front();
+  return true;
+}
+
+bool WorkStealingQueue::StealBack(size_t* job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (jobs_.empty()) {
+    return false;
+  }
+  *job = jobs_.back();
+  jobs_.pop_back();
+  return true;
+}
+
+int WorkerPool::ResolveWorkers(int workers) {
+  if (workers > 0) {
+    return workers;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void WorkerPool::ParallelFor(int workers, size_t job_count,
+                             const std::function<void(size_t job, int worker)>& body) {
+  workers = ResolveWorkers(workers);
+  if (job_count == 0) {
+    return;
+  }
+  if (workers == 1 || job_count == 1) {
+    for (size_t i = 0; i < job_count; ++i) {
+      body(i, 0);
+    }
+    return;
+  }
+  if (static_cast<size_t>(workers) > job_count) {
+    workers = static_cast<int>(job_count);
+  }
+
+  std::vector<WorkStealingQueue> queues(static_cast<size_t>(workers));
+  for (size_t i = 0; i < job_count; ++i) {
+    queues[i % static_cast<size_t>(workers)].Push(i);
+  }
+
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker_main = [&](int me) {
+    size_t job;
+    while (!abort.load(std::memory_order_acquire)) {
+      bool have = queues[static_cast<size_t>(me)].PopFront(&job);
+      if (!have) {
+        // Own queue drained: steal the back of the first non-empty sibling.
+        for (int step = 1; step < workers && !have; ++step) {
+          int victim = (me + step) % workers;
+          have = queues[static_cast<size_t>(victim)].StealBack(&job);
+        }
+      }
+      if (!have) {
+        return;  // every queue empty: batch done
+      }
+      try {
+        body(job, me);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+        }
+        abort.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  for (int i = 1; i < workers; ++i) {
+    threads.emplace_back(worker_main, i);
+  }
+  worker_main(0);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace lfi

@@ -1,0 +1,50 @@
+// Work-stealing job scheduling for the parallel campaign engine.
+//
+// A campaign is a finite batch of independent jobs known up front, so the
+// scheduler is deliberately simple: every worker owns a double-ended queue
+// seeded round-robin, drains it FIFO from the front, and -- once empty --
+// steals from the back of a sibling's queue. Stealing from the opposite end
+// keeps contention low (owner and thieves touch different ends) and tends to
+// migrate the largest remaining chunks, the classic Cilk/TBB argument.
+
+#ifndef LFI_UTIL_WORK_QUEUE_H_
+#define LFI_UTIL_WORK_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace lfi {
+
+// One worker's deque of job indices. Thread-safe; the owner pops from the
+// front, thieves steal from the back.
+class WorkStealingQueue {
+ public:
+  void Push(size_t job);
+  bool PopFront(size_t* job);
+  bool StealBack(size_t* job);
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<size_t> jobs_;
+};
+
+class WorkerPool {
+ public:
+  // Maps the user-facing worker-count convention to a concrete count:
+  // <= 0 means one worker per hardware thread, anything else is taken as is.
+  static int ResolveWorkers(int workers);
+
+  // Runs body(job_index, worker_index) exactly once for every index in
+  // [0, job_count), sharded across `workers` threads with work stealing.
+  // With one worker the body runs inline on the calling thread, preserving
+  // exact serial semantics. The first exception thrown by a body is
+  // rethrown on the calling thread after all workers have joined.
+  static void ParallelFor(int workers, size_t job_count,
+                          const std::function<void(size_t job, int worker)>& body);
+};
+
+}  // namespace lfi
+
+#endif  // LFI_UTIL_WORK_QUEUE_H_
