@@ -8,10 +8,20 @@
 //   lfi_tool analyze <app.self> <library.self> [function]
 //                                            call-site report + generated
 //                                            injection scenarios (C_not)
-//   lfi_tool campaign {git|mysql|bind|pbft|all} [workers]
+//   lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--json]
 //                                            run the §7.1 bug campaign on the
 //                                            parallel engine; workers <= 0
 //                                            means one per hardware thread
+//   lfi_tool explore {git|mysql|bind|pbft}
+//       [--strategy exhaustive|random|coverage] [--budget N] [--seed S]
+//       [--workers W] [--json]
+//                                            feedback-driven scenario
+//                                            exploration: stream scenarios
+//                                            from the chosen strategy and
+//                                            report bugs + recovery coverage.
+//                                            Same seed+strategy+budget is
+//                                            bit-identical at any worker
+//                                            count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +41,7 @@
 #include "core/stock_triggers.h"
 #include "profiler/profiler.h"
 #include "profiler/stub_gen.h"
+#include "util/string_util.h"
 #include "vlib/library_profiles.h"
 
 namespace {
@@ -65,11 +76,39 @@ int Usage() {
                "  lfi_tool disasm <binary.self>\n"
                "  lfi_tool profile <library.self>\n"
                "  lfi_tool analyze <app.self> <library.self> [function]\n"
-               "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers]\n");
+               "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--json]\n"
+               "  lfi_tool explore {git|mysql|bind|pbft} [--strategy "
+               "exhaustive|random|coverage]\n"
+               "                   [--budget N] [--seed S] [--workers W] [--json]\n");
   return 2;
 }
 
-int RunCampaignCommand(const std::string& system, int workers) {
+// Machine-readable FoundBug records, one JSON object per bug.
+std::string BugsJson(const std::vector<lfi::FoundBug>& bugs) {
+  std::string out = "[";
+  for (size_t i = 0; i < bugs.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += lfi::StrFormat(
+        "{\"system\":\"%s\",\"kind\":\"%s\",\"where\":\"%s\",\"injected\":\"%s\"}",
+        lfi::JsonEscape(bugs[i].system).c_str(), lfi::JsonEscape(bugs[i].kind).c_str(),
+        lfi::JsonEscape(bugs[i].where).c_str(), lfi::JsonEscape(bugs[i].injected).c_str());
+  }
+  out += "]";
+  return out;
+}
+
+void PrintBugTable(const std::vector<lfi::FoundBug>& bugs) {
+  std::printf("%-7s %-20s %-55s %s\n", "system", "kind", "where", "injected");
+  for (const lfi::FoundBug& bug : bugs) {
+    std::printf("%-7s %-20s %-55s %s\n", bug.system.c_str(), bug.kind.c_str(),
+                bug.where.c_str(), bug.injected.c_str());
+  }
+  std::printf("%zu distinct bug(s)\n", bugs.size());
+}
+
+int RunCampaignCommand(const std::string& system, int workers, bool json) {
   lfi::CampaignConfig config;
   config.workers = workers;
   std::vector<lfi::FoundBug> bugs;
@@ -86,15 +125,44 @@ int RunCampaignCommand(const std::string& system, int workers) {
   } else {
     return Usage();
   }
-  std::printf("%-7s %-20s %-55s %s\n", "system", "kind", "where", "injected");
-  for (const lfi::FoundBug& bug : bugs) {
-    std::printf("%-7s %-20s %-55s %s\n", bug.system.c_str(), bug.kind.c_str(),
-                bug.where.c_str(), bug.injected.c_str());
+  if (json) {
+    std::printf("{\"command\":\"campaign\",\"system\":\"%s\",\"bugs\":%s,\"count\":%zu}\n",
+                lfi::JsonEscape(system).c_str(), BugsJson(bugs).c_str(), bugs.size());
+  } else {
+    PrintBugTable(bugs);
   }
-  std::printf("%zu distinct bug(s)\n", bugs.size());
   return 0;
 }
 
+int RunExploreCommand(const std::string& system, const lfi::ExploreConfig& config, bool json) {
+  std::optional<lfi::ExplorationResult> result = lfi::ExploreCampaign(system, config);
+  if (!result) {
+    return Usage();
+  }
+  lfi::CoverageMap::Stats stats = result->coverage.ComputeStats();
+  if (json) {
+    std::printf(
+        "{\"command\":\"explore\",\"system\":\"%s\",\"strategy\":\"%s\","
+        "\"budget\":%zu,\"seed\":%llu,\"scenarios_run\":%zu,"
+        "\"coverage\":{\"recovery_blocks\":%zu,\"covered_recovery_blocks\":%zu,"
+        "\"total_blocks\":%zu,\"covered_blocks\":%zu,\"covered_lines\":%d},"
+        "\"bugs\":%s,\"count\":%zu}\n",
+        lfi::JsonEscape(system).c_str(), lfi::ExploreStrategyName(config.strategy),
+        config.budget, (unsigned long long)config.seed, result->scenarios_run,
+        stats.recovery_blocks, stats.covered_recovery_blocks, stats.total_blocks,
+        stats.covered_blocks, stats.covered_lines, BugsJson(result->bugs).c_str(),
+        result->bugs.size());
+  } else {
+    std::printf("strategy %s, %zu scenario(s) run (budget %zu, seed %llu)\n",
+                lfi::ExploreStrategyName(config.strategy), result->scenarios_run,
+                config.budget, (unsigned long long)config.seed);
+    std::printf("recovery blocks covered: %zu/%zu   blocks covered: %zu/%zu\n",
+                stats.covered_recovery_blocks, stats.recovery_blocks, stats.covered_blocks,
+                stats.total_blocks);
+    PrintBugTable(result->bugs);
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -185,9 +253,46 @@ int main(int argc, char** argv) {
     std::printf("%s", scenarios.unchecked.ToXml().c_str());
     return 0;
   }
-  if (cmd == "campaign" && (args.size() == 2 || args.size() == 3)) {
-    int workers = args.size() == 3 ? std::atoi(args[2].c_str()) : 1;
-    return RunCampaignCommand(args[1], workers);
+  if (cmd == "campaign" && args.size() >= 2) {
+    int workers = 1;
+    bool json = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else if (auto parsed = lfi::ParseInt(args[i])) {
+        workers = static_cast<int>(*parsed);
+      } else {
+        std::fprintf(stderr, "unknown campaign option '%s'\n", args[i].c_str());
+        return Usage();
+      }
+    }
+    return RunCampaignCommand(args[1], workers, json);
+  }
+  if (cmd == "explore" && args.size() >= 2) {
+    lfi::ExploreConfig config;
+    bool json = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else if (args[i] == "--strategy" && i + 1 < args.size()) {
+        auto strategy = lfi::ParseExploreStrategy(args[++i]);
+        if (!strategy) {
+          std::fprintf(stderr, "unknown strategy '%s'\n", args[i].c_str());
+          return Usage();
+        }
+        config.strategy = *strategy;
+      } else if (args[i] == "--budget" && i + 1 < args.size()) {
+        config.budget = static_cast<size_t>(std::atoll(args[++i].c_str()));
+      } else if (args[i] == "--seed" && i + 1 < args.size()) {
+        config.seed = static_cast<uint64_t>(std::atoll(args[++i].c_str()));
+      } else if (args[i] == "--workers" && i + 1 < args.size()) {
+        config.workers = std::atoi(args[++i].c_str());
+      } else {
+        std::fprintf(stderr, "unknown explore option '%s'\n", args[i].c_str());
+        return Usage();
+      }
+    }
+    return RunExploreCommand(args[1], config, json);
   }
   return Usage();
 }

@@ -11,6 +11,7 @@
 #include "core/controller.h"
 #include "core/custom_triggers.h"
 #include "core/distributed.h"
+#include "core/exploration.h"
 #include "core/stock_triggers.h"
 #include "util/errno_codes.h"
 #include "util/string_util.h"
@@ -30,44 +31,258 @@ const FaultProfile& CachedLibxmlProfile() {
   return AnalysisCache::Instance().Profile("libxml2", LibxmlProfile);
 }
 
-}  // namespace
-
-std::vector<FoundBug> RunGitCampaign(const CampaignConfig& config) {
-  EnsureStockTriggersRegistered();
-  std::vector<CampaignJob> jobs = AnalyzerJobs(GitBinary().image(), CachedLibcProfile());
-
-  CampaignEngine engine({.workers = config.workers});
-  return engine.Run(jobs, [](const CampaignJob& job) {
-    std::vector<FoundBug> bugs;
-    VirtualFs fs;
-    VirtualNet net;
-    MiniGit git(&fs, &net, "/repo");
-    TestController controller(job.scenario, SeededOptions(job.seed));
-    TestOutcome outcome =
-        controller.RunTest(&git.libc(), [&] { return git.RunDefaultTestSuite(); });
-    if (outcome.crashed()) {
-      bugs.push_back({"git", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-    } else if (outcome.injections > 0 && !git.Fsck()) {
-      // The fault was absorbed but the repository is corrupt: silent data
-      // loss (the setenv/hook bug).
-      bugs.push_back({"git", "data loss", "repository corrupted by hook environment", job.label});
-    }
-    return bugs;
-  });
+// The run's behavioural identity for the feedback loop: the exact fault
+// sequence injected, plus the crash site when the run died.
+std::string OutcomeFingerprint(TestController& controller, const TestOutcome& outcome) {
+  std::string fp =
+      controller.runtime() != nullptr ? controller.runtime()->log().Fingerprint() : "";
+  if (outcome.crashed()) {
+    fp += "!" + outcome.crash_where;
+  }
+  return fp;
 }
 
-std::vector<FoundBug> RunMysqlCampaign(const CampaignConfig& config) {
-  EnsureStockTriggersRegistered();
-  const FaultProfile& profile = CachedLibcProfile();
+// --- per-system job runners (JobResult: bugs + coverage + fingerprint) -----
 
-  auto workload = [](MiniMysql& mysql) {
+JobResult RunGitJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniGit git(&fs, &net, "/repo");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome =
+      controller.RunTest(&git.libc(), [&] { return git.RunDefaultTestSuite(); });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"git", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  } else if (outcome.injections > 0 && !git.Fsck()) {
+    // The fault was absorbed but the repository is corrupt: silent data
+    // loss (the setenv/hook bug).
+    result.bugs.push_back(
+        {"git", "data loss", "repository corrupted by hook environment", job.label});
+  }
+  result.coverage = git.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  return result;
+}
+
+JobResult RunMysqlJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniMysql mysql(&fs, &net, "/mysql");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] {
     mysql.libc().fs()->WriteFile("/mysql/share/errmsg.sys",
                                  "OK\nCan't create table\nDuplicate key\n");
     if (!mysql.Startup()) {
       return false;
     }
     return mysql.MergeBig();
-  };
+  });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  }
+  result.coverage = mysql.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  return result;
+}
+
+JobResult RunBindJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniBind bind(&fs, &net, "/etc/bind");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome =
+      controller.RunTest(&bind.libc(), [&] { return bind.RunDefaultTestSuite(); });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  }
+  result.coverage = bind.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  return result;
+}
+
+// The BIND dst_lib_init malloc sweep runs a different workload, so those
+// jobs are self-contained.
+JobResult RunBindDstJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniBind bind(&fs, &net, "/etc/bind");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return bind.DstLibInit(); });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  }
+  result.coverage = bind.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  return result;
+}
+
+// One pbft scenario against replica 0, the cluster on the default workload
+// plus the graceful shutdown (the unchecked-fopen path). `requests` sizes
+// the workload: the Table 1 campaign uses 8; exploration uses enough to
+// cross the checkpoint interval so checkpoint recovery code is reachable.
+JobResult RunPbftJobWith(const CampaignJob& job, int requests, int max_ticks) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  PbftConfig pbft_config;
+  PbftCluster cluster(&fs, &net, pbft_config);
+  if (!cluster.Start()) {
+    return result;
+  }
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
+    cluster.RunWorkload(requests, max_ticks);
+    cluster.replica(0).Shutdown();
+    return cluster.client().completed() >= requests;
+  });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"pbft", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  } else if (cluster.crashed()) {
+    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
+  }
+  result.coverage = cluster.Coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  return result;
+}
+
+JobResult RunPbftJob(const CampaignJob& job) {
+  return RunPbftJobWith(job, /*requests=*/8, /*max_ticks=*/2000);
+}
+
+JobResult RunPbftExploreJob(const CampaignJob& job) {
+  return RunPbftJobWith(job, /*requests=*/20, /*max_ticks=*/3000);
+}
+
+// Distributed random message loss across all replicas (release build): the
+// §7.3 phase that exposes the view-change bug.
+JobResult RunPbftDistributedJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  PbftConfig pbft_config;
+  pbft_config.debug_build = false;
+  PbftCluster cluster(&fs, &net, pbft_config);
+  if (!cluster.Start()) {
+    return result;
+  }
+  RandomLossController controller(0.35, job.seed);
+  std::vector<std::unique_ptr<Runtime>> runtimes;
+  for (int i = 0; i < cluster.n(); ++i) {
+    cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
+    runtimes.push_back(std::make_unique<Runtime>(job.scenario));
+    cluster.replica(i).libc().set_interposer(runtimes.back().get());
+  }
+  cluster.RunWorkload(/*requests=*/30, /*max_ticks=*/4000);
+  if (cluster.crashed()) {
+    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
+  }
+  result.coverage = cluster.Coverage();
+  for (const auto& runtime : runtimes) {
+    std::string fp = runtime->log().Fingerprint();
+    if (!fp.empty()) {
+      if (!result.fingerprint.empty()) {
+        result.fingerprint += "|";
+      }
+      result.fingerprint += fp;
+    }
+    result.injections += runtime->injections();
+  }
+  if (cluster.crashed()) {
+    result.fingerprint += "!" + cluster.crash_reason();
+  }
+  return result;
+}
+
+// --- exploration plumbing ---------------------------------------------------
+
+std::vector<std::string> SiteFunctions(const std::vector<CallSiteReport>& reports) {
+  std::set<std::string> functions;
+  for (const CallSiteReport& report : reports) {
+    functions.insert(report.site.function);
+  }
+  return {functions.begin(), functions.end()};
+}
+
+// `profiles` covers every library the app links (bind spans libc +
+// libxml2); reports and exhaustive jobs concatenate in profile-list order.
+ExplorationResult ExploreWith(const AppBinary& binary,
+                              const std::vector<const FaultProfile*>& profiles,
+                              const CampaignEngine::ResultRunner& runner,
+                              const ExploreConfig& config) {
+  EnsureStockTriggersRegistered();
+  std::vector<CallSiteReport> reports;
+  for (const FaultProfile* profile : profiles) {
+    const std::vector<CallSiteReport>& cached =
+        AnalysisCache::Instance().Reports(binary.image(), *profile);
+    reports.insert(reports.end(), cached.begin(), cached.end());
+  }
+  // The strategies look functions up in one profile; with several libraries
+  // build a combined view (profiles never share function names here -- and
+  // if they did, the first library would win, matching link order).
+  const FaultProfile* lookup = profiles.front();
+  FaultProfile combined("combined");
+  if (profiles.size() > 1) {
+    for (auto it = profiles.rbegin(); it != profiles.rend(); ++it) {
+      for (const auto& [name, fn] : (*it)->functions()) {
+        combined.AddFunction(fn);
+      }
+    }
+    lookup = &combined;
+  }
+  CampaignEngine engine({.workers = config.workers});
+  switch (config.strategy) {
+    case ExploreStrategy::kExhaustive: {
+      std::vector<CampaignJob> jobs;
+      for (const FaultProfile* profile : profiles) {
+        for (CampaignJob& job : AnalyzerJobs(binary.image(), *profile)) {
+          jobs.push_back(std::move(job));
+        }
+      }
+      ExhaustiveSource source(std::move(jobs), config.budget);
+      return engine.Run(source, runner);
+    }
+    case ExploreStrategy::kRandom: {
+      RandomSweepSource source(*lookup, SiteFunctions(reports),
+                               config.budget != 0 ? config.budget : 64, config.seed);
+      return engine.Run(source, runner);
+    }
+    case ExploreStrategy::kCoverage: {
+      CoverageGuidedSource::Options options;
+      options.budget = config.budget != 0 ? config.budget : 64;
+      options.seed = config.seed;
+      CoverageGuidedSource source(reports, *lookup, options);
+      return engine.Run(source, runner);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<FoundBug> RunGitCampaign(const CampaignConfig& config) {
+  EnsureStockTriggersRegistered();
+  ExhaustiveSource source(AnalyzerJobs(GitBinary().image(), CachedLibcProfile()));
+  CampaignEngine engine({.workers = config.workers});
+  return engine.Run(source, RunGitJob).bugs;
+}
+
+std::vector<FoundBug> RunMysqlCampaign(const CampaignConfig& config) {
+  EnsureStockTriggersRegistered();
+  const FaultProfile& profile = CachedLibcProfile();
 
   // Phase 1: analyzer-generated scenarios.
   std::vector<CampaignJob> jobs = AnalyzerJobs(MysqlBinary().image(), profile);
@@ -88,20 +303,9 @@ std::vector<FoundBug> RunMysqlCampaign(const CampaignConfig& config) {
     }
   }
 
+  ExhaustiveSource source(std::move(jobs));
   CampaignEngine engine({.workers = config.workers});
-  return engine.Run(jobs, [&workload](const CampaignJob& job) {
-    std::vector<FoundBug> bugs;
-    VirtualFs fs;
-    VirtualNet net;
-    MiniMysql mysql(&fs, &net, "/mysql");
-    TestController controller(job.scenario, SeededOptions(job.seed));
-    TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] { return workload(mysql); });
-    if (outcome.crashed()) {
-      bugs.push_back(
-          {"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-    }
-    return bugs;
-  });
+  return engine.Run(source, RunMysqlJob).bugs;
 }
 
 std::vector<FoundBug> RunBindCampaign(const CampaignConfig& config) {
@@ -121,36 +325,13 @@ std::vector<FoundBug> RunBindCampaign(const CampaignConfig& config) {
     job.scenario = MakeCallCountScenario("malloc", k, 0, kENOMEM);
     job.label = StrFormat("malloc #%llu = NULL in dst_lib_init", (unsigned long long)k);
     job.seed = k;
-    job.run = [](const CampaignJob& self) {
-      std::vector<FoundBug> bugs;
-      VirtualFs fs;
-      VirtualNet net;
-      MiniBind bind(&fs, &net, "/etc/bind");
-      TestController controller(self.scenario, SeededOptions(self.seed));
-      TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return bind.DstLibInit(); });
-      if (outcome.crashed()) {
-        bugs.push_back(
-            {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, self.label});
-      }
-      return bugs;
-    };
+    job.explore = RunBindDstJob;
     jobs.push_back(std::move(job));
   }
 
+  ExhaustiveSource source(std::move(jobs));
   CampaignEngine engine({.workers = config.workers});
-  return engine.Run(jobs, [](const CampaignJob& job) {
-    std::vector<FoundBug> bugs;
-    VirtualFs fs;
-    VirtualNet net;
-    MiniBind bind(&fs, &net, "/etc/bind");
-    TestController controller(job.scenario, SeededOptions(job.seed));
-    TestOutcome outcome =
-        controller.RunTest(&bind.libc(), [&] { return bind.RunDefaultTestSuite(); });
-    if (outcome.crashed()) {
-      bugs.push_back({"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-    }
-    return bugs;
-  });
+  return engine.Run(source, RunBindJob).bugs;
 }
 
 std::vector<FoundBug> RunPbftCampaign(const CampaignConfig& config) {
@@ -186,56 +367,14 @@ std::vector<FoundBug> RunPbftCampaign(const CampaignConfig& config) {
         StrFormat("random sendto/recvfrom faults, seed %llu", (unsigned long long)seed);
     job.seed = seed;
     job.skip_when_saturated = !config.exhaustive;
-    job.run = [](const CampaignJob& self) {
-      std::vector<FoundBug> bugs;
-      VirtualFs fs;
-      VirtualNet net;
-      PbftConfig pbft_config;
-      pbft_config.debug_build = false;
-      PbftCluster cluster(&fs, &net, pbft_config);
-      if (!cluster.Start()) {
-        return bugs;
-      }
-      RandomLossController controller(0.35, self.seed);
-      std::vector<std::unique_ptr<Runtime>> runtimes;
-      for (int i = 0; i < cluster.n(); ++i) {
-        cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
-        runtimes.push_back(std::make_unique<Runtime>(self.scenario));
-        cluster.replica(i).libc().set_interposer(runtimes.back().get());
-      }
-      cluster.RunWorkload(/*requests=*/30, /*max_ticks=*/4000);
-      if (cluster.crashed()) {
-        bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), self.label});
-      }
-      return bugs;
-    };
+    job.explore = RunPbftDistributedJob;
     jobs.push_back(std::move(job));
   }
 
+  ExhaustiveSource source(std::move(jobs));
   CampaignEngine engine(
       {.workers = config.workers, .max_bugs = config.exhaustive ? size_t{0} : size_t{2}});
-  return engine.Run(jobs, [](const CampaignJob& job) {
-    std::vector<FoundBug> bugs;
-    VirtualFs fs;
-    VirtualNet net;
-    PbftConfig pbft_config;
-    PbftCluster cluster(&fs, &net, pbft_config);
-    if (!cluster.Start()) {
-      return bugs;
-    }
-    TestController controller(job.scenario, SeededOptions(job.seed));
-    TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
-      cluster.RunWorkload(/*requests=*/8, /*max_ticks=*/2000);
-      cluster.replica(0).Shutdown();
-      return cluster.client().completed() >= 8;
-    });
-    if (outcome.crashed()) {
-      bugs.push_back({"pbft", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-    } else if (cluster.crashed()) {
-      bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
-    }
-    return bugs;
-  });
+  return engine.Run(source, RunPbftJob).bugs;
 }
 
 std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config) {
@@ -246,6 +385,65 @@ std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config) {
     }
   }
   return {all.begin(), all.end()};
+}
+
+const char* ExploreStrategyName(ExploreStrategy strategy) {
+  switch (strategy) {
+    case ExploreStrategy::kExhaustive:
+      return "exhaustive";
+    case ExploreStrategy::kRandom:
+      return "random";
+    case ExploreStrategy::kCoverage:
+      return "coverage";
+  }
+  return "?";
+}
+
+std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name) {
+  if (name == "exhaustive") {
+    return ExploreStrategy::kExhaustive;
+  }
+  if (name == "random") {
+    return ExploreStrategy::kRandom;
+  }
+  if (name == "coverage") {
+    return ExploreStrategy::kCoverage;
+  }
+  return std::nullopt;
+}
+
+ExplorationResult ExploreGitCampaign(const ExploreConfig& config) {
+  return ExploreWith(GitBinary(), {&CachedLibcProfile()}, RunGitJob, config);
+}
+
+ExplorationResult ExploreMysqlCampaign(const ExploreConfig& config) {
+  return ExploreWith(MysqlBinary(), {&CachedLibcProfile()}, RunMysqlJob, config);
+}
+
+ExplorationResult ExploreBindCampaign(const ExploreConfig& config) {
+  return ExploreWith(BindBinary(), {&CachedLibcProfile(), &CachedLibxmlProfile()}, RunBindJob,
+                     config);
+}
+
+ExplorationResult ExplorePbftCampaign(const ExploreConfig& config) {
+  return ExploreWith(PbftBinary(), {&CachedLibcProfile()}, RunPbftExploreJob, config);
+}
+
+std::optional<ExplorationResult> ExploreCampaign(const std::string& system,
+                                                 const ExploreConfig& config) {
+  if (system == "git") {
+    return ExploreGitCampaign(config);
+  }
+  if (system == "mysql") {
+    return ExploreMysqlCampaign(config);
+  }
+  if (system == "bind") {
+    return ExploreBindCampaign(config);
+  }
+  if (system == "pbft") {
+    return ExplorePbftCampaign(config);
+  }
+  return std::nullopt;
 }
 
 }  // namespace lfi

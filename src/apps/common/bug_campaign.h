@@ -11,14 +11,20 @@
 //      static classification flags), plus an integrity check for silent data
 //      loss (the Git setenv bug).
 //
-// Scenarios are independent controller runs, so every campaign executes on
-// the CampaignEngine's worker pool; `CampaignConfig::workers` picks the
-// degree of parallelism and the result is identical for any worker count.
-// The result is the Table 1 bug list, deduplicated by crash site.
+// Scenario production is a ScenarioSource (core/exploration.h) streamed
+// through the CampaignEngine: the Table 1 campaigns wrap their historical
+// job lists in an ExhaustiveSource, while ExploreCampaign() swaps in the
+// random-sweep or coverage-guided strategy over the same per-app harnesses.
+// Every job run returns its application instance's CoverageMap, so the
+// coverage-guided feedback loop works end-to-end on git/mysql/bind/pbft.
+// `workers` picks the degree of parallelism; results are identical for any
+// worker count.
 
 #ifndef LFI_APPS_COMMON_BUG_CAMPAIGN_H_
 #define LFI_APPS_COMMON_BUG_CAMPAIGN_H_
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/campaign_engine.h"
@@ -41,6 +47,39 @@ std::vector<FoundBug> RunPbftCampaign(const CampaignConfig& config = {});
 
 // All four systems; returns the deduplicated union.
 std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config = {});
+
+// --- Feedback-driven exploration -------------------------------------------
+
+enum class ExploreStrategy {
+  kExhaustive,  // the analyzer's job list, in order (the paper's behaviour)
+  kRandom,      // seeded random sweep over (function, error mode, ordinal)
+  kCoverage,    // coverage-guided: feedback steers sites and mutations
+};
+
+const char* ExploreStrategyName(ExploreStrategy strategy);
+std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name);
+
+struct ExploreConfig {
+  int workers = 1;
+  ExploreStrategy strategy = ExploreStrategy::kExhaustive;
+  // Scenario budget. 0 = the strategy's natural size: everything the
+  // analyzer generated for exhaustive, 64 scenarios for random/coverage.
+  size_t budget = 0;
+  uint64_t seed = 1;  // drives random selection and per-job Runtime seeds
+};
+
+// Runs the chosen strategy against one system's default workload and returns
+// bugs, cumulative coverage, and the number of scenarios executed. Same
+// seed + strategy + budget => bit-identical results at any worker count.
+ExplorationResult ExploreGitCampaign(const ExploreConfig& config = {});
+ExplorationResult ExploreMysqlCampaign(const ExploreConfig& config = {});
+ExplorationResult ExploreBindCampaign(const ExploreConfig& config = {});
+ExplorationResult ExplorePbftCampaign(const ExploreConfig& config = {});
+
+// Dispatch by system name ("git", "mysql", "bind", "pbft"); nullopt for an
+// unknown system.
+std::optional<ExplorationResult> ExploreCampaign(const std::string& system,
+                                                 const ExploreConfig& config);
 
 }  // namespace lfi
 

@@ -58,6 +58,36 @@ PbftReplica::PbftReplica(VirtualFs* fs, VirtualNet* net, int id, const PbftConfi
   if (!fs->DirExists("/pbft")) {
     fs->MkDir("/pbft");
   }
+  RegisterCoverageBlocks();
+}
+
+void PbftReplica::RegisterCoverageBlocks() {
+  struct BlockSpec {
+    const char* id;
+    bool recovery;
+    int lines;
+  };
+  // The recovery blocks are the paths that run only when a library call
+  // failed or a message never arrived: receive retries, checkpoint error
+  // handling, lost-payload retrieval, state transfer, and the view change.
+  static constexpr BlockSpec kBlocks[] = {
+      {"pbft.recv.body", false, 4},
+      {"pbft.recv.err_retry", true, 3},
+      {"pbft.recv.err_backoff", true, 2},
+      {"pbft.exec.body", false, 8},
+      {"pbft.checkpoint.body", false, 6},
+      {"pbft.checkpoint.err_fopen", true, 2},
+      {"pbft.checkpoint.err_short", true, 3},
+      {"pbft.fetch.missing_payload", true, 4},
+      {"pbft.state.adopt", true, 6},
+      {"pbft.viewchange.start", true, 4},
+      {"pbft.viewchange.new_primary", true, 7},
+      {"pbft.viewchange.halt", true, 2},
+      {"pbft.shutdown.body", false, 4},
+  };
+  for (const BlockSpec& blk : kBlocks) {
+    coverage_.RegisterBlock(blk.id, blk.recovery, blk.lines);
+  }
 }
 
 PbftReplica::SeqState& PbftReplica::Seq(int64_t seq) { return log_[seq]; }
@@ -110,12 +140,15 @@ void PbftReplica::Step() {
         }
         // Transient receive failure: that datagram is lost; retry a few
         // times, then back off until the next tick.
+        coverage_.Hit("pbft.recv.err_retry");
         if (++consecutive_failures >= 8) {
+          coverage_.Hit("pbft.recv.err_backoff");
           break;
         }
         continue;
       }
       consecutive_failures = 0;
+      coverage_.Hit("pbft.recv.body");
       HandleMessage(std::string(buf, static_cast<size_t>(n)), src_port);
       if (halted_) {
         return;
@@ -259,6 +292,7 @@ void PbftReplica::OnStateTransfer(int64_t executed, const std::string& digest, i
   if (executed <= executed_count_) {
     return;
   }
+  coverage_.Hit("pbft.state.adopt");
   executed_count_ = executed;
   state_digest_ = digest;
   low_watermark_ = executed;
@@ -367,6 +401,7 @@ void PbftReplica::TryExecute() {
       break;  // payload never arrived; wait for retransmission or view change
     }
     st.executed = true;
+    coverage_.Hit("pbft.exec.body");
     ++executed_count_;
     executed_digests_.insert(st.digest);
     state_digest_ = Digest(state_digest_ + st.digest);
@@ -392,11 +427,14 @@ void PbftReplica::MaybeCheckpoint() {
     return;
   }
   ScopedFrame frame(&libc_.stack(), kModule, "save_checkpoint");
+  coverage_.Hit("pbft.checkpoint.body");
   std::string path = StrFormat("/pbft/replica%d.ckpt", id_);
   frame.set_offset(Site("pbft.checkpoint.fopen"));
   VFile* f = libc_.FOpen(path, "w");
   if (f == nullptr) {
-    return;  // periodic checkpoints check their fopen; retried next interval
+    // Periodic checkpoints check their fopen; retried next interval.
+    coverage_.Hit("pbft.checkpoint.err_fopen");
+    return;
   }
   std::string record = StrFormat("%lld %s\n", static_cast<long long>(executed_count_),
                                  state_digest_.c_str());
@@ -408,10 +446,14 @@ void PbftReplica::MaybeCheckpoint() {
     low_watermark_ = executed_count_;
     checkpoint_digest_ = state_digest_;
     log_.erase(log_.begin(), log_.upper_bound(low_watermark_));
+  } else {
+    // Short write: keep the previous stable checkpoint and the full log.
+    coverage_.Hit("pbft.checkpoint.err_short");
   }
 }
 
 void PbftReplica::StartViewChange() {
+  coverage_.Hit("pbft.viewchange.start");
   view_change_sent_ = true;
   view_change_votes_.insert(id_);
   Multicast(StrFormat("VC|%d|%d", view_ + 1, id_));
@@ -437,6 +479,7 @@ void PbftReplica::OnViewChange(int view, int replica) {
 }
 
 void PbftReplica::BecomePrimaryOfNewView() {
+  coverage_.Hit("pbft.viewchange.new_primary");
   // Carry forward every request with prepare evidence, per the view-change
   // protocol. The prepare/commit certificates may reference messages this
   // replica never received (their PRE-PREPAREs were lost to network faults).
@@ -450,6 +493,7 @@ void PbftReplica::BecomePrimaryOfNewView() {
       // replica halts with an error exit code (the paper's observation that
       // the bug does not manifest in the debug build).
       if (st.request == nullptr) {
+        coverage_.Hit("pbft.viewchange.halt");
         halted_ = true;
         return;
       }
@@ -512,6 +556,7 @@ void PbftReplica::Retransmit() {
     if (st.request == nullptr) {
       // We have evidence for this sequence but never received the payload:
       // fetch it from the peers (PBFT message retrieval).
+      coverage_.Hit("pbft.fetch.missing_payload");
       Multicast(StrFormat("FETCH|%lld|%d", static_cast<long long>(seq), id_));
       continue;
     }
@@ -532,6 +577,7 @@ void PbftReplica::Retransmit() {
 
 void PbftReplica::Shutdown() {
   ScopedFrame frame(&libc_.stack(), kModule, "shutdown_checkpoint");
+  coverage_.Hit("pbft.shutdown.body");
   std::string path = StrFormat("/pbft/replica%d.final", id_);
   frame.set_offset(Site("pbft.shutdown.fopen"));
   VFile* f = libc_.FOpen(path, "w");
@@ -628,6 +674,14 @@ bool PbftCluster::Start() {
     }
   }
   return client_->Start();
+}
+
+CoverageMap PbftCluster::Coverage() const {
+  CoverageMap merged;
+  for (const auto& r : replicas_) {
+    merged.Absorb(r->coverage());
+  }
+  return merged;
 }
 
 int PbftCluster::RunWorkload(int requests, int max_ticks) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "apps/common/app_binary.h"
+#include "coverage/coverage.h"
 #include "vlib/virtual_libc.h"
 
 namespace lfi {
@@ -55,6 +56,7 @@ class PbftReplica {
   PbftReplica(VirtualFs* fs, VirtualNet* net, int id, const PbftConfig& config);
 
   VirtualLibc& libc() { return libc_; }
+  CoverageMap& coverage() { return coverage_; }
   int id() const { return id_; }
   int view() const { return view_; }
   bool is_primary() const { return view_ % config_.n == id_; }
@@ -98,8 +100,10 @@ class PbftReplica {
   void BecomePrimaryOfNewView();
   void Retransmit();
   SeqState& Seq(int64_t seq);
+  void RegisterCoverageBlocks();
 
   VirtualLibc libc_;
+  CoverageMap coverage_;
   PbftConfig config_;
   int id_;
   int fd_ = -1;
@@ -159,6 +163,11 @@ class PbftCluster {
   PbftReplica& replica(int i) { return *replicas_[static_cast<size_t>(i)]; }
   PbftClient& client() { return *client_; }
   int n() const { return config_.n; }
+
+  // Union of every replica's coverage map (replicas register identical block
+  // tables, so recovery coverage reads as one program, like the paper's
+  // per-process gcov data folded together).
+  CoverageMap Coverage() const;
 
   // Runs until `requests` complete or `max_ticks` elapse; returns ticks used.
   int RunWorkload(int requests, int max_ticks);

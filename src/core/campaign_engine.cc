@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/analysis_cache.h"
+#include "core/exploration.h"
 #include "core/scenario_gen.h"
 #include "util/string_util.h"
 #include "util/work_queue.h"
@@ -34,29 +35,45 @@ std::vector<FoundBug> BugSink::Sorted() const {
   return {bugs_.begin(), bugs_.end()};
 }
 
-std::vector<FoundBug> CampaignEngine::Run(const std::vector<CampaignJob>& jobs,
-                                          const JobRunner& runner) const {
+ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& jobs,
+                                             const ResultRunner& runner,
+                                             ScenarioSource* source) const {
   // Completed jobs park their results here until every lower-index job has
-  // finished; the cursor then folds them into the sink in job order. That
-  // ordered merge -- not the execution order -- decides dedup winners and
-  // the max_bugs cutoff, which is what makes N workers bit-identical to one.
-  std::vector<std::optional<std::vector<FoundBug>>> pending(jobs.size());
-  BugSink sink;
+  // finished; the cursor then folds them into the result in job order. That
+  // ordered merge -- not the execution order -- decides dedup winners, the
+  // max_bugs cutoff, and what each job newly covered, which is what makes N
+  // workers bit-identical to one.
+  ExplorationResult out;
+  std::set<FoundBug> bugs;
+  std::vector<std::optional<JobResult>> pending(jobs.size());
   size_t cursor = 0;
   std::mutex merge_mu;
   std::atomic<bool> saturated{false};
 
-  auto deliver = [&](size_t index, std::vector<FoundBug> bugs) {
+  auto deliver = [&](size_t index, JobResult result) {
     std::lock_guard<std::mutex> lock(merge_mu);
-    pending[index] = std::move(bugs);
+    pending[index] = std::move(result);
     while (cursor < jobs.size() && pending[cursor].has_value()) {
-      bool gated = jobs[cursor].skip_when_saturated && options_.max_bugs != 0 &&
-                   sink.size() >= options_.max_bugs;
+      const CampaignJob& job = jobs[cursor];
+      RunFeedback feedback;
+      bool gated = job.skip_when_saturated && options_.max_bugs != 0 &&
+                   bugs.size() >= options_.max_bugs;
       if (!gated) {
-        sink.Report(*pending[cursor]);
+        JobResult& merged = *pending[cursor];
+        for (const FoundBug& bug : merged.bugs) {
+          feedback.new_bug |= bugs.insert(bug).second;
+        }
+        feedback.injections = merged.injections;
+        feedback.fingerprint = std::move(merged.fingerprint);
+        feedback.new_blocks = merged.coverage.NewlyCoveredVersus(out.coverage);
+        out.coverage.Absorb(merged.coverage);
+        ++out.scenarios_run;
       }
-      if (options_.max_bugs != 0 && sink.size() >= options_.max_bugs) {
+      if (options_.max_bugs != 0 && bugs.size() >= options_.max_bugs) {
         saturated.store(true, std::memory_order_release);
+      }
+      if (source != nullptr) {
+        source->OnFeedback(job, feedback);
       }
       pending[cursor].reset();  // the cursor never revisits a merged slot
       ++cursor;
@@ -73,16 +90,106 @@ std::vector<FoundBug> CampaignEngine::Run(const std::vector<CampaignJob>& jobs,
       deliver(index, {});
       return;
     }
-    deliver(index, job.run ? job.run(job) : runner(job));
+    deliver(index, job.explore ? job.explore(job) : runner(job));
   });
 
-  return sink.Sorted();
+  out.bugs = {bugs.begin(), bugs.end()};
+  return out;
+}
+
+std::vector<FoundBug> CampaignEngine::Run(const std::vector<CampaignJob>& jobs,
+                                          const JobRunner& runner) const {
+  ResultRunner adapted = [&runner](const CampaignJob& job) {
+    JobResult result;
+    result.bugs = job.run ? job.run(job) : runner(job);
+    return result;
+  };
+  return RunOrdered(jobs, adapted, nullptr).bugs;
 }
 
 std::vector<FoundBug> CampaignEngine::Run(const std::vector<CampaignJob>& jobs) const {
   return Run(jobs, [](const CampaignJob& job) -> std::vector<FoundBug> {
     throw std::logic_error("CampaignJob '" + job.label +
                            "' has no runner and none was passed to Run()");
+  });
+}
+
+ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner& runner) const {
+  const size_t batch_size = options_.batch_size == 0 ? 8 : options_.batch_size;
+
+  if (!source.needs_feedback()) {
+    // Open-loop source: nothing it schedules depends on what ran, so drain
+    // it up front and run everything through the eager merge -- no batch
+    // barriers, and saturation skips take effect mid-flight.
+    std::vector<CampaignJob> jobs;
+    while (true) {
+      std::vector<CampaignJob> batch = source.NextBatch(batch_size);
+      if (batch.empty()) {
+        break;
+      }
+      for (CampaignJob& job : batch) {
+        jobs.push_back(std::move(job));
+      }
+    }
+    return RunOrdered(jobs, runner, &source);
+  }
+
+  ExplorationResult out;
+  std::set<FoundBug> bugs;
+  // Written only between batches, read by the workers of the *next* batch:
+  // the advisory skip is deterministic because it depends solely on fully
+  // merged batches, never on intra-batch completion order.
+  bool saturated = false;
+
+  while (true) {
+    std::vector<CampaignJob> batch = source.NextBatch(batch_size);
+    if (batch.empty()) {
+      break;
+    }
+    std::vector<JobResult> results(batch.size());
+    WorkerPool::ParallelFor(options_.workers, batch.size(), [&](size_t index, int worker) {
+      (void)worker;
+      const CampaignJob& job = batch[index];
+      if (job.skip_when_saturated && saturated) {
+        return;  // merge-side gate below is the authoritative one
+      }
+      results[index] = job.explore ? job.explore(job) : runner(job);
+    });
+
+    // The deterministic merge point: job order decides dedup winners, the
+    // max_bugs cutoff, and -- new versus the batch API -- what each job
+    // newly covered, since the cumulative map grows in job order too.
+    for (size_t index = 0; index < batch.size(); ++index) {
+      const CampaignJob& job = batch[index];
+      RunFeedback feedback;
+      bool gated = job.skip_when_saturated && options_.max_bugs != 0 &&
+                   bugs.size() >= options_.max_bugs;
+      if (!gated) {
+        JobResult& result = results[index];
+        for (const FoundBug& bug : result.bugs) {
+          feedback.new_bug |= bugs.insert(bug).second;
+        }
+        feedback.injections = result.injections;
+        feedback.fingerprint = std::move(result.fingerprint);
+        feedback.new_blocks = result.coverage.NewlyCoveredVersus(out.coverage);
+        out.coverage.Absorb(result.coverage);
+        ++out.scenarios_run;
+      }
+      source.OnFeedback(job, feedback);
+    }
+    if (options_.max_bugs != 0 && bugs.size() >= options_.max_bugs) {
+      saturated = true;
+    }
+  }
+
+  out.bugs = {bugs.begin(), bugs.end()};
+  return out;
+}
+
+ExplorationResult CampaignEngine::Run(ScenarioSource& source) const {
+  return Run(source, [](const CampaignJob& job) -> JobResult {
+    throw std::logic_error("CampaignJob '" + job.label +
+                           "' has no explore runner and none was passed to Run()");
   });
 }
 

@@ -12,6 +12,16 @@
 // which worker finishes first, and jobs carry a per-scenario RNG seed that
 // Runtime::Options threads to the triggers, so an N-worker run returns a bug
 // list bit-identical to the 1-worker (serial) baseline.
+//
+// Beyond the one-shot batch API, the engine can stream jobs from a
+// ScenarioSource (core/exploration.h): it pulls fixed-size batches, runs
+// them on the pool, merges each batch in job order, and feeds per-job
+// RunFeedback -- the bugs, the injection fingerprint, and the coverage
+// blocks that run covered for the first time -- back to the source before
+// pulling the next batch. Feedback-driven strategies (coverage-guided
+// exploration) close their loop through that channel. The batch size is
+// independent of the worker count, so the same seed + strategy produces a
+// bit-identical bug list at any parallelism.
 
 #ifndef LFI_CORE_CAMPAIGN_ENGINE_H_
 #define LFI_CORE_CAMPAIGN_ENGINE_H_
@@ -26,10 +36,13 @@
 
 #include "core/runtime.h"
 #include "core/scenario.h"
+#include "coverage/coverage.h"
 #include "image/image.h"
 #include "profiler/fault_profile.h"
 
 namespace lfi {
+
+class ScenarioSource;
 
 // A bug exposed by the campaign, deduplicated by crash site: two injections
 // crashing at the same place in the same system are one bug (Table 1 counts
@@ -60,6 +73,17 @@ class BugSink {
   std::set<FoundBug> bugs_;
 };
 
+// Everything one job's run reports back to the streaming engine: the bugs it
+// exposed plus the observations the feedback loop runs on. The coverage map
+// is the job's own (the application instance's), merged into the cumulative
+// exploration map at the deterministic job-order merge point.
+struct JobResult {
+  std::vector<FoundBug> bugs;
+  CoverageMap coverage;
+  std::string fingerprint;  // InjectionLog::Fingerprint + crash site, "" = clean run
+  size_t injections = 0;
+};
+
 // One schedulable unit: a scenario plus everything needed to attribute and
 // reproduce its outcome.
 struct CampaignJob {
@@ -69,10 +93,22 @@ struct CampaignJob {
   // Self-contained jobs (different workload or harness than the campaign
   // default) override the campaign-wide runner.
   std::function<std::vector<FoundBug>(const CampaignJob&)> run;
+  // Same, for the streaming (ScenarioSource) entry point, which also wants
+  // coverage and the injection fingerprint back.
+  std::function<JobResult(const CampaignJob&)> explore;
   // Subject to CampaignEngine::Options::max_bugs: the job is skipped once
   // the bugs merged so far (in job order) reach the cap. Models the serial
   // campaigns' "keep fuzzing until N bugs" loops deterministically.
   bool skip_when_saturated = false;
+};
+
+// What a streamed run yields beyond the bug list: the union of every job's
+// coverage map and how many scenarios actually executed (gated jobs do not
+// count).
+struct ExplorationResult {
+  std::vector<FoundBug> bugs;
+  CoverageMap coverage;
+  size_t scenarios_run = 0;
 };
 
 class CampaignEngine {
@@ -80,9 +116,15 @@ class CampaignEngine {
   struct Options {
     int workers = 1;      // <= 0: one worker per hardware thread
     size_t max_bugs = 0;  // 0 = run everything; else gate skip_when_saturated jobs
+    // Jobs pulled from a ScenarioSource per batch. Part of the determinism
+    // contract: feedback reaches the source after each merged batch, so the
+    // batch size -- never the worker count -- decides what a feedback-driven
+    // strategy knows when it schedules the next jobs.
+    size_t batch_size = 8;
   };
 
   using JobRunner = std::function<std::vector<FoundBug>(const CampaignJob&)>;
+  using ResultRunner = std::function<JobResult(const CampaignJob&)>;
 
   CampaignEngine() = default;
   explicit CampaignEngine(Options options) : options_(options) {}
@@ -97,9 +139,32 @@ class CampaignEngine {
   // Every job must carry its own `run`; throws std::logic_error otherwise.
   std::vector<FoundBug> Run(const std::vector<CampaignJob>& jobs) const;
 
+  // The streaming entry point: pulls batches of Options::batch_size jobs
+  // from `source` until it is exhausted, runs each batch on the worker pool
+  // (job.explore when set, `runner` otherwise), merges results in job order,
+  // and hands the source per-job RunFeedback after each merged batch.
+  // Open-loop sources (needs_feedback() false) skip the batch barriers
+  // entirely: the source is drained up front and everything runs through
+  // one eager job-order merge, exactly like the batch API. The max_bugs
+  // gate applies exactly as in Run(). Deterministic for any worker count:
+  // batch boundaries, merge order, and feedback order depend only on the
+  // source and the batch size.
+  ExplorationResult Run(ScenarioSource& source, const ResultRunner& runner) const;
+
+  // Every streamed job must carry its own `explore`; throws otherwise.
+  ExplorationResult Run(ScenarioSource& source) const;
+
   const Options& options() const { return options_; }
 
  private:
+  // The one true job-order merge: runs `jobs` on the pool, folds results
+  // eagerly as the completion cursor advances (saturation skips take effect
+  // mid-flight), and -- when `source` is non-null -- delivers RunFeedback in
+  // job order. Both the batch API and the open-loop streaming path land
+  // here, so dedup, attribution, and the max_bugs gate cannot diverge.
+  ExplorationResult RunOrdered(const std::vector<CampaignJob>& jobs,
+                               const ResultRunner& runner, ScenarioSource* source) const;
+
   Options options_;
 };
 

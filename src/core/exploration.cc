@@ -1,0 +1,261 @@
+#include "core/exploration.h"
+
+#include <algorithm>
+
+#include "core/scenario_gen.h"
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+// Seed mixing for per-job Runtime seeds: fold the plan coordinates into the
+// strategy seed so every scheduled variant gets its own decorrelated stream.
+uint64_t MixSeed(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+void ScenarioSource::OnFeedback(const CampaignJob& job, const RunFeedback& feedback) {
+  (void)job;
+  (void)feedback;
+}
+
+// --- ExhaustiveSource -------------------------------------------------------
+
+ExhaustiveSource::ExhaustiveSource(std::vector<CampaignJob> jobs, size_t budget)
+    : jobs_(std::move(jobs)) {
+  if (budget > 0 && budget < jobs_.size()) {
+    jobs_.resize(budget);
+  }
+}
+
+std::vector<CampaignJob> ExhaustiveSource::NextBatch(size_t max_jobs) {
+  std::vector<CampaignJob> out;
+  while (next_ < jobs_.size() && out.size() < max_jobs) {
+    out.push_back(jobs_[next_++]);
+  }
+  return out;
+}
+
+// --- RandomSweepSource ------------------------------------------------------
+
+RandomSweepSource::RandomSweepSource(const FaultProfile& profile,
+                                     std::vector<std::string> functions, size_t budget,
+                                     uint64_t seed)
+    : profile_(&profile), functions_(std::move(functions)), budget_(budget), rng_(seed) {
+  // Canonical sample space: the caller's order must not leak into the stream.
+  std::sort(functions_.begin(), functions_.end());
+  functions_.erase(std::unique(functions_.begin(), functions_.end()), functions_.end());
+}
+
+std::vector<CampaignJob> RandomSweepSource::NextBatch(size_t max_jobs) {
+  std::vector<CampaignJob> out;
+  if (functions_.empty()) {
+    return out;
+  }
+  while (out.size() < max_jobs && emitted_ < budget_) {
+    // Rejection-sample an unseen (function, error mode, ordinal) tuple. A
+    // long dry streak means the space is (nearly) exhausted: stop the sweep
+    // rather than spin -- deterministically, since the Rng drives both.
+    bool produced = false;
+    for (int attempt = 0; attempt < 64 && !produced; ++attempt) {
+      const std::string& function = functions_[rng_.NextBelow(functions_.size())];
+      const FunctionProfile* fn = profile_->Find(function);
+      if (fn == nullptr || fn->errors.empty()) {
+        continue;
+      }
+      const ErrorSpec& mode = fn->errors[rng_.NextBelow(fn->errors.size())];
+      int errno_value =
+          mode.errnos.empty() ? 0
+                              : mode.errnos[rng_.NextBelow(mode.errnos.size())];
+      uint64_t count = 1 + rng_.NextBelow(8);
+      std::string key = StrFormat("%s:%lld:%d:%llu", function.c_str(),
+                                  static_cast<long long>(mode.retval), errno_value,
+                                  (unsigned long long)count);
+      if (!seen_keys_.insert(key).second) {
+        continue;
+      }
+      CampaignJob job;
+      job.scenario = MakeCallCountScenario(function, count, mode.retval, errno_value);
+      job.label = StrFormat("random-sweep %s#%llu=%lld errno=%d", function.c_str(),
+                            (unsigned long long)count, static_cast<long long>(mode.retval),
+                            errno_value);
+      job.seed = rng_.Next() | 1;
+      out.push_back(std::move(job));
+      ++emitted_;
+      produced = true;
+    }
+    if (!produced) {
+      emitted_ = budget_;  // sample space exhausted; end the sweep
+      break;
+    }
+  }
+  return out;
+}
+
+// --- CoverageGuidedSource ---------------------------------------------------
+
+CoverageGuidedSource::CoverageGuidedSource(std::vector<CallSiteReport> reports,
+                                           const FaultProfile& profile, Options options)
+    : reports_(std::move(reports)), profile_(&profile), options_(options) {
+  // Initial frontier: every analyzable site exactly once, ordered so the
+  // budget is spent where unseen recovery code is likeliest. Unchecked sites
+  // beat partially checked beat fully checked, and within a class sites are
+  // taken round-robin across enclosing functions: two sites in the same
+  // function tend to guard the same recovery region, so diversity first.
+  auto append_class = [this](CheckClass cls) {
+    std::vector<std::string> group_order;                    // first-appearance order
+    std::map<std::string, std::deque<size_t>> by_enclosing;  // pending indices
+    for (size_t i = 0; i < reports_.size(); ++i) {
+      if (reports_[i].check_class != cls) {
+        continue;
+      }
+      auto [it, inserted] = by_enclosing.emplace(reports_[i].site.enclosing, std::deque<size_t>());
+      if (inserted) {
+        group_order.push_back(reports_[i].site.enclosing);
+      }
+      it->second.push_back(i);
+    }
+    bool drained = false;
+    while (!drained) {
+      drained = true;
+      for (const std::string& enclosing : group_order) {
+        std::deque<size_t>& pending = by_enclosing[enclosing];
+        if (pending.empty()) {
+          continue;
+        }
+        drained = false;
+        size_t index = pending.front();
+        pending.pop_front();
+        const FunctionProfile* fn = profile_->Find(reports_[index].site.function);
+        Plan plan;
+        plan.report_index = index;
+        if (fn == nullptr ||
+            !PickSiteErrorMode(reports_[index], *fn, &plan.retval, &plan.errno_value)) {
+          continue;  // nothing injectable at this site
+        }
+        explore_.push_back(plan);
+      }
+    }
+  };
+  append_class(CheckClass::kNone);
+  append_class(CheckClass::kPartial);
+  if (options_.include_checked_sites) {
+    append_class(CheckClass::kFull);
+  }
+}
+
+std::string CoverageGuidedSource::PlanKey(const Plan& plan) const {
+  const CallSite& site = reports_[plan.report_index].site;
+  return StrFormat("%x:%lld:%d:%llu", site.offset, static_cast<long long>(plan.retval),
+                   plan.errno_value, (unsigned long long)plan.call_count);
+}
+
+bool CoverageGuidedSource::Schedule(const Plan& plan, std::vector<CampaignJob>* out) {
+  // Mutations claimed their key at enqueue time; initial site plans claim it
+  // here. Either way the key is marked before the job runs.
+  seen_keys_.insert(PlanKey(plan));
+  const CallSiteReport& report = reports_[plan.report_index];
+  CampaignJob job;
+  job.scenario =
+      GenerateSiteScenarioVariant(report, plan.retval, plan.errno_value, plan.call_count);
+  if (job.scenario.functions().empty()) {
+    return false;
+  }
+  job.label = StrFormat("explore %s@%s+0x%x retval=%lld errno=%d", report.site.function.c_str(),
+                        report.site.enclosing.c_str(), report.site.offset,
+                        static_cast<long long>(plan.retval), plan.errno_value);
+  if (plan.call_count > 0) {
+    job.label += StrFormat(" call=%llu", (unsigned long long)plan.call_count);
+  }
+  uint64_t seed = MixSeed(options_.seed, report.site.offset + 1);
+  seed = MixSeed(seed, static_cast<uint64_t>(plan.retval));
+  seed = MixSeed(seed, static_cast<uint64_t>(plan.errno_value));
+  seed = MixSeed(seed, plan.call_count);
+  job.seed = seed | 1;
+  in_flight_[job.label] = plan;
+  out->push_back(std::move(job));
+  ++scheduled_;
+  return true;
+}
+
+std::vector<CampaignJob> CoverageGuidedSource::NextBatch(size_t max_jobs) {
+  std::vector<CampaignJob> out;
+  while (out.size() < max_jobs && scheduled_ < options_.budget) {
+    Plan plan;
+    if (!explore_.empty()) {
+      plan = explore_.front();
+      explore_.pop_front();
+    } else if (!exploit_.empty()) {
+      plan = exploit_.front();
+      exploit_.pop_front();
+    } else {
+      break;
+    }
+    Schedule(plan, &out);  // false = nothing injectable; just move on
+  }
+  return out;
+}
+
+void CoverageGuidedSource::OnFeedback(const CampaignJob& job, const RunFeedback& feedback) {
+  auto it = in_flight_.find(job.label);
+  if (it == in_flight_.end()) {
+    return;
+  }
+  Plan plan = it->second;
+  in_flight_.erase(it);
+  if (!feedback.fingerprint.empty() &&
+      !seen_fingerprints_.insert(feedback.fingerprint).second) {
+    // An already-observed fault sequence: the scenario is behaviourally
+    // equivalent to an earlier one, so expanding it would re-explore the
+    // same neighbourhood.
+    return;
+  }
+  if (feedback.new_bug || !feedback.new_blocks.empty()) {
+    EnqueueMutations(plan);
+  }
+}
+
+void CoverageGuidedSource::EnqueueMutations(const Plan& plan) {
+  const CallSiteReport& report = reports_[plan.report_index];
+  const FunctionProfile* fn = profile_->Find(report.site.function);
+  if (fn == nullptr) {
+    return;
+  }
+  int enqueued = 0;
+  auto offer = [&](int64_t retval, int errno_value, uint64_t call_count) {
+    if (enqueued >= options_.max_mutations_per_run) {
+      return;
+    }
+    Plan mutated = plan;
+    mutated.retval = retval;
+    mutated.errno_value = errno_value;
+    mutated.call_count = call_count;
+    // Claiming the key now (not at Schedule time) keeps a pending duplicate
+    // from eating a second fruitful run's mutation slots.
+    if (!seen_keys_.insert(PlanKey(mutated)).second) {
+      return;
+    }
+    exploit_.push_back(mutated);
+    ++enqueued;
+  };
+  // Other error modes of the same function, then later call ordinals at the
+  // same site (a second fopen may guard a different recovery path than the
+  // first).
+  for (const ErrorSpec& mode : fn->errors) {
+    if (mode.errnos.empty()) {
+      offer(mode.retval, 0, plan.call_count);
+    } else {
+      for (int errno_value : mode.errnos) {
+        offer(mode.retval, errno_value, plan.call_count);
+      }
+    }
+  }
+  for (uint64_t count = 2; count <= options_.max_call_count; ++count) {
+    offer(plan.retval, plan.errno_value, count);
+  }
+}
+
+}  // namespace lfi

@@ -28,6 +28,19 @@ std::string InjectionLog::ToString() const {
   return out;
 }
 
+std::string InjectionLog::Fingerprint() const {
+  std::string out;
+  for (const InjectionRecord& r : records_) {
+    if (!out.empty()) {
+      out += ";";
+    }
+    out += StrFormat("%s@%llu=%lld/%d", r.function.c_str(),
+                     static_cast<unsigned long long>(r.call_number),
+                     static_cast<long long>(r.retval), r.errno_value);
+  }
+  return out;
+}
+
 Scenario InjectionLog::ReplayScenario(size_t index) const {
   Scenario scenario;
   if (index >= records_.size()) {

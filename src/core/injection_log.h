@@ -42,6 +42,13 @@ class InjectionLog {
   // Human-readable rendering, one line per injection.
   std::string ToString() const;
 
+  // Stable one-line digest of the injection sequence: every record's
+  // (function, call number, retval, errno), order-sensitive. Two runs with
+  // equal fingerprints exercised the same fault sequence, which is how the
+  // exploration strategies deduplicate behaviourally equivalent scenarios.
+  // Empty when nothing was injected.
+  std::string Fingerprint() const;
+
   // A scenario that re-injects exactly record[index]'s fault on the same
   // call number, using the stock call-count trigger.
   Scenario ReplayScenario(size_t index) const;

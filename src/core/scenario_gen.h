@@ -33,6 +33,20 @@ GeneratedScenarios GenerateScenarios(const std::vector<CallSiteReport>& reports,
 // lacks the function or has no suitable error mode.
 Scenario GenerateSiteScenario(const CallSiteReport& report, const FaultProfile& profile);
 
+// The §5 error-mode choice behind GenerateSiteScenario: for partially
+// checked sites a *missing* retval is preferred, otherwise the profile's
+// first error mode. Returns false when the profile offers no error mode.
+bool PickSiteErrorMode(const CallSiteReport& report, const FunctionProfile& fn, int64_t* retval,
+                       int* errno_value);
+
+// A site scenario with an explicit (retval, errno) pair and an optional
+// call-count conjunction: call_count == 0 injects on every call at the site,
+// call_count == n only on the n-th. This is the mutation building block of
+// the exploration strategies (vary the error mode and the occurrence of a
+// fruitful scenario without touching its call-stack trigger).
+Scenario GenerateSiteScenarioVariant(const CallSiteReport& report, int64_t retval,
+                                     int errno_value, uint64_t call_count);
+
 }  // namespace lfi
 
 #endif  // LFI_CORE_SCENARIO_GEN_H_

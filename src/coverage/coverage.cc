@@ -20,6 +20,13 @@ void CoverageMap::AbsorbHits(const CoverageMap& other) {
   }
 }
 
+void CoverageMap::Absorb(const CoverageMap& other) {
+  for (const auto& [id, block] : other.blocks_) {
+    blocks_.emplace(id, block);
+  }
+  AbsorbHits(other);
+}
+
 CoverageMap::Stats CoverageMap::ComputeStats() const {
   Stats stats;
   for (const auto& [id, block] : blocks_) {

@@ -7,6 +7,13 @@
 // which ones are recovery blocks and how many source lines each represents,
 // and call Hit() on entry. The report distinguishes total coverage from
 // recovery coverage, which is what Table 3 tabulates.
+//
+// Concurrency contract: a CoverageMap is deliberately unsynchronized. Every
+// campaign job runs against its own application instance and therefore its
+// own map, confined to the worker executing the job; cross-thread
+// aggregation happens exclusively through Absorb()/AbsorbHits() at the
+// campaign engine's deterministic job-order merge point, which is serialized
+// by the engine. Never share one map between concurrently running jobs.
 
 #ifndef LFI_COVERAGE_COVERAGE_H_
 #define LFI_COVERAGE_COVERAGE_H_
@@ -33,6 +40,12 @@ class CoverageMap {
   // Merges another map's hit set into this one (cumulative coverage across
   // repeated runs, the way lcov accumulates .gcda data).
   void AbsorbHits(const CoverageMap& other);
+
+  // AbsorbHits plus block registrations: ids known to `other` keep their
+  // recovery flag and line count here. This is what a map that starts empty
+  // (e.g. the engine's cumulative exploration map) must use, or absorbed
+  // recovery blocks would degrade to 1-line normal blocks.
+  void Absorb(const CoverageMap& other);
 
   struct Stats {
     size_t total_blocks = 0;

@@ -36,6 +36,10 @@ std::string Join(const std::vector<std::string>& items, std::string_view sep);
 // Lowercases ASCII characters.
 std::string AsciiLower(std::string_view s);
 
+// Escapes a string for embedding in a JSON string literal: quotes,
+// backslashes, and control characters (as \uXXXX).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace lfi
 
 #endif  // LFI_UTIL_STRING_UTIL_H_
