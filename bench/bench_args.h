@@ -1,0 +1,43 @@
+// Shared argv parsing for the JSON-emitting benches.
+//
+// Splits argv into positionals and an optional `--json [path]` flag. The
+// token after --json is taken as the output path only when it cannot be a
+// numeric positional (every bench's positionals -- reps, worker counts,
+// iteration counts -- are bare integers), so `bench --json 3 4` keeps 3 and
+// 4 positional and writes to the default path.
+
+#ifndef LFI_BENCH_BENCH_ARGS_H_
+#define LFI_BENCH_BENCH_ARGS_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace lfi_bench {
+
+struct JsonArgs {
+  bool enabled = false;
+  std::string path;
+  std::vector<char*> positional;
+};
+
+inline JsonArgs ParseJsonArgs(int argc, char** argv, const char* default_path) {
+  JsonArgs out;
+  out.path = default_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      out.enabled = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          std::strspn(argv[i + 1], "0123456789") != std::strlen(argv[i + 1])) {
+        out.path = argv[++i];
+      }
+    } else {
+      out.positional.push_back(argv[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lfi_bench
+
+#endif  // LFI_BENCH_BENCH_ARGS_H_

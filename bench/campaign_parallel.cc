@@ -6,15 +6,18 @@
 // analysis cache is warmed first so the measurement isolates scenario
 // execution -- the part the worker pool actually shards.
 //
-//   bench_campaign_parallel [reps] [worker counts...]     (defaults: 3; 1 2 4 8)
+//   bench_campaign_parallel [reps] [worker counts...] [--json [path]]
+//     (defaults: 3; 1 2 4 8; --json writes BENCH_campaign.json)
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "apps/common/bug_campaign.h"
+#include "bench_args.h"
 
 namespace {
 
@@ -32,17 +35,21 @@ double RunOnce(int workers, size_t* bugs_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+  lfi_bench::JsonArgs args = lfi_bench::ParseJsonArgs(argc, argv, "BENCH_campaign.json");
+  const bool json = args.enabled;
+  const std::string& json_path = args.path;
+  const std::vector<char*>& positional = args.positional;
+  int reps = !positional.empty() ? std::atoi(positional[0]) : 3;
   if (reps < 1) {
     reps = 1;
   }
   std::vector<int> worker_counts;
-  for (int i = 2; i < argc; ++i) {
+  for (size_t i = 1; i < positional.size(); ++i) {
     // Resolve "0 = one per hardware thread" (and reject garbage) up front so
     // every table row is labeled with the count actually measured.
-    int workers = std::atoi(argv[i]);
+    int workers = std::atoi(positional[i]);
     if (workers < 0) {
-      std::fprintf(stderr, "ignoring invalid worker count '%s'\n", argv[i]);
+      std::fprintf(stderr, "ignoring invalid worker count '%s'\n", positional[i]);
       continue;
     }
     worker_counts.push_back(workers == 0 ? static_cast<int>(
@@ -67,6 +74,13 @@ int main(int argc, char** argv) {
   std::printf("only measure scheduling overhead)\n\n");
   std::printf("%-8s %-10s %-10s %s\n", "workers", "seconds", "speedup", "bugs");
 
+  struct Row {
+    int workers;
+    double seconds;
+    double speedup;
+    size_t bugs;
+  };
+  std::vector<Row> rows;
   double baseline = 0.0;
   bool consistent = true;
   for (int workers : worker_counts) {
@@ -84,7 +98,28 @@ int main(int argc, char** argv) {
     if (got != bugs) {
       consistent = false;
     }
+    rows.push_back({workers, best, baseline / best, got});
     std::printf("%-8d %-10.3f %-10.2f %zu\n", workers, best, baseline / best, got);
+  }
+  if (json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"campaign_parallel\",\n  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"hardware_threads\": %u,\n  \"results\": [\n", hw);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"seconds\": %.3f, \"speedup\": %.2f, "
+                   "\"bugs\": %zu}%s\n",
+                   rows[i].workers, rows[i].seconds, rows[i].speedup, rows[i].bugs,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"bug_counts_consistent\": %s\n}\n",
+                 consistent ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   if (!consistent) {
     std::printf("\nERROR: bug counts diverged across worker counts\n");

@@ -41,7 +41,7 @@ Scenario DistScenario() {
 // but letting them all succeed".
 class NeverController : public DistributedController {
  public:
-  bool ShouldInject(const std::string&, const std::string&, const ArgVec&) override {
+  bool ShouldInject(const std::string&, const std::string&, const ArgSpan&) override {
     ++consultations_;
     return false;
   }

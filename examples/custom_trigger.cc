@@ -24,7 +24,7 @@ namespace {
 DECLARE_TRIGGER(MyReadPipeTrigger) {
  public:
   bool Eval(lfi::VirtualLibc* libc, const std::string& lib_func_name,
-            const lfi::ArgVec& args) override {
+            const lfi::ArgSpan& args) override {
     if (lib_func_name == "pthread_mutex_lock") {
       ++lock_count_;
     } else if (lib_func_name == "pthread_mutex_unlock") {

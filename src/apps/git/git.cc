@@ -144,7 +144,8 @@ bool MiniGit::Init() {
 std::optional<std::string> MiniGit::WriteObject(const std::string& type,
                                                 const std::string& content) {
   ScopedFrame frame(&libc_.stack(), kModule, "write_object");
-  coverage_.Hit("git.write_object.body");
+  static const CoverageMap::BlockId kBlkGitWriteObjectBody = CoverageMap::InternBlock("git.write_object.body");
+  coverage_.Hit(kBlkGitWriteObjectBody);
   std::string payload = type + " " + StrFormat("%zu", content.size()) + '\0' + content;
   std::string id = Sha1::HexDigest(payload);
 
@@ -176,7 +177,8 @@ std::optional<std::string> MiniGit::WriteObject(const std::string& type,
 
 std::optional<std::string> MiniGit::ReadObject(const std::string& id, std::string* type) {
   ScopedFrame frame(&libc_.stack(), kModule, "read_object");
-  coverage_.Hit("git.read_object.body");
+  static const CoverageMap::BlockId kBlkGitReadObjectBody = CoverageMap::InternBlock("git.read_object.body");
+  coverage_.Hit(kBlkGitReadObjectBody);
   if (id.size() != 40) {
     coverage_.Hit("git.read_object.err_open");
     return std::nullopt;
@@ -230,7 +232,8 @@ bool MiniGit::Add(const std::string& path, const std::string& content) {
   }
   // Append to the index.
   ScopedFrame frame(&libc_.stack(), kModule, "write_index");
-  coverage_.Hit("git.index.body");
+  static const CoverageMap::BlockId kBlkGitIndexBody = CoverageMap::InternBlock("git.index.body");
+  coverage_.Hit(kBlkGitIndexBody);
   frame.set_offset(Site("git.index.open"));
   int fd = libc_.Open(repo_root_ + "/.git/index", kOWrOnly | kOCreate | kOAppend);
   if (fd < 0) {
@@ -289,7 +292,8 @@ std::optional<std::string> MiniGit::Commit(const std::string& message) {
   // Update the current branch ref.
   {
     ScopedFrame ref_frame(&libc_.stack(), kModule, "update_ref");
-    coverage_.Hit("git.ref.body");
+    static const CoverageMap::BlockId kBlkGitRefBody = CoverageMap::InternBlock("git.ref.body");
+    coverage_.Hit(kBlkGitRefBody);
     ref_frame.set_offset(Site("git.ref.open"));
     int ref_fd = libc_.Open(repo_root_ + "/.git/refs/heads/master", kOWrOnly | kOCreate | kOTrunc);
     if (ref_fd < 0) {
@@ -362,7 +366,8 @@ bool MiniGit::CreateBranch(const std::string& name) {
     return false;
   }
   ScopedFrame frame(&libc_.stack(), kModule, "update_ref");
-  coverage_.Hit("git.ref.body");
+  static const CoverageMap::BlockId kBlkGitRefBody = CoverageMap::InternBlock("git.ref.body");
+  coverage_.Hit(kBlkGitRefBody);
   frame.set_offset(Site("git.ref.open"));
   int fd = libc_.Open(repo_root_ + "/.git/refs/heads/" + name, kOWrOnly | kOCreate | kOTrunc);
   if (fd < 0) {
@@ -382,7 +387,8 @@ bool MiniGit::CreateBranch(const std::string& name) {
 }
 
 std::optional<std::string> MiniGit::DiffBlobs(const std::string& id_a, const std::string& id_b) {
-  coverage_.Hit("git.diff.body");
+  static const CoverageMap::BlockId kBlkGitDiffBody = CoverageMap::InternBlock("git.diff.body");
+  coverage_.Hit(kBlkGitDiffBody);
   auto a = ReadObject(id_a);
   auto b = ReadObject(id_b);
   if (!a || !b) {

@@ -140,15 +140,18 @@ void PbftReplica::Step() {
         }
         // Transient receive failure: that datagram is lost; retry a few
         // times, then back off until the next tick.
-        coverage_.Hit("pbft.recv.err_retry");
+        static const CoverageMap::BlockId kBlkPbftRecvErrRetry = CoverageMap::InternBlock("pbft.recv.err_retry");
+        coverage_.Hit(kBlkPbftRecvErrRetry);
         if (++consecutive_failures >= 8) {
-          coverage_.Hit("pbft.recv.err_backoff");
+          static const CoverageMap::BlockId kBlkPbftRecvErrBackoff = CoverageMap::InternBlock("pbft.recv.err_backoff");
+          coverage_.Hit(kBlkPbftRecvErrBackoff);
           break;
         }
         continue;
       }
       consecutive_failures = 0;
-      coverage_.Hit("pbft.recv.body");
+      static const CoverageMap::BlockId kBlkPbftRecvBody = CoverageMap::InternBlock("pbft.recv.body");
+      coverage_.Hit(kBlkPbftRecvBody);
       HandleMessage(std::string(buf, static_cast<size_t>(n)), src_port);
       if (halted_) {
         return;
@@ -292,7 +295,8 @@ void PbftReplica::OnStateTransfer(int64_t executed, const std::string& digest, i
   if (executed <= executed_count_) {
     return;
   }
-  coverage_.Hit("pbft.state.adopt");
+  static const CoverageMap::BlockId kBlkPbftStateAdopt = CoverageMap::InternBlock("pbft.state.adopt");
+  coverage_.Hit(kBlkPbftStateAdopt);
   executed_count_ = executed;
   state_digest_ = digest;
   low_watermark_ = executed;
@@ -401,7 +405,8 @@ void PbftReplica::TryExecute() {
       break;  // payload never arrived; wait for retransmission or view change
     }
     st.executed = true;
-    coverage_.Hit("pbft.exec.body");
+    static const CoverageMap::BlockId kBlkPbftExecBody = CoverageMap::InternBlock("pbft.exec.body");
+    coverage_.Hit(kBlkPbftExecBody);
     ++executed_count_;
     executed_digests_.insert(st.digest);
     state_digest_ = Digest(state_digest_ + st.digest);

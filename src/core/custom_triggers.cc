@@ -8,7 +8,7 @@ namespace lfi {
 // --- ReadPipe1K4KwithMutex (§3.1, verbatim logic) ----------------------------
 
 bool ReadPipe1K4KwithMutex::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                                 const ArgVec& args) {
+                                 const ArgSpan& args) {
   if (lib_func_name == "pthread_mutex_lock") {
     ++lock_count_;
   } else if (lib_func_name == "pthread_mutex_unlock") {
@@ -42,7 +42,7 @@ void ReadPipe::Init(const XmlNode* init_data) {
   }
 }
 
-bool ReadPipe::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+bool ReadPipe::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) {
   if (lib_func_name != "read" || args.size() < 3) {
     return false;
   }
@@ -57,7 +57,7 @@ bool ReadPipe::Eval(VirtualLibc* libc, const std::string& lib_func_name, const A
 
 // --- WithMutex (§4.2) -----------------------------------------------------------
 
-bool WithMutex::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+bool WithMutex::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) {
   (void)libc;
   (void)args;
   if (lib_func_name == "pthread_mutex_lock") {
@@ -83,7 +83,7 @@ void CloseAfterMutexUnlock::Init(const XmlNode* init_data) {
 }
 
 bool CloseAfterMutexUnlock::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                                 const ArgVec& args) {
+                                 const ArgSpan& args) {
   (void)libc;
   (void)args;
   if (lib_func_name == "pthread_mutex_unlock") {
@@ -101,7 +101,7 @@ bool CloseAfterMutexUnlock::Eval(VirtualLibc* libc, const std::string& lib_func_
 
 // --- FdIsSocket (§7.4 Apache trigger 1) ---------------------------------------
 
-bool FdIsSocket::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+bool FdIsSocket::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) {
   (void)lib_func_name;
   if (args.empty()) {
     return false;
@@ -127,7 +127,7 @@ void ArgValue::Init(const XmlNode* init_data) {
   }
 }
 
-bool ArgValue::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) {
+bool ArgValue::Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) {
   (void)libc;
   (void)lib_func_name;
   return index_ < args.size() && args[index_] == value_;

@@ -25,7 +25,7 @@ namespace lfi {
 
 DECLARE_TRIGGER(ReadPipe1K4KwithMutex) {
  public:
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   int lock_count_ = 0;
@@ -34,7 +34,7 @@ DECLARE_TRIGGER(ReadPipe1K4KwithMutex) {
 DECLARE_TRIGGER(ReadPipe) {
  public:
   void Init(const XmlNode* init_data) override;
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   uint64_t low_ = 1024;
@@ -43,7 +43,7 @@ DECLARE_TRIGGER(ReadPipe) {
 
 DECLARE_TRIGGER(WithMutex) {
  public:
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   int lock_count_ = 0;
@@ -52,7 +52,7 @@ DECLARE_TRIGGER(WithMutex) {
 DECLARE_TRIGGER(CloseAfterMutexUnlock) {
  public:
   void Init(const XmlNode* init_data) override;
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   // Maximum number of intercepted calls between the unlock and the close
@@ -67,7 +67,7 @@ DECLARE_TRIGGER(CloseAfterMutexUnlock) {
 // the apr_stat probe).
 DECLARE_TRIGGER(FdIsSocket) {
  public:
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 };
 
 // §7.4 MySQL trigger 1 generalized: fires when argument <index> equals
@@ -75,7 +75,7 @@ DECLARE_TRIGGER(FdIsSocket) {
 DECLARE_TRIGGER(ArgValue) {
  public:
   void Init(const XmlNode* init_data) override;
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   size_t index_ = 0;

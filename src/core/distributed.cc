@@ -3,7 +3,7 @@
 namespace lfi {
 
 bool RandomLossController::ShouldInject(const std::string& node, const std::string& function,
-                                        const ArgVec& args) {
+                                        const ArgSpan& args) {
   (void)node;
   (void)function;
   (void)args;
@@ -12,7 +12,7 @@ bool RandomLossController::ShouldInject(const std::string& node, const std::stri
 }
 
 bool BlackoutController::ShouldInject(const std::string& node, const std::string& function,
-                                      const ArgVec& args) {
+                                      const ArgSpan& args) {
   (void)function;
   (void)args;
   ++consultations_;
@@ -20,7 +20,7 @@ bool BlackoutController::ShouldInject(const std::string& node, const std::string
 }
 
 bool RotatingBlackoutController::ShouldInject(const std::string& node,
-                                              const std::string& function, const ArgVec& args) {
+                                              const std::string& function, const ArgSpan& args) {
   (void)function;
   (void)args;
   ++consultations_;

@@ -29,7 +29,7 @@ class DistributedController {
 
   // Global injection decision for an intercepted call on `node`.
   virtual bool ShouldInject(const std::string& node, const std::string& function,
-                            const ArgVec& args) = 0;
+                            const ArgSpan& args) = 0;
 
   uint64_t consultations() const { return consultations_; }
 
@@ -45,7 +45,7 @@ class RandomLossController : public DistributedController {
       : probability_(probability), rng_(seed) {}
 
   bool ShouldInject(const std::string& node, const std::string& function,
-                    const ArgVec& args) override;
+                    const ArgSpan& args) override;
 
  private:
   double probability_;
@@ -59,7 +59,7 @@ class BlackoutController : public DistributedController {
   explicit BlackoutController(std::string target) : target_(std::move(target)) {}
 
   bool ShouldInject(const std::string& node, const std::string& function,
-                    const ArgVec& args) override;
+                    const ArgSpan& args) override;
 
  private:
   std::string target_;
@@ -73,7 +73,7 @@ class RotatingBlackoutController : public DistributedController {
       : nodes_(std::move(nodes)), burst_(burst) {}
 
   bool ShouldInject(const std::string& node, const std::string& function,
-                    const ArgVec& args) override;
+                    const ArgSpan& args) override;
 
   const std::string& current_target() const { return nodes_[current_]; }
 

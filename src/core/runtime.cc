@@ -1,12 +1,31 @@
 #include "core/runtime.h"
 
+#include <atomic>
+
 #include "util/string_util.h"
 #include "vlib/virtual_libc.h"
 
 namespace lfi {
 
+namespace {
+// Process-wide ablation defaults (SetLookupModeDefaults). Read once per
+// Runtime construction, never on the per-call path.
+std::atomic<bool> g_default_linear_lookup{false};
+std::atomic<bool> g_default_string_keyed_reference{false};
+}  // namespace
+
+void Runtime::SetLookupModeDefaults(bool linear_lookup, bool string_keyed_reference) {
+  g_default_linear_lookup.store(linear_lookup, std::memory_order_relaxed);
+  g_default_string_keyed_reference.store(string_keyed_reference, std::memory_order_relaxed);
+}
+
 Runtime::Runtime(const Scenario& scenario, Options options) : options_(options) {
+  options_.linear_lookup |= g_default_linear_lookup.load(std::memory_order_relaxed);
+  options_.string_keyed_reference |=
+      g_default_string_keyed_reference.load(std::memory_order_relaxed);
+
   std::unordered_map<std::string, TriggerInstance*> by_id;
+  size_t longest_conjunction = 0;
   for (const TriggerDecl& decl : scenario.triggers()) {
     auto instance = std::make_unique<TriggerInstance>();
     instance->decl = decl;
@@ -21,6 +40,7 @@ Runtime::Runtime(const Scenario& scenario, Options options) : options_(options) 
   for (const FunctionAssoc& spec : scenario.functions()) {
     Assoc assoc;
     assoc.spec = spec;
+    assoc.function_id = InternFunction(spec.function);
     for (const TriggerRef& ref : spec.triggers) {
       auto it = by_id.find(ref.ref);
       if (it == by_id.end()) {
@@ -30,21 +50,38 @@ Runtime::Runtime(const Scenario& scenario, Options options) : options_(options) 
       assoc.triggers.push_back(it->second);
       assoc.negate.push_back(ref.negate);
     }
-    by_function_[spec.function].push_back(assocs_.size());
+    longest_conjunction = std::max(longest_conjunction, assoc.triggers.size());
+    if (assoc.function_id >= by_function_.size()) {
+      by_function_.resize(assoc.function_id + 1);
+    }
+    by_function_[assoc.function_id].push_back(assocs_.size());
+    if (options_.string_keyed_reference) {
+      ref_by_function_[spec.function].push_back(assocs_.size());
+    }
     assocs_.push_back(std::move(assoc));
   }
+  call_counts_.resize(by_function_.size(), 0);
+  fired_scratch_.reserve(longest_conjunction);
 }
 
 Runtime::~Runtime() = default;
 
-uint64_t Runtime::call_count(const std::string& function) const {
-  auto it = call_counts_.find(function);
-  return it == call_counts_.end() ? 0 : it->second;
+uint64_t Runtime::call_count(std::string_view function) const {
+  if (options_.string_keyed_reference) {
+    auto it = ref_call_counts_.find(std::string(function));
+    return it == ref_call_counts_.end() ? 0 : it->second;
+  }
+  auto id = SymbolTable::Functions().Find(function);
+  if (!id || *id >= call_counts_.size()) {
+    return 0;
+  }
+  return call_counts_[*id];
 }
 
 bool Runtime::EvalConjunction(Assoc& assoc, VirtualLibc* libc, const std::string& function,
-                              const ArgVec& args, std::string* fired_ids) {
+                              const ArgSpan& args) {
   bool verdict = true;
+  fired_scratch_.clear();
   for (size_t i = 0; i < assoc.triggers.size(); ++i) {
     TriggerInstance* instance = assoc.triggers[i];
     if (instance->trigger == nullptr) {
@@ -67,10 +104,7 @@ bool Runtime::EvalConjunction(Assoc& assoc, VirtualLibc* libc, const std::string
       vote = !vote;
     }
     if (vote) {
-      if (!fired_ids->empty()) {
-        *fired_ids += ",";
-      }
-      *fired_ids += instance->decl.id;
+      fired_scratch_.push_back(instance);
     } else {
       verdict = false;
       if (!options_.disable_short_circuit) {
@@ -81,42 +115,15 @@ bool Runtime::EvalConjunction(Assoc& assoc, VirtualLibc* libc, const std::string
   return verdict && !assoc.triggers.empty();
 }
 
-InjectionDecision Runtime::OnCall(VirtualLibc* libc, std::string_view function,
-                                  const ArgVec& args) {
+InjectionDecision Runtime::Dispatch(VirtualLibc* libc, const std::string& function,
+                                    const ArgSpan& args, const std::vector<size_t>& indices,
+                                    uint64_t call_number) {
   InjectionDecision decision;
-  std::string fn(function);
-
-  const std::vector<size_t>* indices = nullptr;
-  if (options_.linear_lookup) {
-    // Ablation path: scan every association for a name match.
-    static thread_local std::vector<size_t> scratch;
-    scratch.clear();
-    for (size_t i = 0; i < assocs_.size(); ++i) {
-      if (assocs_[i].spec.function == fn) {
-        scratch.push_back(i);
-      }
-    }
-    if (scratch.empty()) {
-      return decision;
-    }
-    indices = &scratch;
-  } else {
-    auto it = by_function_.find(fn);
-    if (it == by_function_.end()) {
-      return decision;  // not an intercepted function
-    }
-    indices = &it->second;
-  }
-
-  ++interceptions_;
-  uint64_t call_number = ++call_counts_[fn];
-
   // Associations with the same function name form a disjunction: the first
   // conjunction that fires decides the injection.
-  for (size_t index : *indices) {
+  for (size_t index : indices) {
     Assoc& assoc = assocs_[index];
-    std::string fired_ids;
-    if (!EvalConjunction(assoc, libc, fn, args, &fired_ids)) {
+    if (!EvalConjunction(assoc, libc, function, args)) {
       continue;
     }
     if (assoc.spec.unused) {
@@ -126,12 +133,21 @@ InjectionDecision Runtime::OnCall(VirtualLibc* libc, std::string_view function,
       continue;  // measurement mode: evaluate triggers but never inject
     }
     ++injections_;
+    // Only now -- on an actual injection, the rare case -- does the record
+    // pay for strings and the stack snapshot.
+    std::string fired_ids;
+    for (const TriggerInstance* fired : fired_scratch_) {
+      if (!fired_ids.empty()) {
+        fired_ids += ",";
+      }
+      fired_ids += fired->decl.id;
+    }
     InjectionRecord record;
     record.sequence = ++sequence_;
-    record.function = fn;
+    record.function = function;
     record.retval = assoc.spec.retval;
     record.errno_value = assoc.spec.errno_value;
-    record.trigger_ids = fired_ids;
+    record.trigger_ids = std::move(fired_ids);
     record.call_number = call_number;
     record.stack = libc->stack().frames();
     record.process = libc->process_name();
@@ -143,6 +159,53 @@ InjectionDecision Runtime::OnCall(VirtualLibc* libc, std::string_view function,
     return decision;
   }
   return decision;
+}
+
+InjectionDecision Runtime::OnCall(VirtualLibc* libc, FunctionId function,
+                                  const ArgSpan& args) {
+  if (options_.string_keyed_reference) {
+    // Reference ablation: the seed's exact per-call pattern -- materialize
+    // the name, heap-allocate the argument vector, and probe two
+    // string-keyed hash maps -- so bench_interpose_overhead can measure the
+    // before/after of interning on one binary.
+    std::string fn(FunctionName(function));
+    ArgVec heap_args(args.begin(), args.end());
+    auto it = ref_by_function_.find(fn);
+    if (it == ref_by_function_.end()) {
+      return InjectionDecision{};  // not an intercepted function
+    }
+    ++interceptions_;
+    uint64_t call_number = ++ref_call_counts_[fn];
+    return Dispatch(libc, fn, ArgSpan(heap_args), it->second, call_number);
+  }
+
+  InjectionDecision decision;
+  const std::vector<size_t>* indices = nullptr;
+  if (options_.linear_lookup) {
+    // Ablation path: scan every association for an id match.
+    static thread_local std::vector<size_t> scratch;
+    scratch.clear();
+    for (size_t i = 0; i < assocs_.size(); ++i) {
+      if (assocs_[i].function_id == function) {
+        scratch.push_back(i);
+      }
+    }
+    if (scratch.empty()) {
+      return decision;
+    }
+    indices = &scratch;
+  } else {
+    if (function >= by_function_.size() || by_function_[function].empty()) {
+      return decision;  // not an intercepted function: one bounds check
+    }
+    indices = &by_function_[function];
+  }
+
+  ++interceptions_;
+  // Any id that reached here matched an association, so it is < the
+  // construction-time call_counts_ size: no growth on the hot path.
+  uint64_t call_number = ++call_counts_[function];
+  return Dispatch(libc, FunctionName(function), args, *indices, call_number);
 }
 
 }  // namespace lfi

@@ -9,6 +9,15 @@
 // injection log. Trigger instances are created eagerly but initialized
 // lazily, right before their first evaluation, to keep program startup free
 // of LFI overhead.
+//
+// The per-call path is allocation-free: functions arrive as pre-interned
+// FunctionIds, associations and call counters live in dense vectors indexed
+// by id, and the fired-trigger id string is only materialized when an
+// injection is actually recorded. Two ablations quantify the design (§7.4):
+// linear_lookup replaces the O(1) association lookup with a scan, and
+// string_keyed_reference reinstates the historical string-keyed maps --
+// per-call std::string copy, two string-hash probes, heap-allocated ArgVec
+// -- as the before/after baseline of bench_interpose_overhead.
 
 #ifndef LFI_CORE_RUNTIME_H_
 #define LFI_CORE_RUNTIME_H_
@@ -16,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -33,9 +43,15 @@ class Runtime : public Interposer {
     // evaluated even after one returns false). Exists for the ablation
     // benchmark only; semantics are unchanged for stateless triggers.
     bool disable_short_circuit = false;
-    // Uses a linear scan over all associations instead of the hash map, to
-    // quantify the O(1)-lookup design decision.
+    // Uses a linear scan over all associations instead of the id-indexed
+    // vector, to quantify the O(1)-lookup design decision.
     bool linear_lookup = false;
+    // Reinstates the pre-interning hot path: a std::string copy of the
+    // function name, string-keyed hash maps for association lookup and call
+    // counts, and a heap-allocated ArgVec per intercepted call. Injection
+    // behaviour is bit-identical; only the per-call cost differs. This is
+    // the "before" of the §7.4 overhead comparison.
+    bool string_keyed_reference = false;
     // Per-scenario RNG seed. When non-zero, every trigger instance is
     // Reseed()ed with a stream derived from this value and its declaration
     // ordinal, making randomized scenarios bit-reproducible regardless of
@@ -44,14 +60,21 @@ class Runtime : public Interposer {
     uint64_t seed = 0;
   };
 
+  // Process-wide lookup-mode defaults, ORed into the options of every
+  // Runtime constructed afterwards. Lets equivalence tests and benches run
+  // entire campaigns on the ablation paths without threading options through
+  // every harness. Set once before a run, reset after; not meant to be
+  // flipped while runtimes are being constructed concurrently.
+  static void SetLookupModeDefaults(bool linear_lookup, bool string_keyed_reference);
+
   // Builds the runtime from a scenario. Unknown trigger classes surface in
   // error(); the runtime then behaves as if those triggers always vote no.
   explicit Runtime(const Scenario& scenario) : Runtime(scenario, Options()) {}
   Runtime(const Scenario& scenario, Options options);
   ~Runtime() override;
 
-  InjectionDecision OnCall(VirtualLibc* libc, std::string_view function,
-                           const ArgVec& args) override;
+  InjectionDecision OnCall(VirtualLibc* libc, FunctionId function,
+                           const ArgSpan& args) override;
 
   const InjectionLog& log() const { return log_; }
   InjectionLog& mutable_log() { return log_; }
@@ -62,7 +85,7 @@ class Runtime : public Interposer {
   uint64_t trigger_evaluations() const { return trigger_evaluations_; }
   uint64_t injections() const { return injections_; }
   // Calls of `function` intercepted so far.
-  uint64_t call_count(const std::string& function) const;
+  uint64_t call_count(std::string_view function) const;
 
   // Arms/disarms injection globally. Disarmed, triggers still run (so the
   // overhead benches measure pure trigger cost, §7.4: "we did not actually
@@ -79,19 +102,35 @@ class Runtime : public Interposer {
   };
   struct Assoc {
     FunctionAssoc spec;
+    FunctionId function_id = 0;              // interned spec.function
     std::vector<TriggerInstance*> triggers;  // resolved refs, conjunction order
     std::vector<bool> negate;
   };
 
   bool EvalConjunction(Assoc& assoc, VirtualLibc* libc, const std::string& function,
-                       const ArgVec& args, std::string* fired_ids);
+                       const ArgSpan& args);
+
+  // The disjunction over `indices` shared by every lookup mode.
+  InjectionDecision Dispatch(VirtualLibc* libc, const std::string& function,
+                             const ArgSpan& args, const std::vector<size_t>& indices,
+                             uint64_t call_number);
 
   Options options_;
   std::string error_;
   std::vector<std::unique_ptr<TriggerInstance>> instances_;
   std::vector<Assoc> assocs_;  // declaration order (disjunction across same name)
-  std::unordered_map<std::string, std::vector<size_t>> by_function_;
-  std::unordered_map<std::string, uint64_t> call_counts_;
+  // Assoc indices per FunctionId; the single hot-path lookup (one bounds
+  // check + one vector index). Sized to the largest scenario function id.
+  std::vector<std::vector<size_t>> by_function_;
+  std::vector<uint64_t> call_counts_;  // dense, indexed by FunctionId
+  // string_keyed_reference ablation state: the seed's maps, rebuilt only
+  // when that mode is active.
+  std::unordered_map<std::string, std::vector<size_t>> ref_by_function_;
+  std::unordered_map<std::string, uint64_t> ref_call_counts_;
+  // Triggers of the current conjunction that voted yes; reused across calls
+  // so the common no-injection case never allocates. The fired-id string is
+  // built from this only when an injection is recorded.
+  std::vector<const TriggerInstance*> fired_scratch_;
   InjectionLog log_;
   bool armed_ = true;
   uint64_t interceptions_ = 0;

@@ -31,7 +31,7 @@ void CallStackTrigger::Init(const XmlNode* init_data) {
 }
 
 bool CallStackTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                            const ArgVec& args) {
+                            const ArgSpan& args) {
   (void)lib_func_name;
   (void)args;
   if (frames_.empty()) {
@@ -76,7 +76,7 @@ void ProgramStateTrigger::Init(const XmlNode* init_data) {
 }
 
 bool ProgramStateTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                               const ArgVec& args) {
+                               const ArgSpan& args) {
   (void)lib_func_name;
   (void)args;
   auto lhs = libc->GetGlobal(var_);
@@ -123,7 +123,7 @@ void CallCountTrigger::Init(const XmlNode* init_data) {
 }
 
 bool CallCountTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                            const ArgVec& args) {
+                            const ArgSpan& args) {
   (void)args;
   // "An injection should occur exactly on the n-th call to a function": the
   // boundary count is authoritative, so the trigger is exact even when it is
@@ -134,7 +134,7 @@ bool CallCountTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
 // --- SingletonTrigger ----------------------------------------------------------------
 
 bool SingletonTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                            const ArgVec& args) {
+                            const ArgSpan& args) {
   (void)libc;
   (void)lib_func_name;
   (void)args;
@@ -168,7 +168,7 @@ void RandomTrigger::Reseed(uint64_t seed) {
 }
 
 bool RandomTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                         const ArgVec& args) {
+                         const ArgSpan& args) {
   (void)libc;
   (void)lib_func_name;
   (void)args;
@@ -178,7 +178,7 @@ bool RandomTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
 // --- DistributedTrigger ------------------------------------------------------------------
 
 bool DistributedTrigger::Eval(VirtualLibc* libc, const std::string& lib_func_name,
-                              const ArgVec& args) {
+                              const ArgSpan& args) {
   auto* controller = static_cast<DistributedController*>(
       libc->GetService(DistributedController::kServiceName));
   if (controller == nullptr) {

@@ -39,7 +39,7 @@ DECLARE_TRIGGER(CallStackTrigger) {
   };
 
   void Init(const XmlNode* init_data) override;
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   std::vector<FrameSpec> frames_;
@@ -48,7 +48,7 @@ DECLARE_TRIGGER(CallStackTrigger) {
 DECLARE_TRIGGER(ProgramStateTrigger) {
  public:
   void Init(const XmlNode* init_data) override;
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   std::string var_;
@@ -60,7 +60,7 @@ DECLARE_TRIGGER(ProgramStateTrigger) {
 DECLARE_TRIGGER(CallCountTrigger) {
  public:
   void Init(const XmlNode* init_data) override;
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   uint64_t target_ = 1;  // 1-based call ordinal to fire on
@@ -68,7 +68,7 @@ DECLARE_TRIGGER(CallCountTrigger) {
 
 DECLARE_TRIGGER(SingletonTrigger) {
  public:
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   bool fired_ = false;
@@ -78,7 +78,7 @@ DECLARE_TRIGGER(RandomTrigger) {
  public:
   void Init(const XmlNode* init_data) override;
   void Reseed(uint64_t seed) override;
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 
  private:
   double probability_ = 0.0;
@@ -88,7 +88,7 @@ DECLARE_TRIGGER(RandomTrigger) {
 
 DECLARE_TRIGGER(DistributedTrigger) {
  public:
-  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) override;
+  bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgSpan& args) override;
 };
 
 // Linking stock_triggers.cc registers all six; this no-op anchors the object

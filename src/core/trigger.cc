@@ -11,7 +11,7 @@ void TriggerRegistry::Register(const std::string& class_name, Factory factory) {
   factories_[class_name] = std::move(factory);
 }
 
-std::unique_ptr<Trigger> TriggerRegistry::Create(const std::string& class_name) const {
+std::unique_ptr<Trigger> TriggerRegistry::Create(std::string_view class_name) const {
   auto it = factories_.find(class_name);
   if (it == factories_.end()) {
     return nullptr;
@@ -19,7 +19,7 @@ std::unique_ptr<Trigger> TriggerRegistry::Create(const std::string& class_name) 
   return it->second();
 }
 
-bool TriggerRegistry::Knows(const std::string& class_name) const {
+bool TriggerRegistry::Knows(std::string_view class_name) const {
   return factories_.count(class_name) != 0;
 }
 

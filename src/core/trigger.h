@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "vlib/interposer.h"
@@ -51,8 +52,11 @@ class Trigger {
 
   // The injection decision. Called every time a function associated with
   // this trigger instance is intercepted. Must be efficient: it runs on the
-  // application's fast path.
-  virtual bool Eval(VirtualLibc* libc, const std::string& lib_func_name, const ArgVec& args) = 0;
+  // application's fast path. `lib_func_name` is the runtime's interned
+  // spelling (a stable reference -- no per-call copy), and `args` the
+  // intercepted call's inline word-sized arguments.
+  virtual bool Eval(VirtualLibc* libc, const std::string& lib_func_name,
+                    const ArgSpan& args) = 0;
 };
 
 class TriggerRegistry {
@@ -66,13 +70,14 @@ class TriggerRegistry {
   void Register(const std::string& class_name, Factory factory);
 
   // Instantiates a trigger by class name; nullptr when unknown.
-  std::unique_ptr<Trigger> Create(const std::string& class_name) const;
+  std::unique_ptr<Trigger> Create(std::string_view class_name) const;
 
-  bool Knows(const std::string& class_name) const;
+  bool Knows(std::string_view class_name) const;
   std::vector<std::string> RegisteredClasses() const;
 
  private:
-  std::map<std::string, Factory> factories_;
+  // Heterogeneous comparator: string_view callers probe without allocating.
+  std::map<std::string, Factory, std::less<>> factories_;
 };
 
 // Helper whose construction performs the registration.

@@ -1,38 +1,70 @@
 #include "coverage/coverage.h"
 
+#include <algorithm>
+
 namespace lfi {
 
-void CoverageMap::RegisterBlock(const std::string& id, bool recovery, int lines) {
-  blocks_.emplace(id, Block{recovery, lines});
+void CoverageMap::EnsureBlock(BlockId id) {
+  if (id >= blocks_.size()) {
+    blocks_.resize(id + 1);
+    hits_.resize(id + 1, 0);
+  }
+  blocks_[id].known = true;
 }
 
-void CoverageMap::Hit(const std::string& id) {
-  blocks_.emplace(id, Block{false, 1});
+void CoverageMap::RegisterBlock(std::string_view id, bool recovery, int lines) {
+  RegisterBlock(InternBlock(id), recovery, lines);
+}
+
+void CoverageMap::RegisterBlock(BlockId id, bool recovery, int lines) {
+  if (id < blocks_.size() && blocks_[id].known) {
+    return;  // first registration wins
+  }
+  EnsureBlock(id);
+  blocks_[id].recovery = recovery;
+  blocks_[id].lines = lines;
+}
+
+void CoverageMap::Hit(BlockId id) {
+  if (id >= blocks_.size() || !blocks_[id].known) {
+    EnsureBlock(id);  // auto-register as a 1-line normal block
+  }
   ++hits_[id];
 }
 
-void CoverageMap::ResetHits() { hits_.clear(); }
+void CoverageMap::ResetHits() { std::fill(hits_.begin(), hits_.end(), 0); }
 
 void CoverageMap::AbsorbHits(const CoverageMap& other) {
-  for (const auto& [id, count] : other.hits_) {
-    blocks_.emplace(id, Block{false, 1});
-    hits_[id] += count;
+  for (BlockId id = 0; id < other.hits_.size(); ++id) {
+    if (other.hits_[id] == 0) {
+      continue;
+    }
+    if (id >= blocks_.size() || !blocks_[id].known) {
+      EnsureBlock(id);
+    }
+    hits_[id] += other.hits_[id];
   }
 }
 
 void CoverageMap::Absorb(const CoverageMap& other) {
-  for (const auto& [id, block] : other.blocks_) {
-    blocks_.emplace(id, block);
+  for (BlockId id = 0; id < other.blocks_.size(); ++id) {
+    if (other.blocks_[id].known) {
+      RegisterBlock(id, other.blocks_[id].recovery, other.blocks_[id].lines);
+    }
   }
   AbsorbHits(other);
 }
 
 CoverageMap::Stats CoverageMap::ComputeStats() const {
   Stats stats;
-  for (const auto& [id, block] : blocks_) {
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    const Block& block = blocks_[id];
+    if (!block.known) {
+      continue;
+    }
     ++stats.total_blocks;
     stats.total_lines += block.lines;
-    bool hit = hits_.count(id) != 0;
+    bool hit = hits_[id] != 0;
     if (hit) {
       ++stats.covered_blocks;
       stats.covered_lines += block.lines;
@@ -51,14 +83,30 @@ CoverageMap::Stats CoverageMap::ComputeStats() const {
 
 std::vector<std::string> CoverageMap::NewlyCoveredVersus(const CoverageMap& baseline) const {
   std::vector<std::string> out;
-  for (const auto& [id, count] : hits_) {
-    if (baseline.hits_.count(id) == 0) {
-      out.push_back(id);
+  for (BlockId id = 0; id < hits_.size(); ++id) {
+    if (hits_[id] != 0 && !baseline.WasHit(id)) {
+      out.push_back(SymbolTable::Blocks().Name(id));
+    }
+  }
+  // Name order, not id order: ids depend on process-wide interning order,
+  // which differs across worker schedules; feedback must not.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool CoverageMap::WasHit(std::string_view id) const {
+  auto sym = SymbolTable::Blocks().Find(id);
+  return sym && WasHit(*sym);
+}
+
+std::map<std::string, uint64_t> CoverageMap::hits() const {
+  std::map<std::string, uint64_t> out;
+  for (BlockId id = 0; id < hits_.size(); ++id) {
+    if (hits_[id] != 0) {
+      out.emplace(SymbolTable::Blocks().Name(id), hits_[id]);
     }
   }
   return out;
 }
-
-bool CoverageMap::WasHit(const std::string& id) const { return hits_.count(id) != 0; }
 
 }  // namespace lfi

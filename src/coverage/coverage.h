@@ -8,12 +8,25 @@
 // and call Hit() on entry. The report distinguishes total coverage from
 // recovery coverage, which is what Table 3 tabulates.
 //
+// Block ids are interned into the process-wide SymbolTable::Blocks(), and a
+// map stores hit counts and block metadata in dense vectors indexed by
+// BlockId: Hit() is an array increment, and Absorb()/AbsorbHits()/
+// NewlyCoveredVersus() are index-based merges (ids are process-global, so
+// the same index means the same block in every map). The string_view API is
+// unchanged for casual callers; hot instrumentation sites may pre-intern a
+// BlockId handle once (InternBlock) and hit through it, skipping even the
+// intern lookup. Anything returned as strings (NewlyCoveredVersus, hits())
+// is sorted by name, never by id -- ids depend on process-wide interning
+// order, which worker scheduling perturbs, and exploration feedback must be
+// bit-identical at any worker count.
+//
 // Concurrency contract: a CoverageMap is deliberately unsynchronized. Every
 // campaign job runs against its own application instance and therefore its
 // own map, confined to the worker executing the job; cross-thread
 // aggregation happens exclusively through Absorb()/AbsorbHits() at the
 // campaign engine's deterministic job-order merge point, which is serialized
 // by the engine. Never share one map between concurrently running jobs.
+// (Interning itself is thread-safe.)
 
 #ifndef LFI_COVERAGE_COVERAGE_H_
 #define LFI_COVERAGE_COVERAGE_H_
@@ -21,19 +34,31 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "util/symbol_table.h"
 
 namespace lfi {
 
 class CoverageMap {
  public:
+  // A pre-interned block handle; process-global, so one static per
+  // instrumentation site serves every application instance.
+  using BlockId = SymbolId;
+
+  static BlockId InternBlock(std::string_view id) { return SymbolTable::Blocks().Intern(id); }
+
   // Declares a basic block. `lines` is the block's size in source lines.
   // Registering twice keeps the first registration.
-  void RegisterBlock(const std::string& id, bool recovery, int lines);
+  void RegisterBlock(std::string_view id, bool recovery, int lines);
+  void RegisterBlock(BlockId id, bool recovery, int lines);
 
   // Marks the block executed. Unknown ids auto-register as 1-line normal
-  // blocks so instrumentation mistakes do not silently drop data.
-  void Hit(const std::string& id);
+  // blocks so instrumentation mistakes do not silently drop data. The
+  // BlockId overload is the hot path: an array increment.
+  void Hit(std::string_view id) { Hit(InternBlock(id)); }
+  void Hit(BlockId id);
 
   void ResetHits();
 
@@ -70,19 +95,27 @@ class CoverageMap {
   Stats ComputeStats() const;
 
   // Blocks covered here but not in `baseline` (the "additional coverage LFI
-  // achieved" comparison).
+  // achieved" comparison). Sorted by block name.
   std::vector<std::string> NewlyCoveredVersus(const CoverageMap& baseline) const;
 
-  bool WasHit(const std::string& id) const;
-  const std::map<std::string, uint64_t>& hits() const { return hits_; }
+  bool WasHit(std::string_view id) const;
+  bool WasHit(BlockId id) const { return id < hits_.size() && hits_[id] != 0; }
+
+  // Name-keyed snapshot of the hit counters (sorted, so deterministic across
+  // worker counts); materialized on demand -- the live counters are dense.
+  std::map<std::string, uint64_t> hits() const;
 
  private:
   struct Block {
+    bool known = false;  // registered (or auto-registered by a hit)
     bool recovery = false;
     int lines = 1;
   };
-  std::map<std::string, Block> blocks_;
-  std::map<std::string, uint64_t> hits_;
+
+  void EnsureBlock(BlockId id);  // grows + auto-registers as a 1-line block
+
+  std::vector<Block> blocks_;   // indexed by BlockId
+  std::vector<uint64_t> hits_;  // indexed by BlockId, same size as blocks_
 };
 
 }  // namespace lfi

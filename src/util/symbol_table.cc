@@ -1,0 +1,65 @@
+#include "util/symbol_table.h"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace lfi {
+
+SymbolTable::~SymbolTable() {
+  for (auto& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;  // the steady state: every name after its first use
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;  // another thread interned it between the locks
+  }
+  size_t chunk_index = size_ >> kChunkShift;
+  if (chunk_index >= kMaxChunks) {
+    throw std::length_error("SymbolTable: symbol universe exceeded");
+  }
+  std::string* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[kChunkSize];
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  SymbolId id = static_cast<SymbolId>(size_);
+  std::string& stored = chunk[size_ & kChunkMask];
+  stored.assign(name);
+  index_.emplace(std::string_view(stored), id);
+  ++size_;
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? std::nullopt : std::optional<SymbolId>(it->second);
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return size_;
+}
+
+SymbolTable& SymbolTable::Functions() {
+  static SymbolTable* table = new SymbolTable;
+  return *table;
+}
+
+SymbolTable& SymbolTable::Blocks() {
+  static SymbolTable* table = new SymbolTable;
+  return *table;
+}
+
+}  // namespace lfi

@@ -1,0 +1,81 @@
+// Process-wide string interning for the interposition fast path.
+//
+// The universe of names crossing the LFI hot loop is small and fixed: the
+// ~40 intercepted library functions ("read", "malloc", "apr_file_read", ...)
+// and the applications' coverage block ids ("git.read_object.body", ...).
+// A SymbolTable maps each such name to a dense uint32_t id exactly once, so
+// every per-call data structure (association lookup, call counters, coverage
+// hit counters) becomes a plain array indexed by id instead of a string-keyed
+// map probed with full hashes and compares on every intercepted call.
+//
+// Concurrency: Intern() and Find() are fully thread-safe (campaign workers
+// intern concurrently). Name() is lock-free -- a single atomic load plus an
+// array index -- because ids are only ever observed by a thread after a
+// happens-before edge from the interning thread (a magic-static initializer,
+// the campaign engine's merge mutex, ...), and interned entries are
+// append-only and immutable. This is what keeps id->name resolution off the
+// contended path: the §7.4 hot loop never takes a lock.
+//
+// Ids are dense and stable for the lifetime of the process but NOT stable
+// across processes (they depend on interning order); anything persisted or
+// compared across runs must use the name, never the id.
+
+#ifndef LFI_UTIL_SYMBOL_TABLE_H_
+#define LFI_UTIL_SYMBOL_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lfi {
+
+using SymbolId = uint32_t;
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  ~SymbolTable();
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id for `name`, interning it on first sight. Idempotent:
+  // every call with the same name returns the same id.
+  SymbolId Intern(std::string_view name);
+
+  // Looks `name` up without interning; nullopt when never interned.
+  std::optional<SymbolId> Find(std::string_view name) const;
+
+  // The interned spelling of `id`. The reference is stable for the process
+  // lifetime. Lock-free. `id` must come from this table's Intern().
+  const std::string& Name(SymbolId id) const {
+    return chunks_[id >> kChunkShift].load(std::memory_order_acquire)[id & kChunkMask];
+  }
+
+  size_t size() const;
+
+  // The two process-wide id spaces of the fast path.
+  static SymbolTable& Functions();  // intercepted library function names
+  static SymbolTable& Blocks();     // coverage basic-block ids
+
+ private:
+  // Interned names live in fixed-size chunks that are allocated once and
+  // never moved, so Name() needs no lock and references never dangle.
+  static constexpr size_t kChunkShift = 8;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkShift;  // 256 names
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = 4096;  // 1M symbols: far above any use
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string_view, SymbolId> index_;  // views into chunks
+  std::atomic<std::string*> chunks_[kMaxChunks] = {};
+  size_t size_ = 0;  // guarded by mu_
+};
+
+}  // namespace lfi
+
+#endif  // LFI_UTIL_SYMBOL_TABLE_H_

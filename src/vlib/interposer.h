@@ -6,22 +6,109 @@
 // LD_PRELOAD. The LFI runtime implements this interface; when no interposer
 // is installed, calls pass straight through.
 //
-// All arguments cross the boundary as machine words (the paper's stubs assume
-// word-sized arguments because no prototypes are available); pointer
-// arguments carry the raw pointer value, and triggers that know a function's
-// signature may cast them back, exactly like the va_arg-based triggers in §3.
+// The boundary is allocation-free (§7.4: interposition must be cheap enough
+// to leave application behaviour undisturbed):
+//   - functions cross as pre-interned FunctionIds -- each call site resolves
+//     its id once, via a static local, against the process-wide
+//     SymbolTable::Functions() -- so the runtime's lookups are array indexes,
+//     not string hashes;
+//   - arguments cross as machine words in a fixed-capacity inline ArgSpan
+//     (the paper's stubs assume word-sized arguments because no prototypes
+//     are available); pointer arguments carry the raw pointer value, and
+//     triggers that know a function's signature may cast them back, exactly
+//     like the va_arg-based triggers in §3.
 
 #ifndef LFI_VLIB_INTERPOSER_H_
 #define LFI_VLIB_INTERPOSER_H_
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/symbol_table.h"
 
 namespace lfi {
 
 using Word = uint64_t;
+
+// Owning heap-backed argument list. Not used on the interposition fast path
+// (that is ArgSpan's job); kept for cold-path producers and tests that
+// assemble argument lists incrementally, and for the string-keyed reference
+// ablation that reproduces the historical per-call heap cost.
 using ArgVec = std::vector<Word>;
+
+// An interned intercepted-function name (dense id into
+// SymbolTable::Functions()). Stable for the process lifetime only.
+using FunctionId = SymbolId;
+
+inline FunctionId InternFunction(std::string_view name) {
+  return SymbolTable::Functions().Intern(name);
+}
+
+// The interned spelling of `id`; stable reference, lock-free.
+inline const std::string& FunctionName(FunctionId id) {
+  return SymbolTable::Functions().Name(id);
+}
+
+// The paper's stubs pass at most the six word-sized register arguments of
+// the SysV ABI; no intercepted function in the virtual libraries takes more.
+inline constexpr size_t kMaxArgs = 6;
+
+// Fixed-capacity inline argument array: the word-sized arguments of one
+// intercepted call, stored in place. Copying is a ~48-byte memcpy; building
+// one never touches the heap, which is the point -- the seed's
+// std::vector<Word> paid an allocation on every intercepted call.
+class ArgSpan {
+ public:
+  constexpr ArgSpan() = default;
+
+  // Both constructors clamp to kMaxArgs (asserting in debug builds): a
+  // too-long list is truncated, never written past the inline array.
+  ArgSpan(std::initializer_list<Word> args)
+      : size_(args.size() < kMaxArgs ? args.size() : kMaxArgs) {
+    assert(args.size() <= kMaxArgs);
+    size_t i = 0;
+    for (Word w : args) {
+      if (i == size_) {
+        break;
+      }
+      words_[i++] = w;
+    }
+  }
+
+  // Cold-path convenience: lets ArgVec-building tests and controllers call
+  // straight into ArgSpan consumers.
+  ArgSpan(const ArgVec& args) : size_(args.size() < kMaxArgs ? args.size() : kMaxArgs) {
+    assert(args.size() <= kMaxArgs);
+    for (size_t i = 0; i < size_; ++i) {
+      words_[i] = args[i];
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Word operator[](size_t i) const {
+    assert(i < size_);
+    return words_[i];
+  }
+  const Word* begin() const { return words_; }
+  const Word* end() const { return words_ + size_; }
+
+  void push_back(Word w) {
+    assert(size_ < kMaxArgs);
+    if (size_ < kMaxArgs) {
+      words_[size_++] = w;  // clamped, like the constructors: never overflow
+    }
+  }
+
+ private:
+  Word words_[kMaxArgs] = {};
+  size_t size_ = 0;
+};
 
 class VirtualLibc;
 
@@ -37,10 +124,11 @@ class Interposer {
   virtual ~Interposer() = default;
 
   // Called for every intercepted library call, before the implementation.
-  // `libc` is the calling context (call stack, errno, helper calls for
-  // triggers that inspect system state, e.g. fstat on an fd).
-  virtual InjectionDecision OnCall(VirtualLibc* libc, std::string_view function,
-                                   const ArgVec& args) = 0;
+  // `function` is the call site's pre-interned id (FunctionName() recovers
+  // the spelling). `libc` is the calling context (call stack, errno, helper
+  // calls for triggers that inspect system state, e.g. fstat on an fd).
+  virtual InjectionDecision OnCall(VirtualLibc* libc, FunctionId function,
+                                   const ArgSpan& args) = 0;
 };
 
 }  // namespace lfi

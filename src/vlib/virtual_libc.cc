@@ -27,21 +27,18 @@ VirtualLibc::~VirtualLibc() {
   }
 }
 
-std::optional<int64_t> VirtualLibc::Intercept(std::string_view function,
+std::optional<int64_t> VirtualLibc::Intercept(FunctionId function,
                                               std::initializer_list<Word> args) {
   if (interposer_ == nullptr || in_interposer_) {
     return std::nullopt;  // pass-through: no shim installed, or trigger code
   }
   ++intercepted_calls_;
-  auto count_it = call_counts_.find(function);
-  if (count_it == call_counts_.end()) {
-    call_counts_.emplace(std::string(function), 1);
-  } else {
-    ++count_it->second;
+  if (function >= call_counts_.size()) {
+    call_counts_.resize(function + 1, 0);
   }
+  ++call_counts_[function];
   in_interposer_ = true;
-  ArgVec vec(args);
-  InjectionDecision decision = interposer_->OnCall(this, function, vec);
+  InjectionDecision decision = interposer_->OnCall(this, function, ArgSpan(args));
   in_interposer_ = false;
   if (!decision.inject) {
     return std::nullopt;
@@ -73,7 +70,8 @@ int VirtualLibc::AllocFd(OpenFd f) {
 // --- file descriptors ------------------------------------------------------
 
 int VirtualLibc::Open(const std::string& path, int flags) {
-  if (auto inj = Intercept("open", {reinterpret_cast<Word>(&path), static_cast<Word>(flags)})) {
+  static const FunctionId kFn = InternFunction("open");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path), static_cast<Word>(flags)})) {
     return static_cast<int>(*inj);
   }
   bool exists = fs_->FileExists(path);
@@ -104,7 +102,8 @@ int VirtualLibc::Open(const std::string& path, int flags) {
 }
 
 int VirtualLibc::Close(int fd) {
-  if (auto inj = Intercept("close", {static_cast<Word>(fd)})) {
+  static const FunctionId kFn = InternFunction("close");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(fd)})) {
     return static_cast<int>(*inj);
   }
   OpenFd* f = Fd(fd);
@@ -120,7 +119,8 @@ int VirtualLibc::Close(int fd) {
 }
 
 long VirtualLibc::Read(int fd, char* buf, unsigned long count) {
-  if (auto inj = Intercept("read", {static_cast<Word>(fd), reinterpret_cast<Word>(buf),
+  static const FunctionId kFn = InternFunction("read");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(fd), reinterpret_cast<Word>(buf),
                                     static_cast<Word>(count)})) {
     return static_cast<long>(*inj);
   }
@@ -144,7 +144,8 @@ long VirtualLibc::Read(int fd, char* buf, unsigned long count) {
 }
 
 long VirtualLibc::Write(int fd, const char* buf, unsigned long count) {
-  if (auto inj = Intercept("write", {static_cast<Word>(fd), reinterpret_cast<Word>(buf),
+  static const FunctionId kFn = InternFunction("write");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(fd), reinterpret_cast<Word>(buf),
                                      static_cast<Word>(count)})) {
     return static_cast<long>(*inj);
   }
@@ -167,7 +168,8 @@ long VirtualLibc::Write(int fd, const char* buf, unsigned long count) {
 }
 
 long VirtualLibc::Lseek(int fd, long offset, int whence) {
-  if (auto inj = Intercept("lseek", {static_cast<Word>(fd), static_cast<Word>(offset),
+  static const FunctionId kFn = InternFunction("lseek");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(fd), static_cast<Word>(offset),
                                      static_cast<Word>(whence)})) {
     return static_cast<long>(*inj);
   }
@@ -202,7 +204,8 @@ long VirtualLibc::Lseek(int fd, long offset, int whence) {
 }
 
 int VirtualLibc::Fstat(int fd, VStat* st) {
-  if (auto inj = Intercept("fstat", {static_cast<Word>(fd), reinterpret_cast<Word>(st)})) {
+  static const FunctionId kFn = InternFunction("fstat");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(fd), reinterpret_cast<Word>(st)})) {
     return static_cast<int>(*inj);
   }
   OpenFd* f = Fd(fd);
@@ -224,7 +227,8 @@ int VirtualLibc::Fstat(int fd, VStat* st) {
 }
 
 int VirtualLibc::Stat(const std::string& path, VStat* st) {
-  if (auto inj = Intercept("stat", {reinterpret_cast<Word>(&path), reinterpret_cast<Word>(st)})) {
+  static const FunctionId kFn = InternFunction("stat");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path), reinterpret_cast<Word>(st)})) {
     return static_cast<int>(*inj);
   }
   *st = VStat{};
@@ -243,7 +247,8 @@ int VirtualLibc::Stat(const std::string& path, VStat* st) {
 }
 
 int VirtualLibc::Fcntl(int fd, int cmd, long arg) {
-  if (auto inj = Intercept("fcntl", {static_cast<Word>(fd), static_cast<Word>(cmd),
+  static const FunctionId kFn = InternFunction("fcntl");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(fd), static_cast<Word>(cmd),
                                      static_cast<Word>(arg)})) {
     return static_cast<int>(*inj);
   }
@@ -268,7 +273,8 @@ int VirtualLibc::Fcntl(int fd, int cmd, long arg) {
 }
 
 int VirtualLibc::Unlink(const std::string& path) {
-  if (auto inj = Intercept("unlink", {reinterpret_cast<Word>(&path)})) {
+  static const FunctionId kFn = InternFunction("unlink");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path)})) {
     return static_cast<int>(*inj);
   }
   if (!fs_->Remove(path)) {
@@ -279,7 +285,8 @@ int VirtualLibc::Unlink(const std::string& path) {
 }
 
 long VirtualLibc::ReadLink(const std::string& path, char* buf, unsigned long size) {
-  if (auto inj = Intercept("readlink", {reinterpret_cast<Word>(&path),
+  static const FunctionId kFn = InternFunction("readlink");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path),
                                         reinterpret_cast<Word>(buf), static_cast<Word>(size)})) {
     return static_cast<long>(*inj);
   }
@@ -298,7 +305,8 @@ long VirtualLibc::ReadLink(const std::string& path, char* buf, unsigned long siz
 }
 
 int VirtualLibc::Rename(const std::string& from, const std::string& to) {
-  if (auto inj = Intercept("rename", {reinterpret_cast<Word>(&from), reinterpret_cast<Word>(&to)})) {
+  static const FunctionId kFn = InternFunction("rename");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&from), reinterpret_cast<Word>(&to)})) {
     return static_cast<int>(*inj);
   }
   if (!fs_->Rename(from, to)) {
@@ -309,7 +317,8 @@ int VirtualLibc::Rename(const std::string& from, const std::string& to) {
 }
 
 int VirtualLibc::MkDir(const std::string& path) {
-  if (auto inj = Intercept("mkdir", {reinterpret_cast<Word>(&path)})) {
+  static const FunctionId kFn = InternFunction("mkdir");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path)})) {
     return static_cast<int>(*inj);
   }
   if (!fs_->MkDir(path)) {
@@ -320,7 +329,8 @@ int VirtualLibc::MkDir(const std::string& path) {
 }
 
 int VirtualLibc::RmDir(const std::string& path) {
-  if (auto inj = Intercept("rmdir", {reinterpret_cast<Word>(&path)})) {
+  static const FunctionId kFn = InternFunction("rmdir");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path)})) {
     return static_cast<int>(*inj);
   }
   if (!fs_->RmDir(path)) {
@@ -331,7 +341,8 @@ int VirtualLibc::RmDir(const std::string& path) {
 }
 
 int VirtualLibc::Pipe(int fds[2]) {
-  if (auto inj = Intercept("pipe", {reinterpret_cast<Word>(fds)})) {
+  static const FunctionId kFn = InternFunction("pipe");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(fds)})) {
     return static_cast<int>(*inj);
   }
   std::string path = StrFormat("/pipe/%s.%d", process_name_.c_str(), next_pipe_id_++);
@@ -353,7 +364,8 @@ int VirtualLibc::Pipe(int fds[2]) {
 // --- streams -----------------------------------------------------------------
 
 VFile* VirtualLibc::FOpen(const std::string& path, const std::string& mode) {
-  if (auto inj = Intercept("fopen", {reinterpret_cast<Word>(&path),
+  static const FunctionId kFn = InternFunction("fopen");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path),
                                      reinterpret_cast<Word>(&mode)})) {
     return reinterpret_cast<VFile*>(static_cast<uintptr_t>(*inj));
   }
@@ -382,7 +394,8 @@ VFile* VirtualLibc::FOpen(const std::string& path, const std::string& mode) {
 }
 
 int VirtualLibc::FClose(VFile* f) {
-  if (auto inj = Intercept("fclose", {reinterpret_cast<Word>(f)})) {
+  static const FunctionId kFn = InternFunction("fclose");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(f)})) {
     return static_cast<int>(*inj);
   }
   MustDeref(f, "fclose");
@@ -396,7 +409,8 @@ int VirtualLibc::FClose(VFile* f) {
 }
 
 unsigned long VirtualLibc::FRead(char* buf, unsigned long count, VFile* f) {
-  if (auto inj = Intercept("fread", {reinterpret_cast<Word>(buf), static_cast<Word>(count),
+  static const FunctionId kFn = InternFunction("fread");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(buf), static_cast<Word>(count),
                                      reinterpret_cast<Word>(f)})) {
     if (static_cast<long>(*inj) < static_cast<long>(count) && f != nullptr) {
       f->error = true;
@@ -419,7 +433,8 @@ unsigned long VirtualLibc::FRead(char* buf, unsigned long count, VFile* f) {
 }
 
 unsigned long VirtualLibc::FWrite(const char* buf, unsigned long count, VFile* f) {
-  if (auto inj = Intercept("fwrite", {reinterpret_cast<Word>(buf), static_cast<Word>(count),
+  static const FunctionId kFn = InternFunction("fwrite");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(buf), static_cast<Word>(count),
                                       reinterpret_cast<Word>(f)})) {
     if (static_cast<unsigned long>(*inj) < count && f != nullptr) {
       f->error = true;
@@ -439,7 +454,8 @@ unsigned long VirtualLibc::FWrite(const char* buf, unsigned long count, VFile* f
 }
 
 int VirtualLibc::FFlush(VFile* f) {
-  if (auto inj = Intercept("fflush", {reinterpret_cast<Word>(f)})) {
+  static const FunctionId kFn = InternFunction("fflush");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(f)})) {
     return static_cast<int>(*inj);
   }
   MustDeref(f, "fflush");
@@ -449,7 +465,8 @@ int VirtualLibc::FFlush(VFile* f) {
 // --- directories ---------------------------------------------------------------
 
 VDir* VirtualLibc::OpenDir(const std::string& path) {
-  if (auto inj = Intercept("opendir", {reinterpret_cast<Word>(&path)})) {
+  static const FunctionId kFn = InternFunction("opendir");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&path)})) {
     return reinterpret_cast<VDir*>(static_cast<uintptr_t>(*inj));
   }
   if (!fs_->DirExists(path)) {
@@ -463,7 +480,8 @@ VDir* VirtualLibc::OpenDir(const std::string& path) {
 }
 
 const char* VirtualLibc::ReadDir(VDir* dir) {
-  if (auto inj = Intercept("readdir", {reinterpret_cast<Word>(dir)})) {
+  static const FunctionId kFn = InternFunction("readdir");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(dir)})) {
     return reinterpret_cast<const char*>(static_cast<uintptr_t>(*inj));
   }
   MustDeref(dir, "readdir");
@@ -475,7 +493,8 @@ const char* VirtualLibc::ReadDir(VDir* dir) {
 }
 
 int VirtualLibc::CloseDir(VDir* dir) {
-  if (auto inj = Intercept("closedir", {reinterpret_cast<Word>(dir)})) {
+  static const FunctionId kFn = InternFunction("closedir");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(dir)})) {
     return static_cast<int>(*inj);
   }
   MustDeref(dir, "closedir");
@@ -487,7 +506,8 @@ int VirtualLibc::CloseDir(VDir* dir) {
 // --- heap ------------------------------------------------------------------------
 
 void* VirtualLibc::Malloc(unsigned long size) {
-  if (auto inj = Intercept("malloc", {static_cast<Word>(size)})) {
+  static const FunctionId kFn = InternFunction("malloc");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(size)})) {
     return reinterpret_cast<void*>(static_cast<uintptr_t>(*inj));
   }
   void* p = ::operator new(size == 0 ? 1 : size);
@@ -496,7 +516,8 @@ void* VirtualLibc::Malloc(unsigned long size) {
 }
 
 void* VirtualLibc::Calloc(unsigned long n, unsigned long size) {
-  if (auto inj = Intercept("calloc", {static_cast<Word>(n), static_cast<Word>(size)})) {
+  static const FunctionId kFn = InternFunction("calloc");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(n), static_cast<Word>(size)})) {
     return reinterpret_cast<void*>(static_cast<uintptr_t>(*inj));
   }
   unsigned long total = n * size;
@@ -507,7 +528,8 @@ void* VirtualLibc::Calloc(unsigned long n, unsigned long size) {
 }
 
 void* VirtualLibc::Realloc(void* p, unsigned long size) {
-  if (auto inj = Intercept("realloc", {reinterpret_cast<Word>(p), static_cast<Word>(size)})) {
+  static const FunctionId kFn = InternFunction("realloc");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(p), static_cast<Word>(size)})) {
     return reinterpret_cast<void*>(static_cast<uintptr_t>(*inj));
   }
   void* q = ::operator new(size == 0 ? 1 : size);
@@ -533,7 +555,8 @@ void VirtualLibc::Free(void* p) {
 // --- environment -------------------------------------------------------------------
 
 int VirtualLibc::SetEnv(const std::string& name, const std::string& value, int overwrite) {
-  if (auto inj = Intercept("setenv", {reinterpret_cast<Word>(&name),
+  static const FunctionId kFn = InternFunction("setenv");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&name),
                                       reinterpret_cast<Word>(&value),
                                       static_cast<Word>(overwrite)})) {
     return static_cast<int>(*inj);
@@ -550,7 +573,8 @@ int VirtualLibc::SetEnv(const std::string& name, const std::string& value, int o
 }
 
 const char* VirtualLibc::GetEnv(const std::string& name) {
-  if (auto inj = Intercept("getenv", {reinterpret_cast<Word>(&name)})) {
+  static const FunctionId kFn = InternFunction("getenv");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&name)})) {
     return reinterpret_cast<const char*>(static_cast<uintptr_t>(*inj));
   }
   auto it = env_.find(name);
@@ -558,7 +582,8 @@ const char* VirtualLibc::GetEnv(const std::string& name) {
 }
 
 int VirtualLibc::UnsetEnv(const std::string& name) {
-  if (auto inj = Intercept("unsetenv", {reinterpret_cast<Word>(&name)})) {
+  static const FunctionId kFn = InternFunction("unsetenv");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(&name)})) {
     return static_cast<int>(*inj);
   }
   env_.erase(name);
@@ -568,7 +593,8 @@ int VirtualLibc::UnsetEnv(const std::string& name) {
 // --- mutexes ---------------------------------------------------------------------------
 
 int VirtualLibc::MutexLock(VMutex* m) {
-  if (auto inj = Intercept("pthread_mutex_lock", {reinterpret_cast<Word>(m)})) {
+  static const FunctionId kFn = InternFunction("pthread_mutex_lock");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(m)})) {
     return static_cast<int>(*inj);
   }
   MustDeref(m, "pthread_mutex_lock");
@@ -577,7 +603,8 @@ int VirtualLibc::MutexLock(VMutex* m) {
 }
 
 int VirtualLibc::MutexUnlock(VMutex* m) {
-  if (auto inj = Intercept("pthread_mutex_unlock", {reinterpret_cast<Word>(m)})) {
+  static const FunctionId kFn = InternFunction("pthread_mutex_unlock");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(m)})) {
     return static_cast<int>(*inj);
   }
   MustDeref(m, "pthread_mutex_unlock");
@@ -593,7 +620,8 @@ int VirtualLibc::MutexUnlock(VMutex* m) {
 // --- sockets ----------------------------------------------------------------------------
 
 int VirtualLibc::Socket() {
-  if (auto inj = Intercept("socket", {})) {
+  static const FunctionId kFn = InternFunction("socket");
+  if (auto inj = Intercept(kFn, {})) {
     return static_cast<int>(*inj);
   }
   OpenFd f;
@@ -602,7 +630,8 @@ int VirtualLibc::Socket() {
 }
 
 int VirtualLibc::BindSocket(int sockfd, int port) {
-  if (auto inj = Intercept("bind", {static_cast<Word>(sockfd), static_cast<Word>(port)})) {
+  static const FunctionId kFn = InternFunction("bind");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(sockfd), static_cast<Word>(port)})) {
     return static_cast<int>(*inj);
   }
   OpenFd* f = Fd(sockfd);
@@ -619,7 +648,8 @@ int VirtualLibc::BindSocket(int sockfd, int port) {
 }
 
 long VirtualLibc::SendTo(int sockfd, const char* buf, unsigned long len, int dst_port) {
-  if (auto inj = Intercept("sendto", {static_cast<Word>(sockfd), reinterpret_cast<Word>(buf),
+  static const FunctionId kFn = InternFunction("sendto");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(sockfd), reinterpret_cast<Word>(buf),
                                       static_cast<Word>(len), static_cast<Word>(dst_port)})) {
     return static_cast<long>(*inj);
   }
@@ -632,7 +662,8 @@ long VirtualLibc::SendTo(int sockfd, const char* buf, unsigned long len, int dst
 }
 
 long VirtualLibc::RecvFrom(int sockfd, char* buf, unsigned long len, int* src_port) {
-  if (auto inj = Intercept("recvfrom", {static_cast<Word>(sockfd), reinterpret_cast<Word>(buf),
+  static const FunctionId kFn = InternFunction("recvfrom");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(sockfd), reinterpret_cast<Word>(buf),
                                         static_cast<Word>(len),
                                         reinterpret_cast<Word>(src_port)})) {
     // A failed receive consumes the datagram it would have delivered: the
@@ -667,7 +698,8 @@ long VirtualLibc::RecvFrom(int sockfd, char* buf, unsigned long len, int* src_po
 // --- libxml ---------------------------------------------------------------------------------
 
 VXmlWriter* VirtualLibc::XmlNewTextWriterDoc() {
-  if (auto inj = Intercept("xmlNewTextWriterDoc", {})) {
+  static const FunctionId kFn = InternFunction("xmlNewTextWriterDoc");
+  if (auto inj = Intercept(kFn, {})) {
     return reinterpret_cast<VXmlWriter*>(static_cast<uintptr_t>(*inj));
   }
   VXmlWriter* w = new VXmlWriter;
@@ -678,7 +710,8 @@ VXmlWriter* VirtualLibc::XmlNewTextWriterDoc() {
 
 int VirtualLibc::XmlWriterWriteElement(VXmlWriter* w, const std::string& name,
                                        const std::string& text) {
-  if (auto inj = Intercept("xmlTextWriterWriteElement",
+  static const FunctionId kFn = InternFunction("xmlTextWriterWriteElement");
+  if (auto inj = Intercept(kFn,
                            {reinterpret_cast<Word>(w), reinterpret_cast<Word>(&name),
                             reinterpret_cast<Word>(&text)})) {
     return static_cast<int>(*inj);
@@ -699,7 +732,8 @@ std::string VirtualLibc::XmlFreeTextWriter(VXmlWriter* w) {
 // --- libapr -----------------------------------------------------------------------------------
 
 long VirtualLibc::AprFileRead(int fd, char* buf, unsigned long count) {
-  if (auto inj = Intercept("apr_file_read", {static_cast<Word>(fd), reinterpret_cast<Word>(buf),
+  static const FunctionId kFn = InternFunction("apr_file_read");
+  if (auto inj = Intercept(kFn, {static_cast<Word>(fd), reinterpret_cast<Word>(buf),
                                              static_cast<Word>(count)})) {
     return static_cast<long>(*inj);
   }
@@ -711,7 +745,8 @@ long VirtualLibc::AprFileRead(int fd, char* buf, unsigned long count) {
 }
 
 int VirtualLibc::AprStat(VStat* st, int fd) {
-  if (auto inj = Intercept("apr_stat", {reinterpret_cast<Word>(st), static_cast<Word>(fd)})) {
+  static const FunctionId kFn = InternFunction("apr_stat");
+  if (auto inj = Intercept(kFn, {reinterpret_cast<Word>(st), static_cast<Word>(fd)})) {
     return static_cast<int>(*inj);
   }
   bool was_in = in_interposer_;

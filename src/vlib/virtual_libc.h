@@ -172,16 +172,31 @@ class VirtualLibc {
   // --- introspection surface for triggers -----------------------------------
   // Applications publish named globals here (the analogue of the symbol/DWARF
   // lookup the paper's program-state trigger performs on real processes).
-  void SetGlobal(const std::string& name, int64_t value) { globals_[name] = value; }
-  std::optional<int64_t> GetGlobal(const std::string& name) const {
+  // Lookups are heterogeneous: string_view/char* callers never allocate.
+  void SetGlobal(std::string_view name, int64_t value) {
+    auto it = globals_.find(name);
+    if (it == globals_.end()) {
+      globals_.emplace(std::string(name), value);
+    } else {
+      it->second = value;
+    }
+  }
+  std::optional<int64_t> GetGlobal(std::string_view name) const {
     auto it = globals_.find(name);
     return it == globals_.end() ? std::nullopt : std::optional<int64_t>(it->second);
   }
 
   // Named services attachable to a process, e.g. the distributed-trigger
   // controller a PBFT replica reports to.
-  void SetService(const std::string& name, void* service) { services_[name] = service; }
-  void* GetService(const std::string& name) const {
+  void SetService(std::string_view name, void* service) {
+    auto it = services_.find(name);
+    if (it == services_.end()) {
+      services_.emplace(std::string(name), service);
+    } else {
+      it->second = service;
+    }
+  }
+  void* GetService(std::string_view name) const {
     auto it = services_.find(name);
     return it == services_.end() ? nullptr : it->second;
   }
@@ -189,10 +204,15 @@ class VirtualLibc {
   // Number of calls that reached the interposition boundary.
   uint64_t intercepted_calls() const { return intercepted_calls_; }
   // Per-function count of calls that reached the boundary. This is what the
-  // call-count trigger consults: "the n-th call to a function".
-  uint64_t CallCount(const std::string& function) const {
-    auto it = call_counts_.find(function);
-    return it == call_counts_.end() ? 0 : it->second;
+  // call-count trigger consults: "the n-th call to a function". The id
+  // overload is the fast path (an array index); the name overload resolves
+  // against the process-wide symbol table without interning.
+  uint64_t CallCount(FunctionId function) const {
+    return function < call_counts_.size() ? call_counts_[function] : 0;
+  }
+  uint64_t CallCount(std::string_view function) const {
+    auto id = SymbolTable::Functions().Find(function);
+    return id ? CallCount(*id) : 0;
   }
   // Clears the per-function boundary counts. The test controller calls this
   // at the start of every test, mirroring the paper's fresh process per run.
@@ -208,7 +228,10 @@ class VirtualLibc {
   };
 
   // Consults the interposer; returns the injected value when a fault fires.
-  std::optional<int64_t> Intercept(std::string_view function, std::initializer_list<Word> args);
+  // `function` is the call site's id, interned once per process via a static
+  // local at each call site in virtual_libc.cc; the initializer list is the
+  // call's inline argument array -- no heap on this path.
+  std::optional<int64_t> Intercept(FunctionId function, std::initializer_list<Word> args);
 
   OpenFd* Fd(int fd);
   int AllocFd(OpenFd f);
@@ -221,15 +244,15 @@ class VirtualLibc {
   CallStack stack_;
   int errno_ = 0;
   uint64_t intercepted_calls_ = 0;
-  std::map<std::string, uint64_t, std::less<>> call_counts_;
+  std::vector<uint64_t> call_counts_;  // dense, indexed by FunctionId
   std::vector<std::optional<OpenFd>> fds_;
   std::set<void*> allocations_;
   std::set<VFile*> open_files_;
   std::set<VDir*> open_dirs_;
   std::set<VXmlWriter*> open_writers_;
-  std::map<std::string, std::string> env_;
-  std::map<std::string, int64_t> globals_;
-  std::map<std::string, void*> services_;
+  std::map<std::string, std::string, std::less<>> env_;
+  std::map<std::string, int64_t, std::less<>> globals_;
+  std::map<std::string, void*, std::less<>> services_;
   int next_pipe_id_ = 0;
 };
 

@@ -137,7 +137,7 @@ TEST_F(CoreTest, RegistryKnowsStockTriggers) {
 
 DECLARE_TRIGGER(TestOnlyTrigger) {
  public:
-  bool Eval(VirtualLibc*, const std::string&, const ArgVec&) override { return true; }
+  bool Eval(VirtualLibc*, const std::string&, const ArgSpan&) override { return true; }
 };
 LFI_REGISTER_TRIGGER(TestOnlyTrigger);
 

@@ -314,13 +314,13 @@ TEST_F(VlibTest, GlobalsAndServices) {
 
 class DenyAllReads : public Interposer {
  public:
-  InjectionDecision OnCall(VirtualLibc* libc, std::string_view function,
-                           const ArgVec& args) override {
+  InjectionDecision OnCall(VirtualLibc* libc, FunctionId function,
+                           const ArgSpan& args) override {
     (void)libc;
     (void)args;
     ++calls;
     InjectionDecision d;
-    if (function == "read") {
+    if (FunctionName(function) == "read") {
       d.inject = true;
       d.retval = -1;
       d.errno_value = kEIO;
@@ -358,9 +358,9 @@ TEST_F(VlibTest, InterposerSeesAllBoundaryCalls) {
 class RecursiveTrigger : public Interposer {
  public:
   explicit RecursiveTrigger(VirtualLibc* libc) : libc_(libc) {}
-  InjectionDecision OnCall(VirtualLibc*, std::string_view function, const ArgVec&) override {
+  InjectionDecision OnCall(VirtualLibc*, FunctionId function, const ArgSpan&) override {
     ++depth_;
-    EXPECT_EQ(depth_, 1) << "interposer re-entered for " << function;
+    EXPECT_EQ(depth_, 1) << "interposer re-entered for " << FunctionName(function);
     // Trigger-issued calls must bypass interception.
     VStat st;
     libc_->Stat("/data", &st);
