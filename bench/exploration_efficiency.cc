@@ -8,20 +8,32 @@
 // the exhaustive list plateaus once the analyzer's C_not sites are spent,
 // while the feedback loop keeps converting budget into new recovery blocks.
 //
-//   bench_exploration_efficiency [seed] [budgets...]   (defaults: 1; 4 8 16 32)
+//   bench_exploration_efficiency [seed] [budgets...] [--journal PREFIX]
+//   (defaults: 1; 4 8 16 32)
+//
+// --journal PREFIX additionally persists each top-budget run's campaign
+// journal to PREFIX-<system>-<strategy>.xml (core/journal.h), both to
+// measure that journaling does not change any result and to produce
+// resumable/replayable artifacts from the bench matrix.
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "apps/common/bug_campaign.h"
 
 int main(int argc, char** argv) {
-  uint64_t seed = argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 1;
+  uint64_t seed = 1;
+  std::string journal_prefix;
   std::vector<size_t> budgets;
-  for (int i = 2; i < argc; ++i) {
-    int budget = std::atoi(argv[i]);
-    if (budget > 0) {
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--journal" && i + 1 < argc) {
+      journal_prefix = argv[++i];
+    } else if (++positionals == 1) {  // first positional is the seed
+      seed = static_cast<uint64_t>(std::atoll(argv[i]));
+    } else if (int budget = std::atoi(argv[i]); budget > 0) {
       budgets.push_back(static_cast<size_t>(budget));
     }
   }
@@ -47,6 +59,11 @@ int main(int argc, char** argv) {
         config.strategy = strategy;
         config.budget = budget;
         config.seed = seed;
+        if (!journal_prefix.empty() && budget == budgets.back()) {
+          config.journal_path = journal_prefix + "-" + system + "-" +
+                                lfi::ExploreStrategyName(strategy) + ".xml";
+          std::remove(config.journal_path.c_str());
+        }
         auto result = lfi::ExploreCampaign(system, config);
         if (!result) {
           continue;

@@ -8,24 +8,38 @@
 //   lfi_tool analyze <app.self> <library.self> [function]
 //                                            call-site report + generated
 //                                            injection scenarios (C_not)
-//   lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--json]
+//   lfi_tool campaign {git|mysql|bind|pbft|all} [workers]
+//       [--workers W] [--journal PATH] [--json]
 //                                            run the §7.1 bug campaign on the
 //                                            parallel engine; workers <= 0
 //                                            means one per hardware thread
 //   lfi_tool explore {git|mysql|bind|pbft}
 //       [--strategy exhaustive|random|coverage] [--budget N] [--seed S]
-//       [--workers W] [--json]
+//       [--workers W] [--journal PATH] [--json]
 //                                            feedback-driven scenario
-//                                            exploration: stream scenarios
-//                                            from the chosen strategy and
-//                                            report bugs + recovery coverage.
-//                                            Same seed+strategy+budget is
-//                                            bit-identical at any worker
-//                                            count.
+//                                            exploration. Same seed+strategy+
+//                                            budget is bit-identical at any
+//                                            worker count; --journal persists
+//                                            every merged scenario/log/bug/
+//                                            coverage record to disk.
+//   lfi_tool resume <journal> [--workers W] [--json]
+//                                            continue a killed journaled
+//                                            campaign: replays the journal
+//                                            through the engine and finishes
+//                                            bit-identical to an
+//                                            uninterrupted run
+//   lfi_tool replay <journal> [record[:injection]] [--json]
+//                                            re-inject a journaled injection
+//                                            from disk alone (deterministic
+//                                            call-count replay) and check it
+//                                            reproduces the recorded crash
+//                                            site
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,6 +51,7 @@
 #include "apps/mysql/mysql.h"
 #include "apps/pbft/pbft.h"
 #include "core/analysis_cache.h"
+#include "core/journal.h"
 #include "core/scenario_gen.h"
 #include "core/stock_triggers.h"
 #include "profiler/profiler.h"
@@ -76,11 +91,114 @@ int Usage() {
                "  lfi_tool disasm <binary.self>\n"
                "  lfi_tool profile <library.self>\n"
                "  lfi_tool analyze <app.self> <library.self> [function]\n"
-               "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--json]\n"
+               "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--workers W]\n"
+               "                    [--journal PATH] [--json]\n"
                "  lfi_tool explore {git|mysql|bind|pbft} [--strategy "
                "exhaustive|random|coverage]\n"
-               "                   [--budget N] [--seed S] [--workers W] [--json]\n");
+               "                   [--budget N] [--seed S] [--workers W] [--journal PATH]\n"
+               "                   [--json]\n"
+               "  lfi_tool resume <journal> [--workers W] [--json]\n"
+               "  lfi_tool replay <journal> [record[:injection]] [--json]\n");
   return 2;
+}
+
+// Options shared by the campaign-shaped subcommands (campaign, explore,
+// resume, replay), parsed by the one parser so every subcommand accepts the
+// same spellings -- including --json -- and rejects unknown options the same
+// way. A bare integer is accepted as the worker count (the historical
+// `campaign <system> <workers>` form).
+struct ToolOptions {
+  int workers = 1;
+  lfi::ExploreStrategy strategy = lfi::ExploreStrategy::kExhaustive;
+  size_t budget = 0;
+  uint64_t seed = 1;
+  std::string journal;
+  size_t abort_after = 0;  // undocumented test hook (CI kill-and-resume)
+  bool json = false;
+};
+
+// Parses args[start..] into `out`. Returns false (after printing the
+// offender) on unknown options or missing values.
+bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOptions* out) {
+  for (size_t i = start; i < args.size(); ++i) {
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (args[i] == "--json") {
+      out->json = true;
+    } else if (args[i] == "--strategy") {
+      const std::string* v = value("--strategy");
+      if (v == nullptr) {
+        return false;
+      }
+      auto strategy = lfi::ParseExploreStrategy(*v);
+      if (!strategy) {
+        std::fprintf(stderr, "unknown strategy '%s'\n", v->c_str());
+        return false;
+      }
+      out->strategy = *strategy;
+    } else if (args[i] == "--budget") {
+      const std::string* v = value("--budget");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "bad --budget value '%s'\n", v->c_str());
+        return false;
+      }
+      out->budget = static_cast<size_t>(*parsed);
+    } else if (args[i] == "--seed") {
+      const std::string* v = value("--seed");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "bad --seed value '%s'\n", v->c_str());
+        return false;
+      }
+      out->seed = static_cast<uint64_t>(*parsed);
+    } else if (args[i] == "--workers") {
+      const std::string* v = value("--workers");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);  // <= 0 is meaningful: one per hw thread
+      if (!parsed) {
+        std::fprintf(stderr, "bad --workers value '%s'\n", v->c_str());
+        return false;
+      }
+      out->workers = static_cast<int>(*parsed);
+    } else if (args[i] == "--journal") {
+      const std::string* v = value("--journal");
+      if (v == nullptr) {
+        return false;
+      }
+      out->journal = *v;
+    } else if (args[i] == "--abort-after") {
+      const std::string* v = value("--abort-after");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "bad --abort-after value '%s'\n", v->c_str());
+        return false;
+      }
+      out->abort_after = static_cast<size_t>(*parsed);
+    } else if (auto workers = lfi::ParseInt(args[i])) {
+      out->workers = static_cast<int>(*workers);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", args[i].c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 // Machine-readable FoundBug records, one JSON object per bug.
@@ -108,24 +226,46 @@ void PrintBugTable(const std::vector<lfi::FoundBug>& bugs) {
   std::printf("%zu distinct bug(s)\n", bugs.size());
 }
 
-int RunCampaignCommand(const std::string& system, int workers, bool json) {
+std::string CoverageJson(const lfi::CoverageMap& coverage) {
+  lfi::CoverageMap::Stats stats = coverage.ComputeStats();
+  return lfi::StrFormat(
+      "{\"recovery_blocks\":%zu,\"covered_recovery_blocks\":%zu,"
+      "\"total_blocks\":%zu,\"covered_blocks\":%zu,\"covered_lines\":%d}",
+      stats.recovery_blocks, stats.covered_recovery_blocks, stats.total_blocks,
+      stats.covered_blocks, stats.covered_lines);
+}
+
+int RunCampaignCommand(const std::string& system, const ToolOptions& options) {
   lfi::CampaignConfig config;
-  config.workers = workers;
-  std::vector<lfi::FoundBug> bugs;
-  if (system == "git") {
-    bugs = lfi::RunGitCampaign(config);
-  } else if (system == "mysql") {
-    bugs = lfi::RunMysqlCampaign(config);
-  } else if (system == "bind") {
-    bugs = lfi::RunBindCampaign(config);
-  } else if (system == "pbft") {
-    bugs = lfi::RunPbftCampaign(config);
-  } else if (system == "all") {
-    bugs = lfi::RunFullCampaign(config);
-  } else {
-    return Usage();
+  config.workers = options.workers;
+  config.journal_path = options.journal;
+  config.abort_after_records = options.abort_after;
+  if (system == "all" && !options.journal.empty()) {
+    std::fprintf(stderr,
+                 "campaign all cannot be journaled (four engines, no single job stream); "
+                 "journal one system at a time\n");
+    return 2;
   }
-  if (json) {
+  std::vector<lfi::FoundBug> bugs;
+  try {
+    if (system == "git") {
+      bugs = lfi::RunGitCampaign(config);
+    } else if (system == "mysql") {
+      bugs = lfi::RunMysqlCampaign(config);
+    } else if (system == "bind") {
+      bugs = lfi::RunBindCampaign(config);
+    } else if (system == "pbft") {
+      bugs = lfi::RunPbftCampaign(config);
+    } else if (system == "all") {
+      bugs = lfi::RunFullCampaign(config);
+    } else {
+      return Usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 1;
+  }
+  if (options.json) {
     std::printf("{\"command\":\"campaign\",\"system\":\"%s\",\"bugs\":%s,\"count\":%zu}\n",
                 lfi::JsonEscape(system).c_str(), BugsJson(bugs).c_str(), bugs.size());
   } else {
@@ -134,34 +274,196 @@ int RunCampaignCommand(const std::string& system, int workers, bool json) {
   return 0;
 }
 
-int RunExploreCommand(const std::string& system, const lfi::ExploreConfig& config, bool json) {
-  std::optional<lfi::ExplorationResult> result = lfi::ExploreCampaign(system, config);
-  if (!result) {
-    return Usage();
-  }
-  lfi::CoverageMap::Stats stats = result->coverage.ComputeStats();
+void PrintExplorationResult(const char* command, const std::string& system,
+                            const char* strategy, size_t budget, uint64_t seed,
+                            const lfi::ExplorationResult& result, bool json) {
+  lfi::CoverageMap::Stats stats = result.coverage.ComputeStats();
   if (json) {
     std::printf(
-        "{\"command\":\"explore\",\"system\":\"%s\",\"strategy\":\"%s\","
+        "{\"command\":\"%s\",\"system\":\"%s\",\"strategy\":\"%s\","
         "\"budget\":%zu,\"seed\":%llu,\"scenarios_run\":%zu,"
-        "\"coverage\":{\"recovery_blocks\":%zu,\"covered_recovery_blocks\":%zu,"
-        "\"total_blocks\":%zu,\"covered_blocks\":%zu,\"covered_lines\":%d},"
-        "\"bugs\":%s,\"count\":%zu}\n",
-        lfi::JsonEscape(system).c_str(), lfi::ExploreStrategyName(config.strategy),
-        config.budget, (unsigned long long)config.seed, result->scenarios_run,
-        stats.recovery_blocks, stats.covered_recovery_blocks, stats.total_blocks,
-        stats.covered_blocks, stats.covered_lines, BugsJson(result->bugs).c_str(),
-        result->bugs.size());
+        "\"coverage\":%s,\"bugs\":%s,\"count\":%zu}\n",
+        command, lfi::JsonEscape(system).c_str(), strategy, budget,
+        (unsigned long long)seed, result.scenarios_run, CoverageJson(result.coverage).c_str(),
+        BugsJson(result.bugs).c_str(), result.bugs.size());
   } else {
-    std::printf("strategy %s, %zu scenario(s) run (budget %zu, seed %llu)\n",
-                lfi::ExploreStrategyName(config.strategy), result->scenarios_run,
-                config.budget, (unsigned long long)config.seed);
+    std::printf("strategy %s, %zu scenario(s) run (budget %zu, seed %llu)\n", strategy,
+                result.scenarios_run, budget, (unsigned long long)seed);
     std::printf("recovery blocks covered: %zu/%zu   blocks covered: %zu/%zu\n",
                 stats.covered_recovery_blocks, stats.recovery_blocks, stats.covered_blocks,
                 stats.total_blocks);
-    PrintBugTable(result->bugs);
+    PrintBugTable(result.bugs);
   }
+}
+
+int RunExploreCommand(const std::string& system, const ToolOptions& options) {
+  lfi::ExploreConfig config;
+  config.workers = options.workers;
+  config.strategy = options.strategy;
+  config.budget = options.budget;
+  config.seed = options.seed;
+  config.journal_path = options.journal;
+  config.abort_after_records = options.abort_after;
+  std::optional<lfi::ExplorationResult> result;
+  try {
+    result = lfi::ExploreCampaign(system, config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore failed: %s\n", e.what());
+    return 1;
+  }
+  if (!result) {
+    return Usage();
+  }
+  PrintExplorationResult("explore", system, lfi::ExploreStrategyName(config.strategy),
+                         config.budget, config.seed, *result, options.json);
   return 0;
+}
+
+int RunResumeCommand(const std::string& path, const ToolOptions& options) {
+  std::string error;
+  lfi::JournalMetadata metadata;
+  std::optional<lfi::ExplorationResult> result =
+      lfi::ResumeCampaign(path, options.workers, &error, &metadata);
+  if (!result) {
+    std::fprintf(stderr, "resume failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::string strategy =
+      lfi::MetaValue(metadata, "strategy", lfi::MetaValue(metadata, "command", "campaign"));
+  size_t budget =
+      std::strtoull(lfi::MetaValue(metadata, "budget", "0").c_str(), nullptr, 0);
+  uint64_t seed = std::strtoull(lfi::MetaValue(metadata, "seed", "0").c_str(), nullptr, 0);
+  PrintExplorationResult("resume", lfi::MetaValue(metadata, "system", "?"), strategy.c_str(),
+                         budget, seed, *result, options.json);
+  return 0;
+}
+
+int RunReplayCommand(const std::string& path, const std::string& selector,
+                     const ToolOptions& options) {
+  std::string error;
+  auto journal = lfi::CampaignJournal::Load(path, &error);
+  if (!journal) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::string system = journal->Meta("system", "");
+  bool explore_workload = journal->Meta("command", "explore") != "campaign";
+  lfi::CampaignEngine::ResultRunner runner = lfi::SystemJobRunner(system, explore_workload);
+  if (!runner) {
+    std::fprintf(stderr, "journal names unknown system '%s'\n", system.c_str());
+    return 1;
+  }
+
+  // Which journaled injections to replay: every record that injected, or
+  // the one the selector picks ("record" or "record:injection").
+  struct Target {
+    size_t record;
+    size_t injection;
+  };
+  std::vector<Target> targets;
+  const std::vector<lfi::JournalRecord>& records = journal->records();
+  if (!selector.empty()) {
+    std::vector<std::string> parts = lfi::Split(selector, ':');
+    auto record = lfi::ParseInt(parts[0]);
+    if (!record || parts.size() > 2 || *record < 0 ||
+        static_cast<size_t>(*record) >= records.size()) {
+      std::fprintf(stderr, "bad record selector '%s' (journal has %zu records)\n",
+                   selector.c_str(), records.size());
+      return 1;
+    }
+    const lfi::InjectionLog& log = records[*record].result.log;
+    if (log.empty()) {
+      std::fprintf(stderr, "record %lld injected nothing; nothing to replay\n",
+                   static_cast<long long>(*record));
+      return 1;
+    }
+    size_t injection = log.size() - 1;
+    if (parts.size() == 2) {
+      auto parsed = lfi::ParseInt(parts[1]);
+      if (!parsed || *parsed < 0 || static_cast<size_t>(*parsed) >= log.size()) {
+        std::fprintf(stderr, "record %lld has %zu injection(s)\n",
+                     static_cast<long long>(*record), log.size());
+        return 1;
+      }
+      injection = static_cast<size_t>(*parsed);
+    }
+    targets.push_back({static_cast<size_t>(*record), injection});
+  } else {
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (!records[i].result.log.empty()) {
+        // The last injection is the one the run died on (when it died).
+        targets.push_back({i, records[i].result.log.size() - 1});
+      }
+    }
+  }
+
+  size_t expected = 0;
+  size_t matched = 0;
+  std::string replays_json = "[";
+  for (size_t t = 0; t < targets.size(); ++t) {
+    const lfi::JournalRecord& record = records[targets[t].record];
+    const lfi::InjectionRecord& injection = record.result.log.records()[targets[t].injection];
+    lfi::CampaignJob job;
+    job.scenario = record.result.log.ReplayScenario(targets[t].injection);
+    job.label = lfi::StrFormat("replay %zu:%zu of %s", targets[t].record,
+                               targets[t].injection, path.c_str());
+    job.seed = record.seed;
+    lfi::JobResult replayed = runner(job);
+
+    // A record that exposed bugs must reproduce at least one of its crash
+    // sites from disk alone; injection-only records just report what ran.
+    // Records whose log spans several processes (the distributed pbft fuzz
+    // phase interposes every replica) cannot be reproduced faithfully by
+    // the single-process replay harness -- the call-count trigger would
+    // land on the wrong replica's Nth call -- so they are informational.
+    std::set<std::string> processes;
+    for (const lfi::InjectionRecord& logged : record.result.log.records()) {
+      processes.insert(logged.process);
+    }
+    bool single_process = processes.size() <= 1;
+    bool has_expectation = !record.result.bugs.empty() && single_process;
+    bool match = false;
+    for (const lfi::FoundBug& want : record.result.bugs) {
+      for (const lfi::FoundBug& got : replayed.bugs) {
+        match |= want.system == got.system && want.kind == got.kind && want.where == got.where;
+      }
+    }
+    expected += has_expectation ? 1 : 0;
+    matched += (has_expectation && match) ? 1 : 0;
+
+    std::string where = replayed.bugs.empty() ? "" : replayed.bugs.front().where;
+    if (options.json) {
+      if (t > 0) {
+        replays_json += ",";
+      }
+      replays_json += lfi::StrFormat(
+          "{\"record\":%zu,\"injection\":%zu,\"function\":\"%s\",\"call\":%llu,"
+          "\"crashed\":%s,\"where\":\"%s\",\"reproduced\":%s}",
+          targets[t].record, targets[t].injection, lfi::JsonEscape(injection.function).c_str(),
+          static_cast<unsigned long long>(injection.call_number),
+          replayed.bugs.empty() ? "false" : "true", lfi::JsonEscape(where).c_str(),
+          has_expectation ? (match ? "true" : "false") : "null");
+    } else {
+      std::printf("record %zu injection %zu: %s call %llu -> %s%s\n", targets[t].record,
+                  targets[t].injection, injection.function.c_str(),
+                  static_cast<unsigned long long>(injection.call_number),
+                  replayed.bugs.empty() ? "no crash" : ("crash at " + where).c_str(),
+                  has_expectation ? (match ? " [reproduced]" : " [MISMATCH]")
+                  : !single_process && !record.result.bugs.empty()
+                      ? " [distributed record: informational]"
+                      : "");
+    }
+  }
+  replays_json += "]";
+  if (options.json) {
+    std::printf(
+        "{\"command\":\"replay\",\"system\":\"%s\",\"replays\":%s,"
+        "\"expected\":%zu,\"reproduced\":%zu}\n",
+        lfi::JsonEscape(system).c_str(), replays_json.c_str(), expected, matched);
+  } else {
+    std::printf("%zu/%zu recorded crash site(s) reproduced from disk\n", matched, expected);
+  }
+  return matched == expected ? 0 : 1;
 }
 
 }  // namespace
@@ -254,45 +556,39 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "campaign" && args.size() >= 2) {
-    int workers = 1;
-    bool json = false;
-    for (size_t i = 2; i < args.size(); ++i) {
-      if (args[i] == "--json") {
-        json = true;
-      } else if (auto parsed = lfi::ParseInt(args[i])) {
-        workers = static_cast<int>(*parsed);
-      } else {
-        std::fprintf(stderr, "unknown campaign option '%s'\n", args[i].c_str());
-        return Usage();
-      }
+    ToolOptions options;
+    if (!ParseToolOptions(args, 2, &options)) {
+      return Usage();
     }
-    return RunCampaignCommand(args[1], workers, json);
+    return RunCampaignCommand(args[1], options);
   }
   if (cmd == "explore" && args.size() >= 2) {
-    lfi::ExploreConfig config;
-    bool json = false;
-    for (size_t i = 2; i < args.size(); ++i) {
-      if (args[i] == "--json") {
-        json = true;
-      } else if (args[i] == "--strategy" && i + 1 < args.size()) {
-        auto strategy = lfi::ParseExploreStrategy(args[++i]);
-        if (!strategy) {
-          std::fprintf(stderr, "unknown strategy '%s'\n", args[i].c_str());
-          return Usage();
-        }
-        config.strategy = *strategy;
-      } else if (args[i] == "--budget" && i + 1 < args.size()) {
-        config.budget = static_cast<size_t>(std::atoll(args[++i].c_str()));
-      } else if (args[i] == "--seed" && i + 1 < args.size()) {
-        config.seed = static_cast<uint64_t>(std::atoll(args[++i].c_str()));
-      } else if (args[i] == "--workers" && i + 1 < args.size()) {
-        config.workers = std::atoi(args[++i].c_str());
-      } else {
-        std::fprintf(stderr, "unknown explore option '%s'\n", args[i].c_str());
-        return Usage();
-      }
+    ToolOptions options;
+    if (!ParseToolOptions(args, 2, &options)) {
+      return Usage();
     }
-    return RunExploreCommand(args[1], config, json);
+    return RunExploreCommand(args[1], options);
+  }
+  if (cmd == "resume" && args.size() >= 2) {
+    ToolOptions options;
+    if (!ParseToolOptions(args, 2, &options)) {
+      return Usage();
+    }
+    return RunResumeCommand(args[1], options);
+  }
+  if (cmd == "replay" && args.size() >= 2) {
+    // The optional positional selector must precede any options.
+    std::string selector;
+    size_t start = 2;
+    if (args.size() >= 3 && !lfi::StartsWith(args[2], "--")) {
+      selector = args[2];
+      start = 3;
+    }
+    ToolOptions options;
+    if (!ParseToolOptions(args, start, &options)) {
+      return Usage();
+    }
+    return RunReplayCommand(args[1], selector, options);
   }
   return Usage();
 }

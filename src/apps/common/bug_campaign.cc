@@ -1,7 +1,9 @@
 #include "apps/common/bug_campaign.h"
 
+#include <cstdlib>
 #include <memory>
 #include <set>
+#include <stdexcept>
 
 #include "apps/bind/bind.h"
 #include "apps/git/git.h"
@@ -12,6 +14,7 @@
 #include "core/custom_triggers.h"
 #include "core/distributed.h"
 #include "core/exploration.h"
+#include "core/journal.h"
 #include "core/stock_triggers.h"
 #include "util/errno_codes.h"
 #include "util/string_util.h"
@@ -64,6 +67,9 @@ JobResult RunGitJob(const CampaignJob& job) {
   result.coverage = git.coverage();
   result.fingerprint = OutcomeFingerprint(controller, outcome);
   result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
   return result;
 }
 
@@ -88,6 +94,9 @@ JobResult RunMysqlJob(const CampaignJob& job) {
   result.coverage = mysql.coverage();
   result.fingerprint = OutcomeFingerprint(controller, outcome);
   result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
   return result;
 }
 
@@ -106,6 +115,9 @@ JobResult RunBindJob(const CampaignJob& job) {
   result.coverage = bind.coverage();
   result.fingerprint = OutcomeFingerprint(controller, outcome);
   result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
   return result;
 }
 
@@ -125,6 +137,9 @@ JobResult RunBindDstJob(const CampaignJob& job) {
   result.coverage = bind.coverage();
   result.fingerprint = OutcomeFingerprint(controller, outcome);
   result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
   return result;
 }
 
@@ -156,6 +171,9 @@ JobResult RunPbftJobWith(const CampaignJob& job, int requests, int max_ticks) {
   result.coverage = cluster.Coverage();
   result.fingerprint = OutcomeFingerprint(controller, outcome);
   result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
   return result;
 }
 
@@ -200,6 +218,11 @@ JobResult RunPbftDistributedJob(const CampaignJob& job) {
       result.fingerprint += fp;
     }
     result.injections += runtime->injections();
+    // One journaled log for the whole cluster, in replica order; the
+    // per-record process name keeps the replicas apart.
+    for (const InjectionRecord& record : runtime->log().records()) {
+      result.log.Record(record);
+    }
   }
   if (cluster.crashed()) {
     result.fingerprint += "!" + cluster.crash_reason();
@@ -217,9 +240,28 @@ std::vector<std::string> SiteFunctions(const std::vector<CallSiteReport>& report
   return {functions.begin(), functions.end()};
 }
 
+// Engine options for a journaled campaign (Table 1 mode). The metadata is
+// the campaign's identity: `lfi_tool resume` reads it back, and the engine
+// refuses to resume a journal recorded under different values.
+CampaignEngine::Options CampaignEngineOptions(const CampaignConfig& config,
+                                              const char* system, size_t max_bugs) {
+  CampaignEngine::Options options;
+  options.workers = config.workers;
+  options.max_bugs = max_bugs;
+  options.journal_path = config.journal_path;
+  options.resume = config.resume;
+  options.abort_after_records = config.abort_after_records;
+  if (!config.journal_path.empty()) {
+    options.journal_meta = {{"command", "campaign"},
+                            {"system", system},
+                            {"exhaustive", config.exhaustive ? "true" : "false"}};
+  }
+  return options;
+}
+
 // `profiles` covers every library the app links (bind spans libc +
 // libxml2); reports and exhaustive jobs concatenate in profile-list order.
-ExplorationResult ExploreWith(const AppBinary& binary,
+ExplorationResult ExploreWith(const char* system, const AppBinary& binary,
                               const std::vector<const FaultProfile*>& profiles,
                               const CampaignEngine::ResultRunner& runner,
                               const ExploreConfig& config) {
@@ -243,7 +285,21 @@ ExplorationResult ExploreWith(const AppBinary& binary,
     }
     lookup = &combined;
   }
-  CampaignEngine engine({.workers = config.workers});
+  CampaignEngine::Options engine_options;
+  engine_options.workers = config.workers;
+  engine_options.journal_path = config.journal_path;
+  engine_options.resume = config.resume;
+  engine_options.abort_after_records = config.abort_after_records;
+  if (!config.journal_path.empty()) {
+    engine_options.journal_meta = {
+        {"command", "explore"},
+        {"system", system},
+        {"strategy", ExploreStrategyName(config.strategy)},
+        {"budget", StrFormat("%zu", config.budget)},
+        {"seed", StrFormat("0x%llx", static_cast<unsigned long long>(config.seed))},
+    };
+  }
+  CampaignEngine engine(engine_options);
   switch (config.strategy) {
     case ExploreStrategy::kExhaustive: {
       std::vector<CampaignJob> jobs;
@@ -276,7 +332,7 @@ ExplorationResult ExploreWith(const AppBinary& binary,
 std::vector<FoundBug> RunGitCampaign(const CampaignConfig& config) {
   EnsureStockTriggersRegistered();
   ExhaustiveSource source(AnalyzerJobs(GitBinary().image(), CachedLibcProfile()));
-  CampaignEngine engine({.workers = config.workers});
+  CampaignEngine engine(CampaignEngineOptions(config, "git", /*max_bugs=*/0));
   return engine.Run(source, RunGitJob).bugs;
 }
 
@@ -304,7 +360,7 @@ std::vector<FoundBug> RunMysqlCampaign(const CampaignConfig& config) {
   }
 
   ExhaustiveSource source(std::move(jobs));
-  CampaignEngine engine({.workers = config.workers});
+  CampaignEngine engine(CampaignEngineOptions(config, "mysql", /*max_bugs=*/0));
   return engine.Run(source, RunMysqlJob).bugs;
 }
 
@@ -330,7 +386,7 @@ std::vector<FoundBug> RunBindCampaign(const CampaignConfig& config) {
   }
 
   ExhaustiveSource source(std::move(jobs));
-  CampaignEngine engine({.workers = config.workers});
+  CampaignEngine engine(CampaignEngineOptions(config, "bind", /*max_bugs=*/0));
   return engine.Run(source, RunBindJob).bugs;
 }
 
@@ -372,15 +428,20 @@ std::vector<FoundBug> RunPbftCampaign(const CampaignConfig& config) {
   }
 
   ExhaustiveSource source(std::move(jobs));
-  CampaignEngine engine(
-      {.workers = config.workers, .max_bugs = config.exhaustive ? size_t{0} : size_t{2}});
+  CampaignEngine engine(CampaignEngineOptions(
+      config, "pbft", /*max_bugs=*/config.exhaustive ? size_t{0} : size_t{2}));
   return engine.Run(source, RunPbftJob).bugs;
 }
 
 std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config) {
+  // Four engines share no job stream, so one journal cannot cover the
+  // union campaign; journal per system instead.
+  CampaignConfig per_system = config;
+  per_system.journal_path.clear();
+  per_system.resume = false;
   std::set<FoundBug> all;
   for (auto campaign : {RunGitCampaign, RunMysqlCampaign, RunBindCampaign, RunPbftCampaign}) {
-    for (const FoundBug& bug : campaign(config)) {
+    for (const FoundBug& bug : campaign(per_system)) {
       all.insert(bug);
     }
   }
@@ -413,20 +474,20 @@ std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name) {
 }
 
 ExplorationResult ExploreGitCampaign(const ExploreConfig& config) {
-  return ExploreWith(GitBinary(), {&CachedLibcProfile()}, RunGitJob, config);
+  return ExploreWith("git", GitBinary(), {&CachedLibcProfile()}, RunGitJob, config);
 }
 
 ExplorationResult ExploreMysqlCampaign(const ExploreConfig& config) {
-  return ExploreWith(MysqlBinary(), {&CachedLibcProfile()}, RunMysqlJob, config);
+  return ExploreWith("mysql", MysqlBinary(), {&CachedLibcProfile()}, RunMysqlJob, config);
 }
 
 ExplorationResult ExploreBindCampaign(const ExploreConfig& config) {
-  return ExploreWith(BindBinary(), {&CachedLibcProfile(), &CachedLibxmlProfile()}, RunBindJob,
-                     config);
+  return ExploreWith("bind", BindBinary(), {&CachedLibcProfile(), &CachedLibxmlProfile()},
+                     RunBindJob, config);
 }
 
 ExplorationResult ExplorePbftCampaign(const ExploreConfig& config) {
-  return ExploreWith(PbftBinary(), {&CachedLibcProfile()}, RunPbftExploreJob, config);
+  return ExploreWith("pbft", PbftBinary(), {&CachedLibcProfile()}, RunPbftExploreJob, config);
 }
 
 std::optional<ExplorationResult> ExploreCampaign(const std::string& system,
@@ -444,6 +505,87 @@ std::optional<ExplorationResult> ExploreCampaign(const std::string& system,
     return ExplorePbftCampaign(config);
   }
   return std::nullopt;
+}
+
+CampaignEngine::ResultRunner SystemJobRunner(const std::string& system,
+                                             bool explore_workload) {
+  EnsureStockTriggersRegistered();
+  if (system == "git") {
+    return RunGitJob;
+  }
+  if (system == "mysql") {
+    return RunMysqlJob;
+  }
+  if (system == "bind") {
+    return RunBindJob;
+  }
+  if (system == "pbft") {
+    return explore_workload ? RunPbftExploreJob : RunPbftJob;
+  }
+  return nullptr;
+}
+
+std::optional<ExplorationResult> ResumeCampaign(const std::string& journal_path, int workers,
+                                                std::string* error,
+                                                JournalMetadata* metadata) {
+  auto fail = [&](std::string message) -> std::optional<ExplorationResult> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  auto journal = CampaignJournal::Load(journal_path, error);
+  if (!journal) {
+    return std::nullopt;
+  }
+  if (metadata != nullptr) {
+    *metadata = journal->metadata();
+  }
+  std::string command = journal->Meta("command", "explore");
+  std::string system = journal->Meta("system", "");
+  try {
+    if (command == "campaign") {
+      CampaignConfig config;
+      config.workers = workers;
+      config.exhaustive = journal->Meta("exhaustive", "false") == "true";
+      config.journal_path = journal_path;
+      config.resume = true;
+      ExplorationResult out;
+      if (system == "git") {
+        out.bugs = RunGitCampaign(config);
+      } else if (system == "mysql") {
+        out.bugs = RunMysqlCampaign(config);
+      } else if (system == "bind") {
+        out.bugs = RunBindCampaign(config);
+      } else if (system == "pbft") {
+        out.bugs = RunPbftCampaign(config);
+      } else {
+        return fail("journal names unknown campaign system '" + system + "'");
+      }
+      return out;
+    }
+    ExploreConfig config;
+    config.workers = workers;
+    auto strategy = ParseExploreStrategy(journal->Meta("strategy", "exhaustive"));
+    if (!strategy) {
+      return fail("journal records unknown strategy '" + journal->Meta("strategy", "") + "'");
+    }
+    config.strategy = *strategy;
+    config.budget =
+        static_cast<size_t>(std::strtoull(journal->Meta("budget", "0").c_str(), nullptr, 0));
+    config.seed = std::strtoull(journal->Meta("seed", "1").c_str(), nullptr, 0);
+    config.journal_path = journal_path;
+    config.resume = true;
+    auto result = ExploreCampaign(system, config);
+    if (!result) {
+      return fail("journal names unknown system '" + system + "'");
+    }
+    return result;
+  } catch (const std::exception& e) {
+    // The engine throws on unusable journals (divergence, I/O); surface it
+    // as a CLI-friendly error instead of tearing down the process.
+    return fail(e.what());
+  }
 }
 
 }  // namespace lfi

@@ -38,6 +38,13 @@ struct CampaignConfig {
   // default run; throughput benchmarks use this so serial and parallel runs
   // execute identical work.
   bool exhaustive = false;
+  // Non-empty: persist the campaign to a journal at this path; with resume
+  // also set, replay an existing journal first and continue where it
+  // stopped (core/journal.h). Ignored by RunFullCampaign -- the union
+  // campaign interleaves four engines and has no single job stream.
+  std::string journal_path = {};
+  bool resume = false;
+  size_t abort_after_records = 0;  // kill-and-resume test hook
 };
 
 std::vector<FoundBug> RunGitCampaign(const CampaignConfig& config = {});
@@ -66,6 +73,14 @@ struct ExploreConfig {
   // analyzer generated for exhaustive, 64 scenarios for random/coverage.
   size_t budget = 0;
   uint64_t seed = 1;  // drives random selection and per-job Runtime seeds
+  // Non-empty: persist the exploration to a campaign journal at this path;
+  // with resume also set, replay an existing journal first and continue
+  // where it stopped (core/journal.h). Resume requires the same system,
+  // strategy, budget, and seed the journal header records -- lfi_tool's
+  // `resume` subcommand reads them back from the header.
+  std::string journal_path = {};
+  bool resume = false;
+  size_t abort_after_records = 0;  // kill-and-resume test hook
 };
 
 // Runs the chosen strategy against one system's default workload and returns
@@ -80,6 +95,27 @@ ExplorationResult ExplorePbftCampaign(const ExploreConfig& config = {});
 // unknown system.
 std::optional<ExplorationResult> ExploreCampaign(const std::string& system,
                                                  const ExploreConfig& config);
+
+// --- Campaign journal workflows ---------------------------------------------
+
+// The per-system JobResult runner the campaigns stream through: the default
+// workload harness that `lfi_tool replay` and JournalSource-seeded runs use
+// to execute a journaled scenario. `explore_workload` selects the (larger)
+// exploration workload where the two differ (pbft). Null for unknown systems.
+CampaignEngine::ResultRunner SystemJobRunner(const std::string& system,
+                                             bool explore_workload = true);
+
+// Resumes the campaign a journal header describes (command, system,
+// strategy, budget, seed are read back from the file): re-runs it with
+// `workers` workers, replaying the journal and continuing where it stopped.
+// The result is bit-identical to the uninterrupted run. Nullopt (with
+// *error set) on unreadable journals or unknown systems; campaign-mode
+// journals return bugs only (coverage empty). `metadata`, when non-null,
+// receives the journal header (so callers need not load the file again
+// just to describe the campaign).
+std::optional<ExplorationResult> ResumeCampaign(const std::string& journal_path, int workers,
+                                                std::string* error = nullptr,
+                                                JournalMetadata* metadata = nullptr);
 
 }  // namespace lfi
 

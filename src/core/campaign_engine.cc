@@ -1,17 +1,168 @@
 #include "core/campaign_engine.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 
 #include "core/analysis_cache.h"
 #include "core/exploration.h"
+#include "core/journal.h"
 #include "core/scenario_gen.h"
 #include "util/string_util.h"
 #include "util/work_queue.h"
 
 namespace lfi {
+namespace {
+
+// The engine's side of the campaign journal: the replay prefix loaded from
+// disk plus the append stream for newly merged jobs. Null when the run is
+// not journaled.
+class JournalHook {
+ public:
+  // Returns nullptr when Options carries no journal path. Throws
+  // std::runtime_error on unusable journals: create/open failures, corrupt
+  // files, or resuming a journal whose recorded campaign identity
+  // (journal_meta) differs from this run's.
+  static std::unique_ptr<JournalHook> Open(const CampaignEngine::Options& options) {
+    if (options.journal_path.empty()) {
+      return nullptr;
+    }
+    auto hook = std::unique_ptr<JournalHook>(new JournalHook());
+    hook->abort_after_ = options.abort_after_records;
+    std::string error;
+    bool exists = [&] {
+      std::FILE* f = std::fopen(options.journal_path.c_str(), "rb");
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+      return f != nullptr;
+    }();
+    if (options.resume && exists) {
+      auto loaded = CampaignJournal::Load(options.journal_path, &error);
+      if (!loaded) {
+        throw std::runtime_error(error);
+      }
+      for (const auto& [key, value] : options.journal_meta) {
+        std::string recorded = loaded->Meta(key, value);
+        if (recorded != value) {
+          throw std::runtime_error("journal " + options.journal_path +
+                                   " records a campaign with " + key + "='" + recorded +
+                                   "', not '" + value + "'; resuming it would diverge");
+        }
+      }
+      hook->journal_ = std::move(*loaded);
+      if (!hook->journal_.OpenAppend(options.journal_path, &error)) {
+        throw std::runtime_error(error);
+      }
+      return hook;
+    }
+    if (exists) {
+      // Truncating an existing journal would silently destroy the artifact
+      // resume needs -- the likeliest cause is re-running the original
+      // command after a kill instead of `resume`.
+      throw std::runtime_error("journal " + options.journal_path +
+                               " already exists; resume it to continue the campaign, or "
+                               "delete it to start fresh");
+    }
+    // Fresh journal; a resume of a never-created file (killed before the
+    // header was written) degenerates to the same thing.
+    if (!hook->journal_.Create(options.journal_path, options.journal_meta, &error)) {
+      throw std::runtime_error(error);
+    }
+    return hook;
+  }
+
+  size_t replay_count() const { return journal_.records().size(); }
+
+  // The journaled result for the job at this global index, nullptr once the
+  // stream has moved past the replay prefix.
+  const JournalRecord* Replay(size_t index) const {
+    return index < journal_.records().size() ? &journal_.records()[index] : nullptr;
+  }
+
+  // Resume only makes sense against the same deterministic job stream; a
+  // label mismatch means the source diverged from the recording run.
+  void CheckAligned(size_t index, const CampaignJob& job) const {
+    const JournalRecord* record = Replay(index);
+    if (record != nullptr && record->label != job.label) {
+      throw std::runtime_error("journal replay diverged at record " + std::to_string(index) +
+                               ": journal has '" + record->label + "', source produced '" +
+                               job.label + "'");
+    }
+  }
+
+  // Called at the serialized merge point, in job order, for jobs past the
+  // replay prefix.
+  void Append(const CampaignJob& job, bool gated, const JobResult& result,
+              const RunFeedback& feedback) {
+    JournalRecord record;
+    record.label = job.label;
+    record.seed = job.seed;
+    record.gated = gated;
+    record.scenario = job.scenario;
+    if (!gated) {
+      record.result = result;
+      record.feedback = feedback;
+    }
+    if (!journal_.Append(record)) {
+      // A swallowed write failure (disk full, I/O error) would break the
+      // "loses at most one record" durability contract far beyond one
+      // record; fail the campaign loudly instead.
+      throw std::runtime_error("journal append failed at record " +
+                               std::to_string(replay_count() + appended_) + " ('" + job.label +
+                               "'): disk full or I/O error");
+    }
+    ++appended_;
+    if (abort_after_ != 0 && appended_ >= abort_after_) {
+      // Kill-and-resume test hook: die the way a crashed campaign process
+      // dies -- no destructors, no further flushing.
+      std::fprintf(stderr, "journal: simulated kill after %zu appended record(s)\n",
+                   appended_);
+      std::_Exit(3);
+    }
+  }
+
+ private:
+  JournalHook() = default;
+
+  CampaignJournal journal_;
+  size_t appended_ = 0;
+  size_t abort_after_ = 0;
+};
+
+}  // namespace
+
+void FoundBug::AppendXml(XmlNode* parent) const {
+  XmlNode* node = parent->AddChild("bug");
+  node->SetAttr("system", system);
+  node->SetAttr("kind", kind);
+  node->SetAttr("where", where);
+  node->SetAttr("injected", injected);
+}
+
+std::string FoundBug::ToXml() const { return ToXmlElement(*this); }
+
+std::optional<FoundBug> FoundBug::FromNode(const XmlNode& node, std::string* error) {
+  if (node.name() != "bug") {
+    if (error != nullptr) {
+      *error = "bug element must be <bug>";
+    }
+    return std::nullopt;
+  }
+  FoundBug bug;
+  bug.system = node.AttrOr("system", "");
+  bug.kind = node.AttrOr("kind", "");
+  bug.where = node.AttrOr("where", "");
+  bug.injected = node.AttrOr("injected", "");
+  return bug;
+}
+
+std::optional<FoundBug> FoundBug::Parse(const std::string& xml, std::string* error) {
+  return ParseXmlElement<FoundBug>(xml, error);
+}
 
 bool BugSink::Report(const FoundBug& bug) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -50,6 +201,13 @@ ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& job
   std::mutex merge_mu;
   std::atomic<bool> saturated{false};
 
+  std::unique_ptr<JournalHook> journal = JournalHook::Open(options_);
+  if (journal != nullptr) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      journal->CheckAligned(i, jobs[i]);
+    }
+  }
+
   auto deliver = [&](size_t index, JobResult result) {
     std::lock_guard<std::mutex> lock(merge_mu);
     pending[index] = std::move(result);
@@ -64,13 +222,16 @@ ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& job
           feedback.new_bug |= bugs.insert(bug).second;
         }
         feedback.injections = merged.injections;
-        feedback.fingerprint = std::move(merged.fingerprint);
+        feedback.fingerprint = merged.fingerprint;
         feedback.new_blocks = merged.coverage.NewlyCoveredVersus(out.coverage);
         out.coverage.Absorb(merged.coverage);
         ++out.scenarios_run;
       }
       if (options_.max_bugs != 0 && bugs.size() >= options_.max_bugs) {
         saturated.store(true, std::memory_order_release);
+      }
+      if (journal != nullptr && cursor >= journal->replay_count()) {
+        journal->Append(job, gated, *pending[cursor], feedback);
       }
       if (source != nullptr) {
         source->OnFeedback(job, feedback);
@@ -83,6 +244,14 @@ ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& job
   WorkerPool::ParallelFor(options_.workers, jobs.size(), [&](size_t index, int worker) {
     (void)worker;
     const CampaignJob& job = jobs[index];
+    // Journal replay: jobs inside the replay prefix take their recorded
+    // result from disk instead of executing.
+    if (journal != nullptr) {
+      if (const JournalRecord* record = journal->Replay(index)) {
+        deliver(index, record->result);
+        return;
+      }
+    }
     // Advisory fast-path: once saturated, gated jobs skip execution. The
     // merge-side gate above is the authoritative (deterministic) one; this
     // only avoids wasted work, since late results are discarded anyway.
@@ -141,15 +310,30 @@ ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner
   // merged batches, never on intra-batch completion order.
   bool saturated = false;
 
+  std::unique_ptr<JournalHook> journal = JournalHook::Open(options_);
+  size_t stream_base = 0;  // global index of this batch's first job
+
   while (true) {
     std::vector<CampaignJob> batch = source.NextBatch(batch_size);
     if (batch.empty()) {
       break;
     }
+    if (journal != nullptr) {
+      for (size_t index = 0; index < batch.size(); ++index) {
+        journal->CheckAligned(stream_base + index, batch[index]);
+      }
+    }
     std::vector<JobResult> results(batch.size());
     WorkerPool::ParallelFor(options_.workers, batch.size(), [&](size_t index, int worker) {
       (void)worker;
       const CampaignJob& job = batch[index];
+      // Journal replay: recorded results substitute for execution.
+      if (journal != nullptr) {
+        if (const JournalRecord* record = journal->Replay(stream_base + index)) {
+          results[index] = record->result;
+          return;
+        }
+      }
       if (job.skip_when_saturated && saturated) {
         return;  // merge-side gate below is the authoritative one
       }
@@ -170,13 +354,17 @@ ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner
           feedback.new_bug |= bugs.insert(bug).second;
         }
         feedback.injections = result.injections;
-        feedback.fingerprint = std::move(result.fingerprint);
+        feedback.fingerprint = result.fingerprint;
         feedback.new_blocks = result.coverage.NewlyCoveredVersus(out.coverage);
         out.coverage.Absorb(result.coverage);
         ++out.scenarios_run;
       }
+      if (journal != nullptr && stream_base + index >= journal->replay_count()) {
+        journal->Append(job, gated, results[index], feedback);
+      }
       source.OnFeedback(job, feedback);
     }
+    stream_base += batch.size();
     if (options_.max_bugs != 0 && bugs.size() >= options_.max_bugs) {
       saturated = true;
     }

@@ -29,9 +29,11 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.h"
@@ -44,6 +46,11 @@ namespace lfi {
 
 class ScenarioSource;
 
+// Header fields of a campaign journal (core/journal.h): what a fresh journal
+// records about the campaign's identity, and what `lfi_tool resume` reads
+// back to reconstruct it.
+using JournalMetadata = std::vector<std::pair<std::string, std::string>>;
+
 // A bug exposed by the campaign, deduplicated by crash site: two injections
 // crashing at the same place in the same system are one bug (Table 1 counts
 // distinct sites, not distinct scenarios).
@@ -55,6 +62,14 @@ struct FoundBug {
   bool operator<(const FoundBug& o) const {
     return std::tie(system, kind, where) < std::tie(o.system, o.kind, o.where);
   }
+  bool operator==(const FoundBug& o) const = default;
+
+  // XML round trip (<bug system kind where injected/>), used by campaign
+  // journal records.
+  void AppendXml(XmlNode* parent) const;
+  std::string ToXml() const;
+  static std::optional<FoundBug> FromNode(const XmlNode& node, std::string* error = nullptr);
+  static std::optional<FoundBug> Parse(const std::string& xml, std::string* error = nullptr);
 };
 
 // Thread-safe crash-site dedup. The first report of a site wins (later
@@ -82,6 +97,10 @@ struct JobResult {
   CoverageMap coverage;
   std::string fingerprint;  // InjectionLog::Fingerprint + crash site, "" = clean run
   size_t injections = 0;
+  // The run's full injection log. Persisted by the campaign journal so any
+  // recorded injection can be replayed from disk (InjectionLog::
+  // ReplayScenario) without re-running the original campaign.
+  InjectionLog log;
 };
 
 // One schedulable unit: a scenario plus everything needed to attribute and
@@ -121,6 +140,27 @@ class CampaignEngine {
     // batch size -- never the worker count -- decides what a feedback-driven
     // strategy knows when it schedules the next jobs.
     size_t batch_size = 8;
+    // Non-empty: persist every merged job -- scenario, injection log,
+    // fingerprint, bugs, coverage delta -- to an append-only campaign
+    // journal at this path (core/journal.h). Records are appended at the
+    // deterministic merge point and flushed one by one, so a killed run
+    // loses at most the record being written.
+    std::string journal_path = {};
+    // With journal_path set: load the journal first and replay its records
+    // instead of executing the corresponding jobs -- the source still
+    // streams and receives feedback exactly as live, so its state (dedup,
+    // mutation queues, saturation) ends up where the killed run left off,
+    // and execution resumes at the first unjournaled job. The final result
+    // is bit-identical to an uninterrupted run at any worker count.
+    bool resume = false;
+    // Header fields for a fresh journal (campaign identity: system,
+    // strategy, budget, seed). On resume the loaded header wins; a mismatch
+    // with these values is an error.
+    JournalMetadata journal_meta = {};
+    // Test hook for the kill-and-resume contract: exit the process (no
+    // destructors, mid-campaign) right after this many records have been
+    // appended in this run. 0 = off.
+    size_t abort_after_records = 0;
   };
 
   using JobRunner = std::function<std::vector<FoundBug>(const CampaignJob&)>;

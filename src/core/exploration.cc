@@ -22,6 +22,45 @@ void ScenarioSource::OnFeedback(const CampaignJob& job, const RunFeedback& feedb
   (void)feedback;
 }
 
+// --- RunFeedback XML --------------------------------------------------------
+
+void RunFeedback::AppendXml(XmlNode* parent) const {
+  XmlNode* node = parent->AddChild("feedback");
+  if (new_bug) {
+    node->SetAttr("new-bug", "true");
+  }
+  node->SetAttr("injections", StrFormat("%zu", injections));
+  if (!fingerprint.empty()) {
+    node->SetAttr("fingerprint", fingerprint);
+  }
+  for (const std::string& block : new_blocks) {
+    node->AddChild("newblock")->SetAttr("id", block);
+  }
+}
+
+std::string RunFeedback::ToXml() const { return ToXmlElement(*this); }
+
+std::optional<RunFeedback> RunFeedback::FromNode(const XmlNode& node, std::string* error) {
+  if (node.name() != "feedback") {
+    if (error != nullptr) {
+      *error = "feedback element must be <feedback>";
+    }
+    return std::nullopt;
+  }
+  RunFeedback feedback;
+  feedback.new_bug = node.AttrOr("new-bug", "false") == "true";
+  feedback.injections = static_cast<size_t>(node.IntAttr("injections").value_or(0));
+  feedback.fingerprint = node.AttrOr("fingerprint", "");
+  for (const XmlNode* block : node.Children("newblock")) {
+    feedback.new_blocks.push_back(block->AttrOr("id", ""));
+  }
+  return feedback;
+}
+
+std::optional<RunFeedback> RunFeedback::Parse(const std::string& xml, std::string* error) {
+  return ParseXmlElement<RunFeedback>(xml, error);
+}
+
 // --- ExhaustiveSource -------------------------------------------------------
 
 ExhaustiveSource::ExhaustiveSource(std::vector<CampaignJob> jobs, size_t budget)

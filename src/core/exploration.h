@@ -52,6 +52,19 @@ struct RunFeedback {
   // Coverage blocks this run covered for the first time across the whole
   // streamed campaign (CoverageMap::NewlyCoveredVersus the cumulative map).
   std::vector<std::string> new_blocks;
+
+  bool operator==(const RunFeedback& o) const = default;
+
+  // XML round trip (<feedback> with one <newblock> per new block), used by
+  // campaign journal records. On resume the engine recomputes feedback from
+  // the replayed coverage deltas; the serialized copy exists so a journal is
+  // self-describing for offline mining.
+  void AppendXml(XmlNode* parent) const;
+  std::string ToXml() const;
+  static std::optional<RunFeedback> FromNode(const XmlNode& node,
+                                             std::string* error = nullptr);
+  static std::optional<RunFeedback> Parse(const std::string& xml,
+                                          std::string* error = nullptr);
 };
 
 // A pull-based producer of campaign jobs. NextBatch() returning an empty

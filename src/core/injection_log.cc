@@ -16,7 +16,8 @@ std::string InjectionLog::ToString() const {
       out += " errno=" + ErrnoName(r.errno_value);
     }
     out += StrFormat(" (call %llu, triggers: %s)",
-                     static_cast<unsigned long long>(r.call_number), r.trigger_ids.c_str());
+                     static_cast<unsigned long long>(r.call_number),
+                     Join(r.trigger_ids, ",").c_str());
     if (!r.stack.empty()) {
       out += " stack:";
       for (auto it = r.stack.rbegin(); it != r.stack.rend(); ++it) {
@@ -65,6 +66,85 @@ Scenario InjectionLog::ReplayScenario(size_t index) const {
   scenario.AddTrigger(std::move(decl));
   scenario.AddFunction(std::move(assoc));
   return scenario;
+}
+
+void InjectionLog::AppendXml(XmlNode* parent) const {
+  XmlNode* log = parent->AddChild("log");
+  for (const InjectionRecord& r : records_) {
+    XmlNode* node = log->AddChild("injection");
+    node->SetAttr("sequence", StrFormat("%llu", static_cast<unsigned long long>(r.sequence)));
+    node->SetAttr("function", r.function);
+    node->SetAttr("retval", StrFormat("%lld", static_cast<long long>(r.retval)));
+    if (r.errno_value != 0) {
+      node->SetAttr("errno", ErrnoName(r.errno_value));
+    }
+    node->SetAttr("call", StrFormat("%llu", static_cast<unsigned long long>(r.call_number)));
+    if (!r.process.empty()) {
+      node->SetAttr("process", r.process);
+    }
+    for (const std::string& id : r.trigger_ids) {
+      node->AddChild("trigger")->SetAttr("id", id);
+    }
+    for (const StackFrame& frame : r.stack) {
+      XmlNode* f = node->AddChild("frame");
+      f->SetAttr("module", frame.module);
+      f->SetAttr("function", frame.function);
+      f->SetAttr("offset", StrFormat("0x%x", frame.offset));
+    }
+  }
+}
+
+std::string InjectionLog::ToXml() const { return ToXmlElement(*this); }
+
+std::optional<InjectionLog> InjectionLog::FromNode(const XmlNode& node, std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<InjectionLog> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  if (node.name() != "log") {
+    return fail("injection log element must be <log>");
+  }
+  InjectionLog log;
+  for (const XmlNode* inj : node.Children("injection")) {
+    InjectionRecord r;
+    auto sequence = inj->IntAttr("sequence");
+    auto retval = inj->IntAttr("retval");
+    auto call = inj->IntAttr("call");
+    r.function = inj->AttrOr("function", "");
+    if (!sequence || !retval || !call || r.function.empty()) {
+      return fail("<injection> requires sequence, function, retval, and call");
+    }
+    r.sequence = static_cast<uint64_t>(*sequence);
+    r.retval = *retval;
+    r.call_number = static_cast<uint64_t>(*call);
+    std::string err = inj->AttrOr("errno", "");
+    if (!err.empty()) {
+      auto e = ErrnoFromName(err);
+      if (!e) {
+        return fail("unknown errno '" + err + "' in injection log");
+      }
+      r.errno_value = *e;
+    }
+    r.process = inj->AttrOr("process", "");
+    for (const XmlNode* trigger : inj->Children("trigger")) {
+      r.trigger_ids.push_back(trigger->AttrOr("id", ""));
+    }
+    for (const XmlNode* frame : inj->Children("frame")) {
+      StackFrame f;
+      f.module = frame->AttrOr("module", "");
+      f.function = frame->AttrOr("function", "");
+      f.offset = static_cast<uint32_t>(frame->IntAttr("offset").value_or(0));
+      r.stack.push_back(std::move(f));
+    }
+    log.Record(std::move(r));
+  }
+  return log;
+}
+
+std::optional<InjectionLog> InjectionLog::Parse(const std::string& xml, std::string* error) {
+  return ParseXmlElement<InjectionLog>(xml, error);
 }
 
 }  // namespace lfi

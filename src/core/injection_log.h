@@ -6,12 +6,14 @@
 // match injections to observed program behaviour; ReplayScenario() turns a
 // record into a deterministic call-count-based scenario that reproduces
 // exactly that injection (the paper points at R2-style replay for the same
-// purpose).
+// purpose). The log round-trips through XML (ToXml/Parse) so campaign
+// journal records can replay an injection from disk alone.
 
 #ifndef LFI_CORE_INJECTION_LOG_H_
 #define LFI_CORE_INJECTION_LOG_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,10 +27,12 @@ struct InjectionRecord {
   std::string function;         // intercepted library function
   int64_t retval = 0;           // injected return value
   int errno_value = 0;          // injected errno (0 = untouched)
-  std::string trigger_ids;      // comma-separated triggers that fired
+  std::vector<std::string> trigger_ids;  // triggers that fired, conjunction order
   uint64_t call_number = 0;     // how many interceptions of `function` so far
   std::vector<StackFrame> stack;  // call stack at injection time
   std::string process;          // process name (distinguishes replicas)
+
+  bool operator==(const InjectionRecord& o) const = default;
 };
 
 class InjectionLog {
@@ -52,6 +56,18 @@ class InjectionLog {
   // A scenario that re-injects exactly record[index]'s fault on the same
   // call number, using the stock call-count trigger.
   Scenario ReplayScenario(size_t index) const;
+
+  // Serializes as a <log> child of `parent` (one <injection> element per
+  // record, triggers and stack frames as children); ToXml() wraps the same
+  // element in a document. FromNode/Parse are the exact inverses.
+  void AppendXml(XmlNode* parent) const;
+  std::string ToXml() const;
+  static std::optional<InjectionLog> FromNode(const XmlNode& node,
+                                              std::string* error = nullptr);
+  static std::optional<InjectionLog> Parse(const std::string& xml,
+                                           std::string* error = nullptr);
+
+  bool operator==(const InjectionLog& o) const { return records_ == o.records_; }
 
  private:
   std::vector<InjectionRecord> records_;

@@ -1,0 +1,295 @@
+#include "core/journal.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+// Seeds are full-range uint64 (MixSeed sets the top bit freely), which
+// ParseInt's int64 range would reject; hex keeps the round trip exact.
+std::string SeedToString(uint64_t seed) {
+  return StrFormat("0x%llx", static_cast<unsigned long long>(seed));
+}
+
+uint64_t SeedFromString(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 0);
+}
+
+}  // namespace
+
+// --- JournalRecord ----------------------------------------------------------
+
+void JournalRecord::AppendXml(XmlNode* parent) const {
+  XmlNode* node = parent->AddChild("record");
+  node->SetAttr("label", label);
+  node->SetAttr("seed", SeedToString(seed));
+  if (gated) {
+    node->SetAttr("gated", "true");
+  }
+  scenario.AppendXml(node);
+  if (!gated) {
+    XmlNode* result_node = node->AddChild("result");
+    if (!result.fingerprint.empty()) {
+      result_node->SetAttr("fingerprint", result.fingerprint);
+    }
+    result_node->SetAttr("injections", StrFormat("%zu", result.injections));
+    for (const FoundBug& bug : result.bugs) {
+      bug.AppendXml(result_node);
+    }
+    result.log.AppendXml(result_node);
+    result.coverage.AppendXml(result_node);
+    feedback.AppendXml(node);
+  }
+}
+
+std::string JournalRecord::ToXml() const { return ToXmlElement(*this); }
+
+std::optional<JournalRecord> JournalRecord::FromNode(const XmlNode& node, std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<JournalRecord> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  if (node.name() != "record") {
+    return fail("journal record element must be <record>");
+  }
+  JournalRecord record;
+  record.label = node.AttrOr("label", "");
+  record.seed = SeedFromString(node.AttrOr("seed", "0"));
+  record.gated = node.AttrOr("gated", "false") == "true";
+  const XmlNode* scenario_node = node.Child("scenario");
+  if (scenario_node == nullptr) {
+    return fail("journal record '" + record.label + "' is missing its <scenario>");
+  }
+  auto scenario = Scenario::FromNode(*scenario_node, error);
+  if (!scenario) {
+    return std::nullopt;
+  }
+  record.scenario = std::move(*scenario);
+  if (record.gated) {
+    return record;
+  }
+  const XmlNode* result_node = node.Child("result");
+  if (result_node == nullptr) {
+    return fail("journal record '" + record.label + "' is missing its <result>");
+  }
+  record.result.fingerprint = result_node->AttrOr("fingerprint", "");
+  record.result.injections =
+      static_cast<size_t>(result_node->IntAttr("injections").value_or(0));
+  for (const XmlNode* bug_node : result_node->Children("bug")) {
+    auto bug = FoundBug::FromNode(*bug_node, error);
+    if (!bug) {
+      return std::nullopt;
+    }
+    record.result.bugs.push_back(std::move(*bug));
+  }
+  if (const XmlNode* log_node = result_node->Child("log")) {
+    auto log = InjectionLog::FromNode(*log_node, error);
+    if (!log) {
+      return std::nullopt;
+    }
+    record.result.log = std::move(*log);
+  }
+  if (const XmlNode* coverage_node = result_node->Child("coverage")) {
+    auto coverage = CoverageMap::FromNode(*coverage_node, error);
+    if (!coverage) {
+      return std::nullopt;
+    }
+    record.result.coverage = std::move(*coverage);
+  }
+  if (const XmlNode* feedback_node = node.Child("feedback")) {
+    auto feedback = RunFeedback::FromNode(*feedback_node, error);
+    if (!feedback) {
+      return std::nullopt;
+    }
+    record.feedback = std::move(*feedback);
+  }
+  return record;
+}
+
+// --- CampaignJournal --------------------------------------------------------
+
+std::optional<CampaignJournal> CampaignJournal::Load(const std::string& path,
+                                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open journal " + path;
+    }
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str(), error);
+}
+
+std::optional<CampaignJournal> CampaignJournal::Parse(std::string_view text,
+                                                      std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CampaignJournal> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+
+  // A killed writer leaves at most one torn record at the tail. Everything
+  // through the last complete record (or, in a record-less journal, the
+  // header) is intact, because records are flushed whole; drop the rest.
+  // "</record>" cannot occur inside the kept content -- every attribute
+  // value and text run is XmlEscape()d, so a literal '<' never survives
+  // serialization.
+  size_t end = text.rfind("</record>");
+  if (end != std::string_view::npos) {
+    end += std::string_view("</record>").size();
+  } else if ((end = text.rfind("</journal>")) != std::string_view::npos) {
+    end += std::string_view("</journal>").size();
+  } else if ((end = text.rfind("/>")) != std::string_view::npos) {
+    end += std::string_view("/>").size();  // self-closing (meta-less) header
+  } else {
+    return fail("not a campaign journal (no header)");
+  }
+  if (end < text.size() && text[end] == '\n') {
+    ++end;  // keep the record's own trailing newline intact
+  }
+
+  // The file is a header element followed by record elements; wrap them in a
+  // synthetic root so the single-document XML parser takes the whole stream.
+  std::string wrapped = "<journal-file>\n";
+  wrapped.append(text.substr(0, end));
+  wrapped.append("\n</journal-file>\n");
+  XmlError xml_error;
+  auto doc = XmlParse(wrapped, &xml_error);
+  if (!doc || doc->root() == nullptr) {
+    return fail(StrFormat("journal parse error at line %d: %s", xml_error.line,
+                          xml_error.message.c_str()));
+  }
+
+  CampaignJournal journal;
+  const XmlNode* header = doc->root()->Child("journal");
+  if (header == nullptr) {
+    return fail("journal is missing its <journal> header");
+  }
+  int64_t version = header->IntAttr("version").value_or(0);
+  if (version != kVersion) {
+    return fail(StrFormat("unsupported journal version %lld (this build reads %d)",
+                          static_cast<long long>(version), kVersion));
+  }
+  for (const XmlNode* meta : header->Children("meta")) {
+    journal.meta_.emplace_back(meta->AttrOr("key", ""), meta->AttrOr("value", ""));
+  }
+  std::string record_error;
+  for (const XmlNode* child : doc->root()->Children("record")) {
+    auto record = JournalRecord::FromNode(*child, &record_error);
+    if (!record) {
+      return fail("journal record " + std::to_string(journal.records_.size()) + ": " +
+                  record_error);
+    }
+    journal.records_.push_back(std::move(*record));
+  }
+  journal.intact_bytes_ = end;
+  return journal;
+}
+
+bool CampaignJournal::Create(const std::string& path, JournalMetadata meta,
+                             std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot create journal " + path;
+    }
+    return false;
+  }
+  out_.reset(f);
+  meta_ = std::move(meta);
+  XmlNode header("journal");
+  header.SetAttr("version", StrFormat("%d", kVersion));
+  for (const auto& [key, value] : meta_) {
+    XmlNode* m = header.AddChild("meta");
+    m->SetAttr("key", key);
+    m->SetAttr("value", value);
+  }
+  std::string text = header.ToString();
+  std::fwrite(text.data(), 1, text.size(), out_.get());
+  std::fflush(out_.get());
+  return true;
+}
+
+bool CampaignJournal::OpenAppend(const std::string& path, std::string* error) {
+  // Drop the torn tail a kill may have left: appending after garbage would
+  // leave an unparseable interior. intact_bytes_ came from Load()'s
+  // last-complete-record scan.
+  if (intact_bytes_ != 0) {
+    std::error_code ec;
+    if (std::filesystem::file_size(path, ec) > intact_bytes_ && !ec) {
+      std::filesystem::resize_file(path, intact_bytes_, ec);
+      if (ec) {
+        if (error != nullptr) {
+          *error = "cannot truncate torn journal tail in " + path + ": " + ec.message();
+        }
+        return false;
+      }
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot append to journal " + path;
+    }
+    return false;
+  }
+  out_.reset(f);
+  return true;
+}
+
+bool CampaignJournal::Append(const JournalRecord& record) {
+  if (out_ == nullptr) {
+    return false;
+  }
+  std::string text = record.ToXml();
+  bool ok = std::fwrite(text.data(), 1, text.size(), out_.get()) == text.size();
+  // One flush per record: the contract is that a kill loses at most the
+  // record being written, never an already-appended one.
+  return std::fflush(out_.get()) == 0 && ok;
+}
+
+// --- JournalSource ----------------------------------------------------------
+
+JournalSource::JournalSource(const CampaignJournal& journal, Options options) {
+  if (options.shard_count == 0 || options.shard_index >= options.shard_count) {
+    throw std::invalid_argument("JournalSource: shard_index must be < shard_count");
+  }
+  // Deal in record order so shards partition the stream deterministically:
+  // the union of all shards is exactly the journal's scenario sequence.
+  size_t dealt = 0;
+  for (const JournalRecord& record : journal.records()) {
+    if (record.gated && !options.include_gated) {
+      continue;
+    }
+    size_t slot = dealt++ % options.shard_count;
+    if (slot != options.shard_index) {
+      continue;
+    }
+    CampaignJob job;
+    job.scenario = record.scenario;
+    job.label = record.label;
+    job.seed = record.seed;
+    jobs_.push_back(std::move(job));
+  }
+}
+
+std::vector<CampaignJob> JournalSource::NextBatch(size_t max_jobs) {
+  std::vector<CampaignJob> out;
+  while (next_ < jobs_.size() && out.size() < max_jobs) {
+    out.push_back(jobs_[next_++]);
+  }
+  return out;
+}
+
+}  // namespace lfi

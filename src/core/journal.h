@@ -1,0 +1,167 @@
+// The persistent campaign journal.
+//
+// LFI's workflow (§2, §4.1) is built on durable artifacts -- XML fault
+// profiles, XML scenarios, and a test log developers mine after the run.
+// The CampaignJournal extends that to the whole campaign lifecycle: an
+// append-only XML file that records, for every job the engine merged, the
+// scenario that ran (Scenario::ToXml), the injection log and fingerprint,
+// the bugs it exposed, the coverage delta it contributed, and the feedback
+// the scenario source was given. Three workflows fall out of one format:
+//
+//   resume   CampaignEngine::Options{journal_path, resume=true} replays the
+//            journal through the engine's deterministic merge -- the source
+//            streams and receives feedback exactly as live, but journaled
+//            jobs take their results from disk instead of executing -- so a
+//            killed campaign continues at the first unjournaled job and
+//            finishes bit-identical to an uninterrupted run, at any worker
+//            count.
+//   replay   Any journaled injection converts to a deterministic call-count
+//            scenario (InjectionLog::ReplayScenario) that reproduces the
+//            crash from disk alone, in the spirit of the R2-style replay
+//            the paper cites (lfi_tool replay).
+//   shard    A JournalSource streams the recorded scenarios back as a
+//            ScenarioSource, optionally dealing them round-robin across
+//            shards, so one campaign's journal can seed or split another.
+//
+// File format: a <journal version="1"> header element carrying campaign
+// metadata (<meta key value/>), followed by one <record> element per merged
+// job. Records are appended and flushed one at a time at the serialized
+// merge point; a kill therefore loses at most the record being written, and
+// Load() drops a torn trailing record by truncating at the last complete
+// one.
+
+#ifndef LFI_CORE_JOURNAL_H_
+#define LFI_CORE_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/campaign_engine.h"
+#include "core/exploration.h"
+
+namespace lfi {
+
+// Header field by key, or `def` when absent (the one metadata lookup both
+// CampaignJournal::Meta and callers holding a bare JournalMetadata use).
+inline std::string MetaValue(const JournalMetadata& meta, const std::string& key,
+                             const std::string& def = "") {
+  for (const auto& [k, v] : meta) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return def;
+}
+
+// One merged job: identity (label, seed, scenario), what the run observed,
+// and the feedback the source was given at the merge point.
+struct JournalRecord {
+  std::string label;
+  uint64_t seed = 0;
+  // Skipped by the engine's max_bugs saturation gate: the job never ran and
+  // result/feedback are empty. Recorded anyway so the replay prefix stays
+  // index-aligned with the source's deterministic job stream.
+  bool gated = false;
+  Scenario scenario;
+  JobResult result;
+  RunFeedback feedback;
+
+  void AppendXml(XmlNode* parent) const;
+  std::string ToXml() const;
+  static std::optional<JournalRecord> FromNode(const XmlNode& node,
+                                               std::string* error = nullptr);
+};
+
+class CampaignJournal {
+ public:
+  static constexpr int kVersion = 1;
+
+  CampaignJournal() = default;
+  CampaignJournal(CampaignJournal&&) = default;
+  CampaignJournal& operator=(CampaignJournal&&) = default;
+
+  // --- reading --------------------------------------------------------------
+
+  // Reads and parses a journal file. Tolerates a torn trailing record (the
+  // kill-mid-write artifact): everything after the last complete record is
+  // dropped. Fails on missing files, version mismatches, and malformed
+  // records.
+  static std::optional<CampaignJournal> Load(const std::string& path,
+                                             std::string* error = nullptr);
+
+  // Same, from journal text already in memory.
+  static std::optional<CampaignJournal> Parse(std::string_view text,
+                                              std::string* error = nullptr);
+
+  const JournalMetadata& metadata() const { return meta_; }
+  // Header field by key, or `def` when absent.
+  std::string Meta(const std::string& key, const std::string& def = "") const {
+    return MetaValue(meta_, key, def);
+  }
+  const std::vector<JournalRecord>& records() const { return records_; }
+
+  // --- writing --------------------------------------------------------------
+
+  // Creates (truncating) `path` and writes the header. The journal is then
+  // writable via Append().
+  bool Create(const std::string& path, JournalMetadata meta, std::string* error = nullptr);
+
+  // Reopens a loaded journal's file for appending (resume): loaded records
+  // stay readable as the replay prefix, new records land after them. A torn
+  // trailing record left by a kill is truncated away first, so the file
+  // stays parseable after the resumed run appends past it.
+  bool OpenAppend(const std::string& path, std::string* error = nullptr);
+
+  // Serializes and appends one record, flushing before returning so the
+  // record survives a subsequent kill. Requires Create()/OpenAppend().
+  bool Append(const JournalRecord& record);
+
+  bool writable() const { return out_ != nullptr; }
+
+ private:
+  JournalMetadata meta_;
+  std::vector<JournalRecord> records_;
+  // How many bytes of the loaded file were intact (through the last complete
+  // record); OpenAppend truncates to this before appending.
+  size_t intact_bytes_ = 0;
+  struct FileCloser {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+  std::unique_ptr<std::FILE, FileCloser> out_;
+};
+
+// Streams a journal's recorded scenarios back as campaign jobs (label, seed,
+// scenario -- results are NOT replayed; the jobs run live through whatever
+// runner the engine is given), so one campaign's journal can seed another
+// campaign or be split across processes. Open-loop: feedback is ignored.
+class JournalSource : public ScenarioSource {
+ public:
+  struct Options {
+    // Deal records round-robin across `shard_count` shards and stream only
+    // those belonging to `shard_index`. The default streams everything.
+    size_t shard_index = 0;
+    size_t shard_count = 1;
+    // Gated records never executed in the recording run; streaming them
+    // re-runs scenarios the original campaign skipped.
+    bool include_gated = false;
+  };
+
+  explicit JournalSource(const CampaignJournal& journal) : JournalSource(journal, Options()) {}
+  JournalSource(const CampaignJournal& journal, Options options);
+
+  std::vector<CampaignJob> NextBatch(size_t max_jobs) override;
+
+  size_t size() const { return jobs_.size(); }
+
+ private:
+  std::vector<CampaignJob> jobs_;
+  size_t next_ = 0;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_JOURNAL_H_

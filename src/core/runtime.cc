@@ -135,12 +135,10 @@ InjectionDecision Runtime::Dispatch(VirtualLibc* libc, const std::string& functi
     ++injections_;
     // Only now -- on an actual injection, the rare case -- does the record
     // pay for strings and the stack snapshot.
-    std::string fired_ids;
+    std::vector<std::string> fired_ids;
+    fired_ids.reserve(fired_scratch_.size());
     for (const TriggerInstance* fired : fired_scratch_) {
-      if (!fired_ids.empty()) {
-        fired_ids += ",";
-      }
-      fired_ids += fired->decl.id;
+      fired_ids.push_back(fired->decl.id);
     }
     InjectionRecord record;
     record.sequence = ++sequence_;

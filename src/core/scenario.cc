@@ -17,6 +17,16 @@ std::unique_ptr<XmlNode> CloneXml(const XmlNode& node) {
   return copy;
 }
 
+bool TriggerDecl::operator==(const TriggerDecl& o) const {
+  if (id != o.id || class_name != o.class_name) {
+    return false;
+  }
+  if ((args == nullptr) != (o.args == nullptr)) {
+    return false;
+  }
+  return args == nullptr || args->ToString() == o.args->ToString();
+}
+
 const TriggerDecl* Scenario::FindTrigger(const std::string& id) const {
   for (const auto& t : triggers_) {
     if (t.id == id) {
@@ -28,8 +38,17 @@ const TriggerDecl* Scenario::FindTrigger(const std::string& id) const {
 
 std::string Scenario::ToXml() const {
   XmlDocument doc("scenario");
+  WriteXmlInto(doc.root());
+  return doc.ToString();
+}
+
+void Scenario::AppendXml(XmlNode* parent) const {
+  WriteXmlInto(parent->AddChild("scenario"));
+}
+
+void Scenario::WriteXmlInto(XmlNode* root) const {
   for (const auto& t : triggers_) {
-    XmlNode* node = doc.root()->AddChild("trigger");
+    XmlNode* node = root->AddChild("trigger");
     node->SetAttr("id", t.id);
     node->SetAttr("class", t.class_name);
     if (t.args) {
@@ -37,7 +56,7 @@ std::string Scenario::ToXml() const {
     }
   }
   for (const auto& f : functions_) {
-    XmlNode* node = doc.root()->AddChild("function");
+    XmlNode* node = root->AddChild("function");
     node->SetAttr("name", f.function);
     if (f.argc > 0) {
       node->SetAttr("argc", StrFormat("%d", f.argc));
@@ -59,7 +78,6 @@ std::string Scenario::ToXml() const {
       }
     }
   }
-  return doc.ToString();
 }
 
 std::optional<Scenario> Scenario::Parse(const std::string& xml, std::string* error) {
@@ -80,9 +98,19 @@ std::optional<Scenario> Scenario::Parse(const std::string& xml, std::string* err
   if (root == nullptr || (root->name() != "scenario" && root->name() != "plan")) {
     return fail("scenario root element must be <scenario>");
   }
+  return FromNode(*root, error);
+}
+
+std::optional<Scenario> Scenario::FromNode(const XmlNode& node, std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<Scenario> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
 
   Scenario scenario;
-  for (const auto& child : root->children()) {
+  for (const auto& child : node.children()) {
     if (child->name() == "trigger") {
       TriggerDecl decl;
       decl.id = child->AttrOr("id", "");

@@ -32,11 +32,15 @@ struct TriggerDecl {
   std::string id;
   std::string class_name;
   std::shared_ptr<XmlNode> args;  // deep copy of the <args> element, if any
+
+  // Structural equality; <args> subtrees compare by serialized form.
+  bool operator==(const TriggerDecl& o) const;
 };
 
 struct TriggerRef {
   std::string ref;
   bool negate = false;
+  bool operator==(const TriggerRef& o) const = default;
 };
 
 struct FunctionAssoc {
@@ -46,6 +50,7 @@ struct FunctionAssoc {
   int64_t retval = 0;
   int errno_value = 0;     // 0 = leave errno untouched
   std::vector<TriggerRef> triggers;  // conjunction, evaluated in order
+  bool operator==(const FunctionAssoc& o) const = default;
 };
 
 class Scenario {
@@ -62,12 +67,25 @@ class Scenario {
   // Serializes to the XML description language.
   std::string ToXml() const;
 
+  // Serializes as a <scenario> child of `parent` (the embedded form campaign
+  // journal records use). ToXml() is this plus the document wrapper.
+  void AppendXml(XmlNode* parent) const;
+
   // Parses a scenario document (root element <scenario> or <plan>). Returns
   // nullopt and fills *error on malformed input, including references to
   // undeclared trigger ids.
   static std::optional<Scenario> Parse(const std::string& xml, std::string* error = nullptr);
 
+  // Parses from an already-parsed element (the inverse of AppendXml).
+  static std::optional<Scenario> FromNode(const XmlNode& node, std::string* error = nullptr);
+
+  bool operator==(const Scenario& o) const {
+    return triggers_ == o.triggers_ && functions_ == o.functions_;
+  }
+
  private:
+  void WriteXmlInto(XmlNode* root) const;
+
   std::vector<TriggerDecl> triggers_;
   std::vector<FunctionAssoc> functions_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/string_util.h"
+
 namespace lfi {
 
 void CoverageMap::EnsureBlock(BlockId id) {
@@ -107,6 +109,65 @@ std::map<std::string, uint64_t> CoverageMap::hits() const {
     }
   }
   return out;
+}
+
+void CoverageMap::AppendXml(XmlNode* parent) const {
+  // Name order, like every other string-facing surface of this class: block
+  // ids depend on process-wide interning order, serialized journals must not.
+  std::vector<std::pair<std::string, BlockId>> known;
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    if (blocks_[id].known) {
+      known.emplace_back(SymbolTable::Blocks().Name(id), id);
+    }
+  }
+  std::sort(known.begin(), known.end());
+  XmlNode* coverage = parent->AddChild("coverage");
+  for (const auto& [name, id] : known) {
+    XmlNode* block = coverage->AddChild("block");
+    block->SetAttr("id", name);
+    if (blocks_[id].recovery) {
+      block->SetAttr("recovery", "true");
+    }
+    block->SetAttr("lines", StrFormat("%d", blocks_[id].lines));
+    if (hits_[id] != 0) {
+      block->SetAttr("hits", StrFormat("%llu", static_cast<unsigned long long>(hits_[id])));
+    }
+  }
+}
+
+std::string CoverageMap::ToXml() const { return ToXmlElement(*this); }
+
+std::optional<CoverageMap> CoverageMap::FromNode(const XmlNode& node, std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CoverageMap> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  if (node.name() != "coverage") {
+    return fail("coverage element must be <coverage>");
+  }
+  CoverageMap map;
+  for (const XmlNode* block : node.Children("block")) {
+    std::string name = block->AttrOr("id", "");
+    if (name.empty()) {
+      return fail("<block> requires an id attribute");
+    }
+    bool recovery = block->AttrOr("recovery", "false") == "true";
+    int lines = static_cast<int>(block->IntAttr("lines").value_or(1));
+    BlockId id = InternBlock(name);
+    map.RegisterBlock(id, recovery, lines);
+    int64_t hit_count = block->IntAttr("hits").value_or(0);
+    if (hit_count > 0) {
+      map.EnsureBlock(id);
+      map.hits_[id] = static_cast<uint64_t>(hit_count);
+    }
+  }
+  return map;
+}
+
+std::optional<CoverageMap> CoverageMap::Parse(const std::string& xml, std::string* error) {
+  return ParseXmlElement<CoverageMap>(xml, error);
 }
 
 }  // namespace lfi

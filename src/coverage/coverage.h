@@ -33,11 +33,13 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/symbol_table.h"
+#include "xml/xml.h"
 
 namespace lfi {
 
@@ -104,6 +106,18 @@ class CoverageMap {
   // Name-keyed snapshot of the hit counters (sorted, so deterministic across
   // worker counts); materialized on demand -- the live counters are dense.
   std::map<std::string, uint64_t> hits() const;
+
+  // Serializes every known block (registration metadata + hit count) as a
+  // <coverage> child of `parent`, sorted by block name so output never
+  // depends on process-wide interning order. FromNode/Parse invert it:
+  // Absorb(Parse(ToXml(m))) is exactly Absorb(m), which is how campaign
+  // journal records carry a job's coverage delta.
+  void AppendXml(XmlNode* parent) const;
+  std::string ToXml() const;
+  static std::optional<CoverageMap> FromNode(const XmlNode& node,
+                                             std::string* error = nullptr);
+  static std::optional<CoverageMap> Parse(const std::string& xml,
+                                          std::string* error = nullptr);
 
  private:
   struct Block {

@@ -73,6 +73,14 @@ std::optional<int> ErrnoFromName(std::string_view name) {
       return v;
     }
   }
+  // Invert the "E<value>" fallback ErrnoName emits for unnamed errnos, and
+  // keep accepting bare decimal values.
+  if (!name.empty() && name[0] == 'E') {
+    auto fallback = ParseInt(name.substr(1));
+    if (fallback && *fallback >= 0 && *fallback < 4096) {
+      return static_cast<int>(*fallback);
+    }
+  }
   auto parsed = ParseInt(name);
   if (parsed && *parsed >= 0 && *parsed < 4096) {
     return static_cast<int>(*parsed);

@@ -21,6 +21,8 @@ struct StackFrame {
   std::string module;    // e.g. "mini-git"
   std::string function;  // symbol, e.g. "read_ref"
   uint32_t offset = 0;   // current call-site offset within the module binary
+
+  bool operator==(const StackFrame& o) const = default;
 };
 
 class CallStack {

@@ -97,7 +97,15 @@ std::string XmlEscape(std::string_view s) {
         out += "&apos;";
         break;
       default:
-        out.push_back(c);
+        // Control characters as numeric references: a raw newline inside an
+        // attribute would be whitespace-normalized by conforming parsers (and
+        // trimmed from text by ours), so journal/scenario round trips must
+        // never emit one literally.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("&#x%X;", static_cast<unsigned char>(c));
+        } else {
+          out.push_back(c);
+        }
     }
   }
   return out;

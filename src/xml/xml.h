@@ -94,6 +94,33 @@ std::unique_ptr<XmlDocument> XmlParse(std::string_view input, XmlError* error = 
 // Escapes text for use as XML character data / attribute values.
 std::string XmlEscape(std::string_view s);
 
+// Renders the single element `obj.AppendXml(parent)` emits, without the
+// document declaration: the standalone form of the embedded serialization
+// every journal-record artifact (Scenario, InjectionLog, CoverageMap, ...)
+// uses.
+template <typename T>
+std::string ToXmlElement(const T& obj) {
+  XmlDocument doc("wrapper");
+  obj.AppendXml(doc.root());
+  return doc.root()->children().front()->ToString();
+}
+
+// Parses `xml` and hands the root element to T::FromNode, turning parser
+// failures into the standard line-annotated error message.
+template <typename T>
+std::optional<T> ParseXmlElement(const std::string& xml, std::string* error = nullptr) {
+  XmlError xml_error;
+  auto doc = XmlParse(xml, &xml_error);
+  if (!doc || doc->root() == nullptr) {
+    if (error != nullptr) {
+      *error = "XML parse error at line " + std::to_string(xml_error.line) + ": " +
+               xml_error.message;
+    }
+    return std::nullopt;
+  }
+  return T::FromNode(*doc->root(), error);
+}
+
 }  // namespace lfi
 
 #endif  // LFI_XML_XML_H_

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/controller.h"
 #include "core/exploration.h"
 #include "core/injection_log.h"
+#include "core/journal.h"
 #include "core/stock_triggers.h"
 #include "util/errno_codes.h"
 #include "vlib/library_profiles.h"
@@ -146,9 +148,17 @@ TEST(Exploration, CoverageGuidedReproducibleAcrossWorkerCounts) {
   config.workers = 2;
   ExpectSameBugs(one.bugs, ExplorePbftCampaign(config).bugs);
   config.workers = 8;
+  // Journaling the run must not perturb it: same bugs, same coverage, one
+  // journal record per scheduled scenario (tests/journal_test.cc covers the
+  // resume/replay/shard workflows in depth).
+  config.journal_path = ::testing::TempDir() + "exploration_journaled.xml";
+  std::remove(config.journal_path.c_str());
   ExplorationResult eight = ExplorePbftCampaign(config);
   ExpectSameBugs(one.bugs, eight.bugs);
   EXPECT_EQ(one.coverage.hits(), eight.coverage.hits());
+  auto journal = CampaignJournal::Load(config.journal_path);
+  ASSERT_TRUE(journal.has_value());
+  EXPECT_EQ(journal->records().size(), eight.scenarios_run);
 }
 
 // --- the acceptance bar: coverage-guided >= exhaustive on pbft -------------
