@@ -1,0 +1,172 @@
+// Shard/merge scaling: what the multi-process campaign machinery costs.
+//
+// For each shard count the bench runs the same exploration spec as K
+// in-process shards through CampaignDriver (deal by scenario fingerprint,
+// one journal per shard, deterministic merge), times the end-to-end sharded
+// run and the merge step alone, and verifies the merged campaign is
+// bit-identical to the single-process baseline (bugs, coverage, journal
+// bytes). On a single-core container the sharded wall time is dominated by
+// the same scenario executions the baseline runs -- the interesting columns
+// are the merge cost (pure I/O + re-dedup fold, what the `lfi_tool merge`
+// parent pays) and the identical? check; on multi-machine deployments each
+// shard is what one worker machine runs.
+//
+//   bench_shard_merge [budget] [seed] [shard counts...] [--json [path]]
+//   (defaults: 24; 5; 2 4 8)
+//
+// Artifacts land in the working directory as BENCH_shard-*.xml.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/common/campaign_driver.h"
+#include "bench_args.h"
+#include "core/journal.h"
+#include "util/string_util.h"
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void RemoveArtifacts(const std::string& base, size_t shards) {
+  std::remove(base.c_str());
+  for (size_t i = 0; i < shards; ++i) {
+    std::remove((base + lfi::StrFormat(".shard%zu", i)).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lfi_bench::JsonArgs args = lfi_bench::ParseJsonArgs(argc, argv, "BENCH_shard.json");
+  size_t budget = 24;
+  uint64_t seed = 5;
+  std::vector<size_t> shard_counts;
+  for (size_t i = 0; i < args.positional.size(); ++i) {
+    long long value = std::atoll(args.positional[i]);
+    if (value <= 0) {
+      continue;
+    }
+    if (i == 0) {
+      budget = static_cast<size_t>(value);
+    } else if (i == 1) {
+      seed = static_cast<uint64_t>(value);
+    } else {
+      shard_counts.push_back(static_cast<size_t>(value));
+    }
+  }
+  if (shard_counts.empty()) {
+    shard_counts = {2, 4, 8};
+  }
+
+  lfi::CampaignSpec spec;
+  spec.system = "pbft";
+  spec.mode = lfi::CampaignMode::kExplore;
+  spec.strategy = lfi::ExploreStrategy::kRandom;
+  spec.budget = budget;
+  spec.seed = seed;
+
+  // Single-process baseline.
+  std::string single_path = "BENCH_shard-single.xml";
+  std::remove(single_path.c_str());
+  lfi::CampaignSpec single = spec;
+  single.journal_path = single_path;
+  std::string error;
+  auto start = std::chrono::steady_clock::now();
+  auto baseline = lfi::CampaignDriver(single).Run(&error);
+  double single_ms = MsSince(start);
+  if (!baseline) {
+    std::fprintf(stderr, "baseline failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::string single_bytes = ReadFile(single_path);
+
+  std::printf("shard/merge scaling: pbft random explore, budget %zu, seed %llu\n\n", budget,
+              (unsigned long long)seed);
+  std::printf("%-8s %-12s %-12s %-10s %-6s %s\n", "shards", "total ms", "merge ms", "bugs",
+              "scen", "identical?");
+  std::printf("%-8d %-12.1f %-12s %-10zu %-6zu %s\n", 1, single_ms, "-",
+              baseline->bugs.size(), baseline->scenarios_run, "(baseline)");
+
+  std::string rows_json;
+  bool all_identical = true;
+  for (size_t shards : shard_counts) {
+    std::string merged_path = lfi::StrFormat("BENCH_shard-%zu.xml", shards);
+    RemoveArtifacts(merged_path, shards);
+    lfi::CampaignSpec sharded = spec;
+    sharded.journal_path = merged_path;
+    sharded.shard_count = shards;
+
+    start = std::chrono::steady_clock::now();
+    // In-process shards (no fork): the bench measures the machinery, not
+    // process startup. The child runs execute sequentially, so total ms is
+    // comparable to the baseline plus the dealing + journaling + merge cost.
+    auto outcome = lfi::CampaignDriver(sharded).Run(&error);
+    double total_ms = MsSince(start);
+    if (!outcome) {
+      std::fprintf(stderr, "sharded run (%zu) failed: %s\n", shards, error.c_str());
+      return 1;
+    }
+
+    // Merge alone, re-run against the shard artifacts.
+    std::vector<std::string> inputs;
+    for (const lfi::MergeInputStats& shard : outcome->shards) {
+      inputs.push_back(shard.path);
+    }
+    std::string remerged_path = merged_path + ".remerged";
+    std::remove(remerged_path.c_str());
+    start = std::chrono::steady_clock::now();
+    auto remerged = lfi::MergeJournals(inputs, remerged_path, &error);
+    double merge_ms = MsSince(start);
+    if (!remerged) {
+      std::fprintf(stderr, "re-merge (%zu) failed: %s\n", shards, error.c_str());
+      return 1;
+    }
+    std::remove(remerged_path.c_str());
+
+    bool identical = outcome->bugs == baseline->bugs &&
+                     outcome->coverage.hits() == baseline->coverage.hits() &&
+                     outcome->scenarios_run == baseline->scenarios_run &&
+                     ReadFile(merged_path) == single_bytes;
+    all_identical &= identical;
+    std::printf("%-8zu %-12.1f %-12.1f %-10zu %-6zu %s\n", shards, total_ms, merge_ms,
+                outcome->bugs.size(), outcome->scenarios_run, identical ? "yes" : "NO");
+    if (!rows_json.empty()) {
+      rows_json += ",";
+    }
+    rows_json += lfi::StrFormat(
+        "{\"shards\":%zu,\"total_ms\":%.1f,\"merge_ms\":%.1f,\"bugs\":%zu,"
+        "\"scenarios\":%zu,\"identical\":%s}",
+        shards, total_ms, merge_ms, outcome->bugs.size(), outcome->scenarios_run,
+        identical ? "true" : "false");
+  }
+
+  if (args.enabled) {
+    std::ofstream out(args.path);
+    out << lfi::StrFormat(
+        "{\"bench\":\"shard_merge\",\"budget\":%zu,\"seed\":%llu,"
+        "\"single_ms\":%.1f,\"runs\":[%s]}\n",
+        budget, (unsigned long long)seed, single_ms, rows_json.c_str());
+    std::printf("\nwrote %s\n", args.path.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: a sharded campaign diverged from the baseline\n");
+    return 1;
+  }
+  return 0;
+}

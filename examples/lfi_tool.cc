@@ -8,36 +8,44 @@
 //   lfi_tool analyze <app.self> <library.self> [function]
 //                                            call-site report + generated
 //                                            injection scenarios (C_not)
+//
+// Every campaign-shaped subcommand below is one CampaignSpec handed to one
+// CampaignDriver (src/apps/common); the tool only parses options and prints
+// the CampaignOutcome.
+//
 //   lfi_tool campaign {git|mysql|bind|pbft|all} [workers]
-//       [--workers W] [--journal PATH] [--json]
-//                                            run the §7.1 bug campaign on the
-//                                            parallel engine; workers <= 0
-//                                            means one per hardware thread
+//       [--workers W] [--exhaustive] [--journal PATH] [--json]
+//                                            the §7.1 bug campaign
 //   lfi_tool explore {git|mysql|bind|pbft}
 //       [--strategy exhaustive|random|coverage] [--budget N] [--seed S]
-//       [--workers W] [--journal PATH] [--json]
-//                                            feedback-driven scenario
-//                                            exploration. Same seed+strategy+
-//                                            budget is bit-identical at any
-//                                            worker count; --journal persists
-//                                            every merged scenario/log/bug/
-//                                            coverage record to disk.
+//       [--workers W] [--journal PATH] [--shard I/N] [--json]
+//                                            feedback-driven exploration;
+//                                            --shard runs one dealt shard of
+//                                            the stream (manual multi-machine
+//                                            sharding)
+//   lfi_tool shard {git|mysql|bind|pbft} --shards N --journal PATH
+//       [--strategy exhaustive|random] [--budget N] [--seed S] [--workers W]
+//       [--json]                             multi-process campaign: spawns N
+//                                            child lfi_tool processes, one
+//                                            per shard, then merges their
+//                                            journals into PATH
+//   lfi_tool merge <out.xml> <in.xml...> [--json]
+//                                            merge shard journals into one
+//                                            resumable campaign journal
 //   lfi_tool resume <journal> [--workers W] [--json]
 //                                            continue a killed journaled
-//                                            campaign: replays the journal
-//                                            through the engine and finishes
-//                                            bit-identical to an
-//                                            uninterrupted run
+//                                            campaign bit-identically
 //   lfi_tool replay <journal> [record[:injection]] [--json]
 //                                            re-inject a journaled injection
-//                                            from disk alone (deterministic
-//                                            call-count replay) and check it
+//                                            from disk alone and check it
 //                                            reproduces the recorded crash
-//                                            site
+//   lfi_tool journal info <path> [--json]    inspect a journal artifact
+//   lfi_tool run-spec <spec.xml>             run a serialized CampaignSpec
+//                                            (the shard orchestrator's
+//                                            parent->child wire format)
 
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
 #include <fstream>
 #include <set>
 #include <string>
@@ -46,6 +54,8 @@
 #include "analysis/callsite_analyzer.h"
 #include "apps/bind/bind.h"
 #include "apps/common/bug_campaign.h"
+#include "apps/common/campaign_driver.h"
+#include "apps/common/campaign_spec.h"
 #include "apps/git/git.h"
 #include "apps/httpd/httpd.h"
 #include "apps/mysql/mysql.h"
@@ -92,27 +102,35 @@ int Usage() {
                "  lfi_tool profile <library.self>\n"
                "  lfi_tool analyze <app.self> <library.self> [function]\n"
                "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--workers W]\n"
-               "                    [--journal PATH] [--json]\n"
+               "                    [--exhaustive] [--journal PATH] [--json]\n"
                "  lfi_tool explore {git|mysql|bind|pbft} [--strategy "
                "exhaustive|random|coverage]\n"
                "                   [--budget N] [--seed S] [--workers W] [--journal PATH]\n"
-               "                   [--json]\n"
+               "                   [--shard I/N] [--json]\n"
+               "  lfi_tool shard {git|mysql|bind|pbft} --shards N --journal PATH\n"
+               "                 [--strategy exhaustive|random] [--budget N] [--seed S]\n"
+               "                 [--workers W] [--json]\n"
+               "  lfi_tool merge <out.xml> <in.xml...> [--json]\n"
                "  lfi_tool resume <journal> [--workers W] [--json]\n"
-               "  lfi_tool replay <journal> [record[:injection]] [--json]\n");
+               "  lfi_tool replay <journal> [record[:injection]] [--json]\n"
+               "  lfi_tool journal info <path> [--json]\n"
+               "  lfi_tool run-spec <spec.xml>\n");
   return 2;
 }
 
-// Options shared by the campaign-shaped subcommands (campaign, explore,
-// resume, replay), parsed by the one parser so every subcommand accepts the
-// same spellings -- including --json -- and rejects unknown options the same
-// way. A bare integer is accepted as the worker count (the historical
-// `campaign <system> <workers>` form).
+// Options shared by the campaign-shaped subcommands, parsed by the one
+// parser so every subcommand accepts the same spellings -- including --json
+// -- and rejects unknown options the same way. A bare integer is accepted as
+// the worker count (the historical `campaign <system> <workers>` form).
 struct ToolOptions {
   int workers = 1;
   lfi::ExploreStrategy strategy = lfi::ExploreStrategy::kExhaustive;
   size_t budget = 0;
   uint64_t seed = 1;
+  bool exhaustive = false;
   std::string journal;
+  size_t shard_index = lfi::CampaignSpec::kNoShard;  // --shard I/N
+  size_t shard_count = 1;                            // --shard I/N or --shards N
   size_t abort_after = 0;  // undocumented test hook (CI kill-and-resume)
   bool json = false;
 };
@@ -130,6 +148,8 @@ bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOp
     };
     if (args[i] == "--json") {
       out->json = true;
+    } else if (args[i] == "--exhaustive") {
+      out->exhaustive = true;
     } else if (args[i] == "--strategy") {
       const std::string* v = value("--strategy");
       if (v == nullptr) {
@@ -180,6 +200,31 @@ bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOp
         return false;
       }
       out->journal = *v;
+    } else if (args[i] == "--shards") {
+      const std::string* v = value("--shards");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 1) {
+        std::fprintf(stderr, "bad --shards value '%s'\n", v->c_str());
+        return false;
+      }
+      out->shard_count = static_cast<size_t>(*parsed);
+    } else if (args[i] == "--shard") {
+      const std::string* v = value("--shard");
+      if (v == nullptr) {
+        return false;
+      }
+      std::vector<std::string> parts = lfi::Split(*v, '/');
+      auto index = parts.size() == 2 ? lfi::ParseInt(parts[0]) : std::nullopt;
+      auto count = parts.size() == 2 ? lfi::ParseInt(parts[1]) : std::nullopt;
+      if (!index || !count || *index < 0 || *count < 1 || *index >= *count) {
+        std::fprintf(stderr, "bad --shard value '%s' (want I/N with I < N)\n", v->c_str());
+        return false;
+      }
+      out->shard_index = static_cast<size_t>(*index);
+      out->shard_count = static_cast<size_t>(*count);
     } else if (args[i] == "--abort-after") {
       const std::string* v = value("--abort-after");
       if (v == nullptr) {
@@ -200,6 +245,26 @@ bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOp
   }
   return true;
 }
+
+lfi::CampaignSpec SpecFromOptions(lfi::CampaignMode mode, const std::string& system,
+                                  const ToolOptions& options) {
+  lfi::CampaignSpec spec;
+  spec.system = system;
+  spec.mode = mode;
+  spec.strategy = options.strategy;
+  spec.exhaustive = options.exhaustive;
+  spec.budget = options.budget;
+  spec.seed = options.seed;
+  spec.workers = options.workers;
+  spec.journal_path = options.journal;
+  spec.shard_index = options.shard_index;
+  spec.shard_count = options.shard_count;
+  spec.json = options.json;
+  spec.abort_after_records = options.abort_after;
+  return spec;
+}
+
+// --- outcome printing -------------------------------------------------------
 
 // Machine-readable FoundBug records, one JSON object per bug.
 std::string BugsJson(const std::vector<lfi::FoundBug>& bugs) {
@@ -235,241 +300,248 @@ std::string CoverageJson(const lfi::CoverageMap& coverage) {
       stats.covered_blocks, stats.covered_lines);
 }
 
-int RunCampaignCommand(const std::string& system, const ToolOptions& options) {
-  lfi::CampaignConfig config;
-  config.workers = options.workers;
-  config.journal_path = options.journal;
-  config.abort_after_records = options.abort_after;
-  if (system == "all" && !options.journal.empty()) {
-    std::fprintf(stderr,
-                 "campaign all cannot be journaled (four engines, no single job stream); "
-                 "journal one system at a time\n");
-    return 2;
-  }
-  std::vector<lfi::FoundBug> bugs;
-  try {
-    if (system == "git") {
-      bugs = lfi::RunGitCampaign(config);
-    } else if (system == "mysql") {
-      bugs = lfi::RunMysqlCampaign(config);
-    } else if (system == "bind") {
-      bugs = lfi::RunBindCampaign(config);
-    } else if (system == "pbft") {
-      bugs = lfi::RunPbftCampaign(config);
-    } else if (system == "all") {
-      bugs = lfi::RunFullCampaign(config);
-    } else {
-      return Usage();
+std::string ShardsJson(const std::vector<lfi::MergeInputStats>& shards) {
+  std::string out = "[";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) {
+      out += ",";
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "campaign failed: %s\n", e.what());
-    return 1;
+    out += lfi::StrFormat(
+        "{\"shard\":%lld,\"journal\":\"%s\",\"records\":%zu,"
+        "\"scenarios_run\":%zu,\"bugs\":%zu}",
+        shards[i].shard_index == static_cast<size_t>(-1)
+            ? -1LL
+            : static_cast<long long>(shards[i].shard_index),
+        lfi::JsonEscape(shards[i].path).c_str(), shards[i].records, shards[i].scenarios_run,
+        shards[i].bugs);
   }
-  if (options.json) {
-    std::printf("{\"command\":\"campaign\",\"system\":\"%s\",\"bugs\":%s,\"count\":%zu}\n",
-                lfi::JsonEscape(system).c_str(), BugsJson(bugs).c_str(), bugs.size());
-  } else {
-    PrintBugTable(bugs);
-  }
-  return 0;
+  out += "]";
+  return out;
 }
 
-void PrintExplorationResult(const char* command, const std::string& system,
-                            const char* strategy, size_t budget, uint64_t seed,
-                            const lfi::ExplorationResult& result, bool json) {
-  lfi::CoverageMap::Stats stats = result.coverage.ComputeStats();
+void PrintShardTable(const std::vector<lfi::MergeInputStats>& shards) {
+  for (const lfi::MergeInputStats& shard : shards) {
+    std::printf("shard %s: %zu record(s), %zu scenario(s) run, %zu bug(s)  [%s]\n",
+                shard.shard_index == static_cast<size_t>(-1)
+                    ? "?"
+                    : lfi::StrFormat("%zu", shard.shard_index).c_str(),
+                shard.records, shard.scenarios_run, shard.bugs, shard.path.c_str());
+  }
+}
+
+void PrintExplorationSummary(const char* command, const std::string& system,
+                             const char* strategy, size_t budget, uint64_t seed,
+                             const lfi::CampaignOutcome& outcome, bool json) {
+  lfi::CoverageMap::Stats stats = outcome.coverage.ComputeStats();
   if (json) {
+    std::string extra;
+    if (!outcome.shards.empty()) {
+      extra = lfi::StrFormat(",\"journal\":\"%s\",\"shards\":%s",
+                             lfi::JsonEscape(outcome.journal_path).c_str(),
+                             ShardsJson(outcome.shards).c_str());
+    }
     std::printf(
         "{\"command\":\"%s\",\"system\":\"%s\",\"strategy\":\"%s\","
         "\"budget\":%zu,\"seed\":%llu,\"scenarios_run\":%zu,"
-        "\"coverage\":%s,\"bugs\":%s,\"count\":%zu}\n",
-        command, lfi::JsonEscape(system).c_str(), strategy, budget,
-        (unsigned long long)seed, result.scenarios_run, CoverageJson(result.coverage).c_str(),
-        BugsJson(result.bugs).c_str(), result.bugs.size());
+        "\"coverage\":%s,\"bugs\":%s,\"count\":%zu%s}\n",
+        command, lfi::JsonEscape(system).c_str(), strategy, budget, (unsigned long long)seed,
+        outcome.scenarios_run, CoverageJson(outcome.coverage).c_str(),
+        BugsJson(outcome.bugs).c_str(), outcome.bugs.size(), extra.c_str());
   } else {
+    if (!outcome.shards.empty()) {
+      PrintShardTable(outcome.shards);
+      std::printf("merged journal: %s\n", outcome.journal_path.c_str());
+    }
     std::printf("strategy %s, %zu scenario(s) run (budget %zu, seed %llu)\n", strategy,
-                result.scenarios_run, budget, (unsigned long long)seed);
+                outcome.scenarios_run, budget, (unsigned long long)seed);
     std::printf("recovery blocks covered: %zu/%zu   blocks covered: %zu/%zu\n",
                 stats.covered_recovery_blocks, stats.recovery_blocks, stats.covered_blocks,
                 stats.total_blocks);
-    PrintBugTable(result.bugs);
+    PrintBugTable(outcome.bugs);
   }
 }
 
-int RunExploreCommand(const std::string& system, const ToolOptions& options) {
-  lfi::ExploreConfig config;
-  config.workers = options.workers;
-  config.strategy = options.strategy;
-  config.budget = options.budget;
-  config.seed = options.seed;
-  config.journal_path = options.journal;
-  config.abort_after_records = options.abort_after;
-  std::optional<lfi::ExplorationResult> result;
-  try {
-    result = lfi::ExploreCampaign(system, config);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "explore failed: %s\n", e.what());
-    return 1;
+int PrintReplayOutcome(const lfi::CampaignOutcome& outcome, bool json) {
+  std::string system = lfi::MetaValue(outcome.metadata, "system", "");
+  std::string replays_json = "[";
+  for (size_t i = 0; i < outcome.replays.size(); ++i) {
+    const lfi::ReplayOutcome& replay = outcome.replays[i];
+    if (json) {
+      if (i > 0) {
+        replays_json += ",";
+      }
+      replays_json += lfi::StrFormat(
+          "{\"record\":%zu,\"injection\":%zu,\"function\":\"%s\",\"call\":%llu,"
+          "\"crashed\":%s,\"where\":\"%s\",\"reproduced\":%s}",
+          replay.record, replay.injection, lfi::JsonEscape(replay.function).c_str(),
+          static_cast<unsigned long long>(replay.call_number),
+          replay.crashed ? "true" : "false", lfi::JsonEscape(replay.where).c_str(),
+          replay.informational ? "null" : (replay.reproduced ? "true" : "false"));
+    } else {
+      std::printf("record %zu injection %zu: %s call %llu -> %s%s\n", replay.record,
+                  replay.injection, replay.function.c_str(),
+                  static_cast<unsigned long long>(replay.call_number),
+                  replay.crashed ? ("crash at " + replay.where).c_str() : "no crash",
+                  !replay.informational
+                      ? (replay.reproduced ? " [reproduced]" : " [MISMATCH]")
+                  : replay.distributed && replay.recorded_bug
+                      ? " [distributed record: informational]"
+                      : "");
+    }
   }
-  if (!result) {
+  replays_json += "]";
+  if (json) {
+    std::printf(
+        "{\"command\":\"replay\",\"system\":\"%s\",\"replays\":%s,"
+        "\"expected\":%zu,\"reproduced\":%zu}\n",
+        lfi::JsonEscape(system).c_str(), replays_json.c_str(), outcome.replays_expected,
+        outcome.replays_reproduced);
+  } else {
+    std::printf("%zu/%zu recorded crash site(s) reproduced from disk\n",
+                outcome.replays_reproduced, outcome.replays_expected);
+  }
+  return outcome.ok ? 0 : 1;
+}
+
+// Runs a spec through the driver and prints its outcome in the shape the
+// subcommand historically used. `command` names the subcommand in JSON
+// output ("campaign", "explore", "shard", "resume", "replay").
+int RunSpec(const char* command, lfi::CampaignSpec spec, const std::string& tool_path) {
+  bool json = spec.json;
+  lfi::CampaignDriver driver(std::move(spec));
+  driver.set_tool_path(tool_path);
+  std::string error;
+  auto outcome = driver.Run(&error);
+  if (!outcome) {
+    std::fprintf(stderr, "%s failed: %s\n", command, error.c_str());
+    return driver.spec().Validate().empty() ? 1 : 2;
+  }
+  switch (driver.spec().mode) {
+    case lfi::CampaignMode::kTable1:
+      if (json) {
+        std::printf("{\"command\":\"%s\",\"system\":\"%s\",\"bugs\":%s,\"count\":%zu}\n",
+                    command, lfi::JsonEscape(driver.spec().system).c_str(),
+                    BugsJson(outcome->bugs).c_str(), outcome->bugs.size());
+      } else {
+        PrintBugTable(outcome->bugs);
+      }
+      return 0;
+    case lfi::CampaignMode::kExplore:
+      PrintExplorationSummary(command, driver.spec().system,
+                              lfi::ExploreStrategyName(driver.spec().strategy),
+                              driver.spec().budget, driver.spec().seed, *outcome, json);
+      return 0;
+    case lfi::CampaignMode::kResume: {
+      // The campaign identity comes from the journal header (that is the
+      // point of resume); "campaign" doubles as the strategy name for
+      // table1-mode journals, as it always has.
+      const lfi::JournalMetadata& meta = outcome->metadata;
+      std::string strategy =
+          lfi::MetaValue(meta, "strategy", lfi::MetaValue(meta, "command", "campaign"));
+      size_t budget = static_cast<size_t>(
+          std::strtoull(lfi::MetaValue(meta, "budget", "0").c_str(), nullptr, 0));
+      uint64_t seed = std::strtoull(lfi::MetaValue(meta, "seed", "0").c_str(), nullptr, 0);
+      PrintExplorationSummary(command, lfi::MetaValue(meta, "system", "?"), strategy.c_str(),
+                              budget, seed, *outcome, json);
+      return 0;
+    }
+    case lfi::CampaignMode::kReplay:
+      return PrintReplayOutcome(*outcome, json);
+  }
+  return 0;
+}
+
+int RunMergeCommand(const std::vector<std::string>& args, size_t start) {
+  std::vector<std::string> inputs;
+  ToolOptions options;
+  size_t i = start + 1;
+  for (; i < args.size() && !lfi::StartsWith(args[i], "--"); ++i) {
+    inputs.push_back(args[i]);
+  }
+  if (!ParseToolOptions(args, i, &options)) {
     return Usage();
   }
-  PrintExplorationResult("explore", system, lfi::ExploreStrategyName(config.strategy),
-                         config.budget, config.seed, *result, options.json);
-  return 0;
-}
-
-int RunResumeCommand(const std::string& path, const ToolOptions& options) {
+  if (inputs.empty()) {
+    std::fprintf(stderr, "merge needs at least one input journal\n");
+    return Usage();
+  }
   std::string error;
-  lfi::JournalMetadata metadata;
-  std::optional<lfi::ExplorationResult> result =
-      lfi::ResumeCampaign(path, options.workers, &error, &metadata);
-  if (!result) {
-    std::fprintf(stderr, "resume failed: %s\n", error.c_str());
+  auto outcome = lfi::MergeCampaignJournals(inputs, args[start], &error);
+  if (!outcome) {
+    std::fprintf(stderr, "merge failed: %s\n", error.c_str());
     return 1;
   }
-  std::string strategy =
-      lfi::MetaValue(metadata, "strategy", lfi::MetaValue(metadata, "command", "campaign"));
-  size_t budget =
-      std::strtoull(lfi::MetaValue(metadata, "budget", "0").c_str(), nullptr, 0);
-  uint64_t seed = std::strtoull(lfi::MetaValue(metadata, "seed", "0").c_str(), nullptr, 0);
-  PrintExplorationResult("resume", lfi::MetaValue(metadata, "system", "?"), strategy.c_str(),
-                         budget, seed, *result, options.json);
+  std::string strategy = lfi::MetaValue(
+      outcome->metadata, "strategy", lfi::MetaValue(outcome->metadata, "command", "campaign"));
+  size_t budget = static_cast<size_t>(
+      std::strtoull(lfi::MetaValue(outcome->metadata, "budget", "0").c_str(), nullptr, 0));
+  uint64_t seed =
+      std::strtoull(lfi::MetaValue(outcome->metadata, "seed", "0").c_str(), nullptr, 0);
+  PrintExplorationSummary("merge", lfi::MetaValue(outcome->metadata, "system", "?"),
+                          strategy.c_str(), budget, seed, *outcome, options.json);
   return 0;
 }
 
-int RunReplayCommand(const std::string& path, const std::string& selector,
-                     const ToolOptions& options) {
+int RunJournalInfoCommand(const std::string& path, const ToolOptions& options) {
   std::string error;
   auto journal = lfi::CampaignJournal::Load(path, &error);
   if (!journal) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  std::string system = journal->Meta("system", "");
-  bool explore_workload = journal->Meta("command", "explore") != "campaign";
-  lfi::CampaignEngine::ResultRunner runner = lfi::SystemJobRunner(system, explore_workload);
-  if (!runner) {
-    std::fprintf(stderr, "journal names unknown system '%s'\n", system.c_str());
-    return 1;
+  size_t gated = 0;
+  size_t injections = 0;
+  std::set<lfi::FoundBug> bugs;
+  lfi::CoverageMap coverage;
+  for (const lfi::JournalRecord& record : journal->records()) {
+    if (record.gated) {
+      ++gated;
+      continue;
+    }
+    injections += record.result.injections;
+    bugs.insert(record.result.bugs.begin(), record.result.bugs.end());
+    coverage.Absorb(record.result.coverage);
   }
-
-  // Which journaled injections to replay: every record that injected, or
-  // the one the selector picks ("record" or "record:injection").
-  struct Target {
-    size_t record;
-    size_t injection;
-  };
-  std::vector<Target> targets;
-  const std::vector<lfi::JournalRecord>& records = journal->records();
-  if (!selector.empty()) {
-    std::vector<std::string> parts = lfi::Split(selector, ':');
-    auto record = lfi::ParseInt(parts[0]);
-    if (!record || parts.size() > 2 || *record < 0 ||
-        static_cast<size_t>(*record) >= records.size()) {
-      std::fprintf(stderr, "bad record selector '%s' (journal has %zu records)\n",
-                   selector.c_str(), records.size());
-      return 1;
-    }
-    const lfi::InjectionLog& log = records[*record].result.log;
-    if (log.empty()) {
-      std::fprintf(stderr, "record %lld injected nothing; nothing to replay\n",
-                   static_cast<long long>(*record));
-      return 1;
-    }
-    size_t injection = log.size() - 1;
-    if (parts.size() == 2) {
-      auto parsed = lfi::ParseInt(parts[1]);
-      if (!parsed || *parsed < 0 || static_cast<size_t>(*parsed) >= log.size()) {
-        std::fprintf(stderr, "record %lld has %zu injection(s)\n",
-                     static_cast<long long>(*record), log.size());
-        return 1;
-      }
-      injection = static_cast<size_t>(*parsed);
-    }
-    targets.push_back({static_cast<size_t>(*record), injection});
-  } else {
-    for (size_t i = 0; i < records.size(); ++i) {
-      if (!records[i].result.log.empty()) {
-        // The last injection is the one the run died on (when it died).
-        targets.push_back({i, records[i].result.log.size() - 1});
-      }
-    }
-  }
-
-  size_t expected = 0;
-  size_t matched = 0;
-  std::string replays_json = "[";
-  for (size_t t = 0; t < targets.size(); ++t) {
-    const lfi::JournalRecord& record = records[targets[t].record];
-    const lfi::InjectionRecord& injection = record.result.log.records()[targets[t].injection];
-    lfi::CampaignJob job;
-    job.scenario = record.result.log.ReplayScenario(targets[t].injection);
-    job.label = lfi::StrFormat("replay %zu:%zu of %s", targets[t].record,
-                               targets[t].injection, path.c_str());
-    job.seed = record.seed;
-    lfi::JobResult replayed = runner(job);
-
-    // A record that exposed bugs must reproduce at least one of its crash
-    // sites from disk alone; injection-only records just report what ran.
-    // Records whose log spans several processes (the distributed pbft fuzz
-    // phase interposes every replica) cannot be reproduced faithfully by
-    // the single-process replay harness -- the call-count trigger would
-    // land on the wrong replica's Nth call -- so they are informational.
-    std::set<std::string> processes;
-    for (const lfi::InjectionRecord& logged : record.result.log.records()) {
-      processes.insert(logged.process);
-    }
-    bool single_process = processes.size() <= 1;
-    bool has_expectation = !record.result.bugs.empty() && single_process;
-    bool match = false;
-    for (const lfi::FoundBug& want : record.result.bugs) {
-      for (const lfi::FoundBug& got : replayed.bugs) {
-        match |= want.system == got.system && want.kind == got.kind && want.where == got.where;
-      }
-    }
-    expected += has_expectation ? 1 : 0;
-    matched += (has_expectation && match) ? 1 : 0;
-
-    std::string where = replayed.bugs.empty() ? "" : replayed.bugs.front().where;
-    if (options.json) {
-      if (t > 0) {
-        replays_json += ",";
-      }
-      replays_json += lfi::StrFormat(
-          "{\"record\":%zu,\"injection\":%zu,\"function\":\"%s\",\"call\":%llu,"
-          "\"crashed\":%s,\"where\":\"%s\",\"reproduced\":%s}",
-          targets[t].record, targets[t].injection, lfi::JsonEscape(injection.function).c_str(),
-          static_cast<unsigned long long>(injection.call_number),
-          replayed.bugs.empty() ? "false" : "true", lfi::JsonEscape(where).c_str(),
-          has_expectation ? (match ? "true" : "false") : "null");
-    } else {
-      std::printf("record %zu injection %zu: %s call %llu -> %s%s\n", targets[t].record,
-                  targets[t].injection, injection.function.c_str(),
-                  static_cast<unsigned long long>(injection.call_number),
-                  replayed.bugs.empty() ? "no crash" : ("crash at " + where).c_str(),
-                  has_expectation ? (match ? " [reproduced]" : " [MISMATCH]")
-                  : !single_process && !record.result.bugs.empty()
-                      ? " [distributed record: informational]"
-                      : "");
-    }
-  }
-  replays_json += "]";
+  std::vector<lfi::FoundBug> sorted(bugs.begin(), bugs.end());
   if (options.json) {
+    std::string meta_json = "{";
+    for (size_t i = 0; i < journal->metadata().size(); ++i) {
+      if (i > 0) {
+        meta_json += ",";
+      }
+      meta_json += lfi::StrFormat("\"%s\":\"%s\"",
+                                  lfi::JsonEscape(journal->metadata()[i].first).c_str(),
+                                  lfi::JsonEscape(journal->metadata()[i].second).c_str());
+    }
+    meta_json += "}";
     std::printf(
-        "{\"command\":\"replay\",\"system\":\"%s\",\"replays\":%s,"
-        "\"expected\":%zu,\"reproduced\":%zu}\n",
-        lfi::JsonEscape(system).c_str(), replays_json.c_str(), expected, matched);
+        "{\"command\":\"journal-info\",\"path\":\"%s\",\"meta\":%s,"
+        "\"records\":%zu,\"gated\":%zu,\"scenarios_run\":%zu,\"injections\":%zu,"
+        "\"coverage\":%s,\"bugs\":%s,\"count\":%zu}\n",
+        lfi::JsonEscape(path).c_str(), meta_json.c_str(), journal->records().size(), gated,
+        journal->records().size() - gated, injections, CoverageJson(coverage).c_str(),
+        BugsJson(sorted).c_str(), sorted.size());
   } else {
-    std::printf("%zu/%zu recorded crash site(s) reproduced from disk\n", matched, expected);
+    std::printf("journal %s\n", path.c_str());
+    for (const auto& [key, value] : journal->metadata()) {
+      std::printf("  %-12s %s\n", key.c_str(), value.c_str());
+    }
+    lfi::CoverageMap::Stats stats = coverage.ComputeStats();
+    std::printf("%zu record(s) (%zu gated), %zu injection(s)\n", journal->records().size(),
+                gated, injections);
+    std::printf("recovery blocks covered: %zu/%zu   blocks covered: %zu/%zu\n",
+                stats.covered_recovery_blocks, stats.recovery_blocks, stats.covered_blocks,
+                stats.total_blocks);
+    PrintBugTable(sorted);
   }
-  return matched == expected ? 0 : 1;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   lfi::EnsureStockTriggersRegistered();
+  std::string tool_path = argv[0] != nullptr ? argv[0] : "";
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) {
     return Usage();
@@ -555,26 +627,39 @@ int main(int argc, char** argv) {
     std::printf("%s", scenarios.unchecked.ToXml().c_str());
     return 0;
   }
-  if (cmd == "campaign" && args.size() >= 2) {
+
+  // --- campaign-shaped subcommands: spec parsing + one driver call ----------
+
+  if ((cmd == "campaign" || cmd == "explore" || cmd == "shard") && args.size() >= 2) {
     ToolOptions options;
     if (!ParseToolOptions(args, 2, &options)) {
       return Usage();
     }
-    return RunCampaignCommand(args[1], options);
-  }
-  if (cmd == "explore" && args.size() >= 2) {
-    ToolOptions options;
-    if (!ParseToolOptions(args, 2, &options)) {
+    lfi::CampaignMode mode =
+        cmd == "campaign" ? lfi::CampaignMode::kTable1 : lfi::CampaignMode::kExplore;
+    lfi::CampaignSpec spec = SpecFromOptions(mode, args[1], options);
+    if (cmd == "shard" && spec.shard_index != lfi::CampaignSpec::kNoShard) {
+      // Accepting --shard here would silently run one shard's fraction of
+      // the campaign into the merged-journal path and exit 0.
+      std::fprintf(stderr,
+                   "shard orchestrates every shard; use --shards N (run a single shard "
+                   "by hand with `explore --shard I/N`)\n");
       return Usage();
     }
-    return RunExploreCommand(args[1], options);
+    if (cmd == "shard" && spec.shard_count < 2) {
+      std::fprintf(stderr, "shard needs --shards N (N >= 2)\n");
+      return Usage();
+    }
+    return RunSpec(cmd.c_str(), std::move(spec), tool_path);
   }
   if (cmd == "resume" && args.size() >= 2) {
     ToolOptions options;
     if (!ParseToolOptions(args, 2, &options)) {
       return Usage();
     }
-    return RunResumeCommand(args[1], options);
+    lfi::CampaignSpec spec = SpecFromOptions(lfi::CampaignMode::kResume, "", options);
+    spec.journal_path = args[1];
+    return RunSpec("resume", std::move(spec), tool_path);
   }
   if (cmd == "replay" && args.size() >= 2) {
     // The optional positional selector must precede any options.
@@ -588,7 +673,35 @@ int main(int argc, char** argv) {
     if (!ParseToolOptions(args, start, &options)) {
       return Usage();
     }
-    return RunReplayCommand(args[1], selector, options);
+    lfi::CampaignSpec spec = SpecFromOptions(lfi::CampaignMode::kReplay, "", options);
+    spec.journal_path = args[1];
+    spec.replay_selector = selector;
+    return RunSpec("replay", std::move(spec), tool_path);
+  }
+  if (cmd == "merge" && args.size() >= 3) {
+    return RunMergeCommand(args, 1);
+  }
+  if (cmd == "journal" && args.size() >= 3 && args[1] == "info") {
+    ToolOptions options;
+    if (!ParseToolOptions(args, 3, &options)) {
+      return Usage();
+    }
+    return RunJournalInfoCommand(args[2], options);
+  }
+  if (cmd == "run-spec" && args.size() == 2) {
+    std::ifstream in(args[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open spec %s\n", args[1].c_str());
+      return 1;
+    }
+    std::string xml((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    std::string error;
+    auto spec = lfi::CampaignSpec::Parse(xml, &error);
+    if (!spec) {
+      std::fprintf(stderr, "bad spec %s: %s\n", args[1].c_str(), error.c_str());
+      return 1;
+    }
+    return RunSpec("run-spec", std::move(*spec), tool_path);
   }
   return Usage();
 }

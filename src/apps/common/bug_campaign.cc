@@ -1,591 +1,129 @@
+// Compatibility wrappers: each historical campaign entry point builds the
+// equivalent CampaignSpec and hands it to CampaignDriver. The per-system
+// harnesses, job lists, and engine wiring all live in campaign_driver.cc.
+
 #include "apps/common/bug_campaign.h"
 
-#include <cstdlib>
-#include <memory>
-#include <set>
 #include <stdexcept>
+#include <utility>
 
-#include "apps/bind/bind.h"
-#include "apps/git/git.h"
-#include "apps/mysql/mysql.h"
-#include "apps/pbft/pbft.h"
-#include "core/analysis_cache.h"
-#include "core/controller.h"
-#include "core/custom_triggers.h"
-#include "core/distributed.h"
-#include "core/exploration.h"
-#include "core/journal.h"
-#include "core/stock_triggers.h"
-#include "util/errno_codes.h"
-#include "util/string_util.h"
-#include "vlib/library_profiles.h"
+#include "apps/common/campaign_driver.h"
 
 namespace lfi {
 namespace {
 
-// Ground-truth profiles, memoized process-wide so concurrent workers and
-// repeated campaigns share one copy (stub_gen/profiler round-trip them
-// exactly, so ground truth and recovered profiles are interchangeable).
-const FaultProfile& CachedLibcProfile() {
-  return AnalysisCache::Instance().Profile("libc", LibcProfile);
+CampaignSpec Table1Spec(const char* system, const CampaignConfig& config) {
+  CampaignSpec spec;
+  spec.system = system;
+  spec.mode = CampaignMode::kTable1;
+  spec.exhaustive = config.exhaustive;
+  spec.workers = config.workers;
+  spec.journal_path = config.journal_path;
+  spec.resume = config.resume;
+  spec.abort_after_records = config.abort_after_records;
+  return spec;
 }
 
-const FaultProfile& CachedLibxmlProfile() {
-  return AnalysisCache::Instance().Profile("libxml2", LibxmlProfile);
+CampaignSpec ExploreSpec(const char* system, const ExploreConfig& config) {
+  CampaignSpec spec;
+  spec.system = system;
+  spec.mode = CampaignMode::kExplore;
+  spec.strategy = config.strategy;
+  spec.budget = config.budget;
+  spec.seed = config.seed;
+  spec.workers = config.workers;
+  spec.journal_path = config.journal_path;
+  spec.resume = config.resume;
+  spec.abort_after_records = config.abort_after_records;
+  return spec;
 }
 
-// The run's behavioural identity for the feedback loop: the exact fault
-// sequence injected, plus the crash site when the run died.
-std::string OutcomeFingerprint(TestController& controller, const TestOutcome& outcome) {
-  std::string fp =
-      controller.runtime() != nullptr ? controller.runtime()->log().Fingerprint() : "";
-  if (outcome.crashed()) {
-    fp += "!" + outcome.crash_where;
+// The historical functions threw engine exceptions (journal divergence,
+// I/O) instead of returning errors; rethrow what the driver caught so
+// existing callers and tests see the same behaviour.
+CampaignOutcome RunOrThrow(CampaignSpec spec) {
+  CampaignDriver driver(std::move(spec));
+  std::string error;
+  auto outcome = driver.Run(&error);
+  if (!outcome) {
+    throw std::runtime_error(error);
   }
-  return fp;
+  return std::move(*outcome);
 }
 
-// --- per-system job runners (JobResult: bugs + coverage + fingerprint) -----
-
-JobResult RunGitJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniGit git(&fs, &net, "/repo");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome =
-      controller.RunTest(&git.libc(), [&] { return git.RunDefaultTestSuite(); });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"git", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  } else if (outcome.injections > 0 && !git.Fsck()) {
-    // The fault was absorbed but the repository is corrupt: silent data
-    // loss (the setenv/hook bug).
-    result.bugs.push_back(
-        {"git", "data loss", "repository corrupted by hook environment", job.label});
-  }
-  result.coverage = git.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
+ExplorationResult ToExploration(CampaignOutcome outcome) {
+  ExplorationResult result;
+  result.bugs = std::move(outcome.bugs);
+  result.coverage = std::move(outcome.coverage);
+  result.scenarios_run = outcome.scenarios_run;
   return result;
-}
-
-JobResult RunMysqlJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniMysql mysql(&fs, &net, "/mysql");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] {
-    mysql.libc().fs()->WriteFile("/mysql/share/errmsg.sys",
-                                 "OK\nCan't create table\nDuplicate key\n");
-    if (!mysql.Startup()) {
-      return false;
-    }
-    return mysql.MergeBig();
-  });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  }
-  result.coverage = mysql.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-JobResult RunBindJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniBind bind(&fs, &net, "/etc/bind");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome =
-      controller.RunTest(&bind.libc(), [&] { return bind.RunDefaultTestSuite(); });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  }
-  result.coverage = bind.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-// The BIND dst_lib_init malloc sweep runs a different workload, so those
-// jobs are self-contained.
-JobResult RunBindDstJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniBind bind(&fs, &net, "/etc/bind");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return bind.DstLibInit(); });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  }
-  result.coverage = bind.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-// One pbft scenario against replica 0, the cluster on the default workload
-// plus the graceful shutdown (the unchecked-fopen path). `requests` sizes
-// the workload: the Table 1 campaign uses 8; exploration uses enough to
-// cross the checkpoint interval so checkpoint recovery code is reachable.
-JobResult RunPbftJobWith(const CampaignJob& job, int requests, int max_ticks) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  PbftConfig pbft_config;
-  PbftCluster cluster(&fs, &net, pbft_config);
-  if (!cluster.Start()) {
-    return result;
-  }
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
-    cluster.RunWorkload(requests, max_ticks);
-    cluster.replica(0).Shutdown();
-    return cluster.client().completed() >= requests;
-  });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"pbft", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  } else if (cluster.crashed()) {
-    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
-  }
-  result.coverage = cluster.Coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-JobResult RunPbftJob(const CampaignJob& job) {
-  return RunPbftJobWith(job, /*requests=*/8, /*max_ticks=*/2000);
-}
-
-JobResult RunPbftExploreJob(const CampaignJob& job) {
-  return RunPbftJobWith(job, /*requests=*/20, /*max_ticks=*/3000);
-}
-
-// Distributed random message loss across all replicas (release build): the
-// §7.3 phase that exposes the view-change bug.
-JobResult RunPbftDistributedJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  PbftConfig pbft_config;
-  pbft_config.debug_build = false;
-  PbftCluster cluster(&fs, &net, pbft_config);
-  if (!cluster.Start()) {
-    return result;
-  }
-  RandomLossController controller(0.35, job.seed);
-  std::vector<std::unique_ptr<Runtime>> runtimes;
-  for (int i = 0; i < cluster.n(); ++i) {
-    cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
-    runtimes.push_back(std::make_unique<Runtime>(job.scenario));
-    cluster.replica(i).libc().set_interposer(runtimes.back().get());
-  }
-  cluster.RunWorkload(/*requests=*/30, /*max_ticks=*/4000);
-  if (cluster.crashed()) {
-    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
-  }
-  result.coverage = cluster.Coverage();
-  for (const auto& runtime : runtimes) {
-    std::string fp = runtime->log().Fingerprint();
-    if (!fp.empty()) {
-      if (!result.fingerprint.empty()) {
-        result.fingerprint += "|";
-      }
-      result.fingerprint += fp;
-    }
-    result.injections += runtime->injections();
-    // One journaled log for the whole cluster, in replica order; the
-    // per-record process name keeps the replicas apart.
-    for (const InjectionRecord& record : runtime->log().records()) {
-      result.log.Record(record);
-    }
-  }
-  if (cluster.crashed()) {
-    result.fingerprint += "!" + cluster.crash_reason();
-  }
-  return result;
-}
-
-// --- exploration plumbing ---------------------------------------------------
-
-std::vector<std::string> SiteFunctions(const std::vector<CallSiteReport>& reports) {
-  std::set<std::string> functions;
-  for (const CallSiteReport& report : reports) {
-    functions.insert(report.site.function);
-  }
-  return {functions.begin(), functions.end()};
-}
-
-// Engine options for a journaled campaign (Table 1 mode). The metadata is
-// the campaign's identity: `lfi_tool resume` reads it back, and the engine
-// refuses to resume a journal recorded under different values.
-CampaignEngine::Options CampaignEngineOptions(const CampaignConfig& config,
-                                              const char* system, size_t max_bugs) {
-  CampaignEngine::Options options;
-  options.workers = config.workers;
-  options.max_bugs = max_bugs;
-  options.journal_path = config.journal_path;
-  options.resume = config.resume;
-  options.abort_after_records = config.abort_after_records;
-  if (!config.journal_path.empty()) {
-    options.journal_meta = {{"command", "campaign"},
-                            {"system", system},
-                            {"exhaustive", config.exhaustive ? "true" : "false"}};
-  }
-  return options;
-}
-
-// `profiles` covers every library the app links (bind spans libc +
-// libxml2); reports and exhaustive jobs concatenate in profile-list order.
-ExplorationResult ExploreWith(const char* system, const AppBinary& binary,
-                              const std::vector<const FaultProfile*>& profiles,
-                              const CampaignEngine::ResultRunner& runner,
-                              const ExploreConfig& config) {
-  EnsureStockTriggersRegistered();
-  std::vector<CallSiteReport> reports;
-  for (const FaultProfile* profile : profiles) {
-    const std::vector<CallSiteReport>& cached =
-        AnalysisCache::Instance().Reports(binary.image(), *profile);
-    reports.insert(reports.end(), cached.begin(), cached.end());
-  }
-  // The strategies look functions up in one profile; with several libraries
-  // build a combined view (profiles never share function names here -- and
-  // if they did, the first library would win, matching link order).
-  const FaultProfile* lookup = profiles.front();
-  FaultProfile combined("combined");
-  if (profiles.size() > 1) {
-    for (auto it = profiles.rbegin(); it != profiles.rend(); ++it) {
-      for (const auto& [name, fn] : (*it)->functions()) {
-        combined.AddFunction(fn);
-      }
-    }
-    lookup = &combined;
-  }
-  CampaignEngine::Options engine_options;
-  engine_options.workers = config.workers;
-  engine_options.journal_path = config.journal_path;
-  engine_options.resume = config.resume;
-  engine_options.abort_after_records = config.abort_after_records;
-  if (!config.journal_path.empty()) {
-    engine_options.journal_meta = {
-        {"command", "explore"},
-        {"system", system},
-        {"strategy", ExploreStrategyName(config.strategy)},
-        {"budget", StrFormat("%zu", config.budget)},
-        {"seed", StrFormat("0x%llx", static_cast<unsigned long long>(config.seed))},
-    };
-  }
-  CampaignEngine engine(engine_options);
-  switch (config.strategy) {
-    case ExploreStrategy::kExhaustive: {
-      std::vector<CampaignJob> jobs;
-      for (const FaultProfile* profile : profiles) {
-        for (CampaignJob& job : AnalyzerJobs(binary.image(), *profile)) {
-          jobs.push_back(std::move(job));
-        }
-      }
-      ExhaustiveSource source(std::move(jobs), config.budget);
-      return engine.Run(source, runner);
-    }
-    case ExploreStrategy::kRandom: {
-      RandomSweepSource source(*lookup, SiteFunctions(reports),
-                               config.budget != 0 ? config.budget : 64, config.seed);
-      return engine.Run(source, runner);
-    }
-    case ExploreStrategy::kCoverage: {
-      CoverageGuidedSource::Options options;
-      options.budget = config.budget != 0 ? config.budget : 64;
-      options.seed = config.seed;
-      CoverageGuidedSource source(reports, *lookup, options);
-      return engine.Run(source, runner);
-    }
-  }
-  return {};
 }
 
 }  // namespace
 
 std::vector<FoundBug> RunGitCampaign(const CampaignConfig& config) {
-  EnsureStockTriggersRegistered();
-  ExhaustiveSource source(AnalyzerJobs(GitBinary().image(), CachedLibcProfile()));
-  CampaignEngine engine(CampaignEngineOptions(config, "git", /*max_bugs=*/0));
-  return engine.Run(source, RunGitJob).bugs;
+  return RunOrThrow(Table1Spec("git", config)).bugs;
 }
 
 std::vector<FoundBug> RunMysqlCampaign(const CampaignConfig& config) {
-  EnsureStockTriggersRegistered();
-  const FaultProfile& profile = CachedLibcProfile();
-
-  // Phase 1: analyzer-generated scenarios.
-  std::vector<CampaignJob> jobs = AnalyzerJobs(MysqlBinary().image(), profile);
-
-  // Phase 2: random injection (the paper ran 1,000 random tests against
-  // MySQL and distilled 35 crashes into the two Table 1 bugs).
-  for (const char* function : {"close", "read"}) {
-    const FunctionProfile* fn = profile.Find(function);
-    int64_t retval = fn->errors.front().retval;
-    int errno_value = fn->errors.front().errnos.empty() ? 0 : kEIO;
-    for (uint64_t seed = 1; seed <= 50; ++seed) {
-      CampaignJob job;
-      job.scenario = MakeRandomScenario(function, retval, errno_value, 0.1, seed);
-      job.label =
-          StrFormat("random 10%% on %s (seed %llu)", function, (unsigned long long)seed);
-      job.seed = seed;
-      jobs.push_back(std::move(job));
-    }
-  }
-
-  ExhaustiveSource source(std::move(jobs));
-  CampaignEngine engine(CampaignEngineOptions(config, "mysql", /*max_bugs=*/0));
-  return engine.Run(source, RunMysqlJob).bugs;
+  return RunOrThrow(Table1Spec("mysql", config)).bugs;
 }
 
 std::vector<FoundBug> RunBindCampaign(const CampaignConfig& config) {
-  EnsureStockTriggersRegistered();
-
-  // Analyzer scenarios against both library profiles.
-  std::vector<CampaignJob> jobs = AnalyzerJobs(BindBinary().image(), CachedLibcProfile());
-  for (CampaignJob& job : AnalyzerJobs(BindBinary().image(), CachedLibxmlProfile())) {
-    jobs.push_back(std::move(job));
-  }
-
-  // Exhaustive malloc sweep over dst_lib_init: the call *is* checked (so the
-  // analyzer reports it fully checked), but the recovery path is broken.
-  // These run a different workload, so they carry their own runner.
-  for (uint64_t k = 1; k <= MiniBind::kDstAllocations; ++k) {
-    CampaignJob job;
-    job.scenario = MakeCallCountScenario("malloc", k, 0, kENOMEM);
-    job.label = StrFormat("malloc #%llu = NULL in dst_lib_init", (unsigned long long)k);
-    job.seed = k;
-    job.explore = RunBindDstJob;
-    jobs.push_back(std::move(job));
-  }
-
-  ExhaustiveSource source(std::move(jobs));
-  CampaignEngine engine(CampaignEngineOptions(config, "bind", /*max_bugs=*/0));
-  return engine.Run(source, RunBindJob).bugs;
+  return RunOrThrow(Table1Spec("bind", config)).bugs;
 }
 
 std::vector<FoundBug> RunPbftCampaign(const CampaignConfig& config) {
-  EnsureStockTriggersRegistered();
-
-  // Phase 1: analyzer scenarios against replica 0 (shutdown checkpoint bug).
-  std::vector<CampaignJob> jobs = AnalyzerJobs(PbftBinary().image(), CachedLibcProfile());
-
-  // Phase 2: distributed random faults in sendto/recvfrom across replicas
-  // (release build). Message loss leaves prepare certificates without their
-  // payloads; the crash manifests during the view change. The serial
-  // campaign stopped fuzzing once two bugs were on the list; max_bugs plus
-  // skip_when_saturated reproduces that cutoff deterministically.
-  Scenario dist;
-  {
-    TriggerDecl decl;
-    decl.id = "dist";
-    decl.class_name = "DistributedTrigger";
-    dist.AddTrigger(decl);
-    for (const char* function : {"sendto", "recvfrom"}) {
-      FunctionAssoc assoc;
-      assoc.function = function;
-      assoc.retval = -1;
-      assoc.errno_value = kEIO;
-      assoc.triggers.push_back(TriggerRef{"dist", false});
-      dist.AddFunction(assoc);
-    }
-  }
-  for (uint64_t seed = 1; seed <= 20; ++seed) {
-    CampaignJob job;
-    job.scenario = dist;
-    job.label =
-        StrFormat("random sendto/recvfrom faults, seed %llu", (unsigned long long)seed);
-    job.seed = seed;
-    job.skip_when_saturated = !config.exhaustive;
-    job.explore = RunPbftDistributedJob;
-    jobs.push_back(std::move(job));
-  }
-
-  ExhaustiveSource source(std::move(jobs));
-  CampaignEngine engine(CampaignEngineOptions(
-      config, "pbft", /*max_bugs=*/config.exhaustive ? size_t{0} : size_t{2}));
-  return engine.Run(source, RunPbftJob).bugs;
+  return RunOrThrow(Table1Spec("pbft", config)).bugs;
 }
 
 std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config) {
-  // Four engines share no job stream, so one journal cannot cover the
-  // union campaign; journal per system instead.
   CampaignConfig per_system = config;
   per_system.journal_path.clear();
   per_system.resume = false;
-  std::set<FoundBug> all;
-  for (auto campaign : {RunGitCampaign, RunMysqlCampaign, RunBindCampaign, RunPbftCampaign}) {
-    for (const FoundBug& bug : campaign(per_system)) {
-      all.insert(bug);
-    }
-  }
-  return {all.begin(), all.end()};
-}
-
-const char* ExploreStrategyName(ExploreStrategy strategy) {
-  switch (strategy) {
-    case ExploreStrategy::kExhaustive:
-      return "exhaustive";
-    case ExploreStrategy::kRandom:
-      return "random";
-    case ExploreStrategy::kCoverage:
-      return "coverage";
-  }
-  return "?";
-}
-
-std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name) {
-  if (name == "exhaustive") {
-    return ExploreStrategy::kExhaustive;
-  }
-  if (name == "random") {
-    return ExploreStrategy::kRandom;
-  }
-  if (name == "coverage") {
-    return ExploreStrategy::kCoverage;
-  }
-  return std::nullopt;
+  return RunOrThrow(Table1Spec("all", per_system)).bugs;
 }
 
 ExplorationResult ExploreGitCampaign(const ExploreConfig& config) {
-  return ExploreWith("git", GitBinary(), {&CachedLibcProfile()}, RunGitJob, config);
+  return ToExploration(RunOrThrow(ExploreSpec("git", config)));
 }
 
 ExplorationResult ExploreMysqlCampaign(const ExploreConfig& config) {
-  return ExploreWith("mysql", MysqlBinary(), {&CachedLibcProfile()}, RunMysqlJob, config);
+  return ToExploration(RunOrThrow(ExploreSpec("mysql", config)));
 }
 
 ExplorationResult ExploreBindCampaign(const ExploreConfig& config) {
-  return ExploreWith("bind", BindBinary(), {&CachedLibcProfile(), &CachedLibxmlProfile()},
-                     RunBindJob, config);
+  return ToExploration(RunOrThrow(ExploreSpec("bind", config)));
 }
 
 ExplorationResult ExplorePbftCampaign(const ExploreConfig& config) {
-  return ExploreWith("pbft", PbftBinary(), {&CachedLibcProfile()}, RunPbftExploreJob, config);
+  return ToExploration(RunOrThrow(ExploreSpec("pbft", config)));
 }
 
 std::optional<ExplorationResult> ExploreCampaign(const std::string& system,
                                                  const ExploreConfig& config) {
-  if (system == "git") {
-    return ExploreGitCampaign(config);
+  if (!IsCampaignSystem(system)) {
+    return std::nullopt;
   }
-  if (system == "mysql") {
-    return ExploreMysqlCampaign(config);
-  }
-  if (system == "bind") {
-    return ExploreBindCampaign(config);
-  }
-  if (system == "pbft") {
-    return ExplorePbftCampaign(config);
-  }
-  return std::nullopt;
-}
-
-CampaignEngine::ResultRunner SystemJobRunner(const std::string& system,
-                                             bool explore_workload) {
-  EnsureStockTriggersRegistered();
-  if (system == "git") {
-    return RunGitJob;
-  }
-  if (system == "mysql") {
-    return RunMysqlJob;
-  }
-  if (system == "bind") {
-    return RunBindJob;
-  }
-  if (system == "pbft") {
-    return explore_workload ? RunPbftExploreJob : RunPbftJob;
-  }
-  return nullptr;
+  return ToExploration(RunOrThrow(ExploreSpec(system.c_str(), config)));
 }
 
 std::optional<ExplorationResult> ResumeCampaign(const std::string& journal_path, int workers,
                                                 std::string* error,
                                                 JournalMetadata* metadata) {
-  auto fail = [&](std::string message) -> std::optional<ExplorationResult> {
-    if (error != nullptr) {
-      *error = std::move(message);
-    }
-    return std::nullopt;
-  };
-  auto journal = CampaignJournal::Load(journal_path, error);
-  if (!journal) {
+  CampaignSpec spec;
+  spec.mode = CampaignMode::kResume;
+  spec.journal_path = journal_path;
+  spec.workers = workers;
+  CampaignDriver driver(std::move(spec));
+  auto outcome = driver.Run(error);
+  if (!outcome) {
     return std::nullopt;
   }
   if (metadata != nullptr) {
-    *metadata = journal->metadata();
+    *metadata = outcome->metadata;
   }
-  std::string command = journal->Meta("command", "explore");
-  std::string system = journal->Meta("system", "");
-  try {
-    if (command == "campaign") {
-      CampaignConfig config;
-      config.workers = workers;
-      config.exhaustive = journal->Meta("exhaustive", "false") == "true";
-      config.journal_path = journal_path;
-      config.resume = true;
-      ExplorationResult out;
-      if (system == "git") {
-        out.bugs = RunGitCampaign(config);
-      } else if (system == "mysql") {
-        out.bugs = RunMysqlCampaign(config);
-      } else if (system == "bind") {
-        out.bugs = RunBindCampaign(config);
-      } else if (system == "pbft") {
-        out.bugs = RunPbftCampaign(config);
-      } else {
-        return fail("journal names unknown campaign system '" + system + "'");
-      }
-      return out;
-    }
-    ExploreConfig config;
-    config.workers = workers;
-    auto strategy = ParseExploreStrategy(journal->Meta("strategy", "exhaustive"));
-    if (!strategy) {
-      return fail("journal records unknown strategy '" + journal->Meta("strategy", "") + "'");
-    }
-    config.strategy = *strategy;
-    config.budget =
-        static_cast<size_t>(std::strtoull(journal->Meta("budget", "0").c_str(), nullptr, 0));
-    config.seed = std::strtoull(journal->Meta("seed", "1").c_str(), nullptr, 0);
-    config.journal_path = journal_path;
-    config.resume = true;
-    auto result = ExploreCampaign(system, config);
-    if (!result) {
-      return fail("journal names unknown system '" + system + "'");
-    }
-    return result;
-  } catch (const std::exception& e) {
-    // The engine throws on unusable journals (divergence, I/O); surface it
-    // as a CLI-friendly error instead of tearing down the process.
-    return fail(e.what());
-  }
+  return ToExploration(std::move(*outcome));
 }
 
 }  // namespace lfi

@@ -11,14 +11,12 @@
 //      static classification flags), plus an integrity check for silent data
 //      loss (the Git setenv bug).
 //
-// Scenario production is a ScenarioSource (core/exploration.h) streamed
-// through the CampaignEngine: the Table 1 campaigns wrap their historical
-// job lists in an ExhaustiveSource, while ExploreCampaign() swaps in the
-// random-sweep or coverage-guided strategy over the same per-app harnesses.
-// Every job run returns its application instance's CoverageMap, so the
-// coverage-guided feedback loop works end-to-end on git/mysql/bind/pbft.
-// `workers` picks the degree of parallelism; results are identical for any
-// worker count.
+// Everything below is a compatibility wrapper: the campaign surface proper
+// is CampaignSpec (campaign_spec.h) -- one declarative description of a
+// campaign -- executed by CampaignDriver (campaign_driver.h), which owns
+// source construction, engine options, journaling, resume, and reporting.
+// Each historical free function builds the equivalent spec and runs the
+// driver, so existing call sites compile and behave unchanged.
 
 #ifndef LFI_APPS_COMMON_BUG_CAMPAIGN_H_
 #define LFI_APPS_COMMON_BUG_CAMPAIGN_H_
@@ -27,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/common/campaign_spec.h"
 #include "core/campaign_engine.h"
 
 namespace lfi {
@@ -57,14 +56,8 @@ std::vector<FoundBug> RunFullCampaign(const CampaignConfig& config = {});
 
 // --- Feedback-driven exploration -------------------------------------------
 
-enum class ExploreStrategy {
-  kExhaustive,  // the analyzer's job list, in order (the paper's behaviour)
-  kRandom,      // seeded random sweep over (function, error mode, ordinal)
-  kCoverage,    // coverage-guided: feedback steers sites and mutations
-};
-
-const char* ExploreStrategyName(ExploreStrategy strategy);
-std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name);
+// ExploreStrategy and its name table live in campaign_spec.h (included
+// above); this header re-exports them for source compatibility.
 
 struct ExploreConfig {
   int workers = 1;
@@ -109,10 +102,9 @@ CampaignEngine::ResultRunner SystemJobRunner(const std::string& system,
 // strategy, budget, seed are read back from the file): re-runs it with
 // `workers` workers, replaying the journal and continuing where it stopped.
 // The result is bit-identical to the uninterrupted run. Nullopt (with
-// *error set) on unreadable journals or unknown systems; campaign-mode
-// journals return bugs only (coverage empty). `metadata`, when non-null,
-// receives the journal header (so callers need not load the file again
-// just to describe the campaign).
+// *error set) on unreadable journals or unknown systems. `metadata`, when
+// non-null, receives the journal header (so callers need not load the file
+// again just to describe the campaign).
 std::optional<ExplorationResult> ResumeCampaign(const std::string& journal_path, int workers,
                                                 std::string* error = nullptr,
                                                 JournalMetadata* metadata = nullptr);

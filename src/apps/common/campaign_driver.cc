@@ -1,0 +1,807 @@
+#include "apps/common/campaign_driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define LFI_HAVE_FORK 1
+#endif
+
+#include "apps/bind/bind.h"
+#include "apps/common/bug_campaign.h"
+#include "apps/git/git.h"
+#include "apps/mysql/mysql.h"
+#include "apps/pbft/pbft.h"
+#include "core/analysis_cache.h"
+#include "core/controller.h"
+#include "core/custom_triggers.h"
+#include "core/distributed.h"
+#include "core/exploration.h"
+#include "core/stock_triggers.h"
+#include "util/errno_codes.h"
+#include "util/string_util.h"
+#include "vlib/library_profiles.h"
+
+namespace lfi {
+namespace {
+
+// Ground-truth profiles, memoized process-wide so concurrent workers and
+// repeated campaigns share one copy (stub_gen/profiler round-trip them
+// exactly, so ground truth and recovered profiles are interchangeable).
+const FaultProfile& CachedLibcProfile() {
+  return AnalysisCache::Instance().Profile("libc", LibcProfile);
+}
+
+const FaultProfile& CachedLibxmlProfile() {
+  return AnalysisCache::Instance().Profile("libxml2", LibxmlProfile);
+}
+
+// The run's behavioural identity for the feedback loop: the exact fault
+// sequence injected, plus the crash site when the run died.
+std::string OutcomeFingerprint(TestController& controller, const TestOutcome& outcome) {
+  std::string fp =
+      controller.runtime() != nullptr ? controller.runtime()->log().Fingerprint() : "";
+  if (outcome.crashed()) {
+    fp += "!" + outcome.crash_where;
+  }
+  return fp;
+}
+
+// --- per-system job runners (JobResult: bugs + coverage + fingerprint) -----
+
+JobResult RunGitJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniGit git(&fs, &net, "/repo");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome =
+      controller.RunTest(&git.libc(), [&] { return git.RunDefaultTestSuite(); });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"git", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  } else if (outcome.injections > 0 && !git.Fsck()) {
+    // The fault was absorbed but the repository is corrupt: silent data
+    // loss (the setenv/hook bug).
+    result.bugs.push_back(
+        {"git", "data loss", "repository corrupted by hook environment", job.label});
+  }
+  result.coverage = git.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
+  return result;
+}
+
+JobResult RunMysqlJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniMysql mysql(&fs, &net, "/mysql");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] {
+    mysql.libc().fs()->WriteFile("/mysql/share/errmsg.sys",
+                                 "OK\nCan't create table\nDuplicate key\n");
+    if (!mysql.Startup()) {
+      return false;
+    }
+    return mysql.MergeBig();
+  });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  }
+  result.coverage = mysql.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
+  return result;
+}
+
+JobResult RunBindJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniBind bind(&fs, &net, "/etc/bind");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome =
+      controller.RunTest(&bind.libc(), [&] { return bind.RunDefaultTestSuite(); });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  }
+  result.coverage = bind.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
+  return result;
+}
+
+// The BIND dst_lib_init malloc sweep runs a different workload, so those
+// jobs are self-contained.
+JobResult RunBindDstJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  MiniBind bind(&fs, &net, "/etc/bind");
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return bind.DstLibInit(); });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  }
+  result.coverage = bind.coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
+  return result;
+}
+
+// One pbft scenario against replica 0, the cluster on the default workload
+// plus the graceful shutdown (the unchecked-fopen path). `requests` sizes
+// the workload: the Table 1 campaign uses 8; exploration uses enough to
+// cross the checkpoint interval so checkpoint recovery code is reachable.
+JobResult RunPbftJobWith(const CampaignJob& job, int requests, int max_ticks) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  PbftConfig pbft_config;
+  PbftCluster cluster(&fs, &net, pbft_config);
+  if (!cluster.Start()) {
+    return result;
+  }
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
+    cluster.RunWorkload(requests, max_ticks);
+    cluster.replica(0).Shutdown();
+    return cluster.client().completed() >= requests;
+  });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"pbft", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  } else if (cluster.crashed()) {
+    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
+  }
+  result.coverage = cluster.Coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  if (controller.runtime() != nullptr) {
+    result.log = controller.runtime()->log();
+  }
+  return result;
+}
+
+JobResult RunPbftJob(const CampaignJob& job) {
+  return RunPbftJobWith(job, /*requests=*/8, /*max_ticks=*/2000);
+}
+
+JobResult RunPbftExploreJob(const CampaignJob& job) {
+  return RunPbftJobWith(job, /*requests=*/20, /*max_ticks=*/3000);
+}
+
+// Distributed random message loss across all replicas (release build): the
+// §7.3 phase that exposes the view-change bug.
+JobResult RunPbftDistributedJob(const CampaignJob& job) {
+  JobResult result;
+  VirtualFs fs;
+  VirtualNet net;
+  PbftConfig pbft_config;
+  pbft_config.debug_build = false;
+  PbftCluster cluster(&fs, &net, pbft_config);
+  if (!cluster.Start()) {
+    return result;
+  }
+  RandomLossController controller(0.35, job.seed);
+  std::vector<std::unique_ptr<Runtime>> runtimes;
+  for (int i = 0; i < cluster.n(); ++i) {
+    cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
+    runtimes.push_back(std::make_unique<Runtime>(job.scenario));
+    cluster.replica(i).libc().set_interposer(runtimes.back().get());
+  }
+  cluster.RunWorkload(/*requests=*/30, /*max_ticks=*/4000);
+  if (cluster.crashed()) {
+    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
+  }
+  result.coverage = cluster.Coverage();
+  for (const auto& runtime : runtimes) {
+    std::string fp = runtime->log().Fingerprint();
+    if (!fp.empty()) {
+      if (!result.fingerprint.empty()) {
+        result.fingerprint += "|";
+      }
+      result.fingerprint += fp;
+    }
+    result.injections += runtime->injections();
+    // One journaled log for the whole cluster, in replica order; the
+    // per-record process name keeps the replicas apart.
+    for (const InjectionRecord& record : runtime->log().records()) {
+      result.log.Record(record);
+    }
+  }
+  if (cluster.crashed()) {
+    result.fingerprint += "!" + cluster.crash_reason();
+  }
+  return result;
+}
+
+// --- Table 1 job lists ------------------------------------------------------
+
+std::vector<CampaignJob> GitTable1Jobs(bool exhaustive) {
+  (void)exhaustive;
+  return AnalyzerJobs(GitBinary().image(), CachedLibcProfile());
+}
+
+std::vector<CampaignJob> MysqlTable1Jobs(bool exhaustive) {
+  (void)exhaustive;
+  const FaultProfile& profile = CachedLibcProfile();
+
+  // Phase 1: analyzer-generated scenarios.
+  std::vector<CampaignJob> jobs = AnalyzerJobs(MysqlBinary().image(), profile);
+
+  // Phase 2: random injection (the paper ran 1,000 random tests against
+  // MySQL and distilled 35 crashes into the two Table 1 bugs).
+  for (const char* function : {"close", "read"}) {
+    const FunctionProfile* fn = profile.Find(function);
+    int64_t retval = fn->errors.front().retval;
+    int errno_value = fn->errors.front().errnos.empty() ? 0 : kEIO;
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+      CampaignJob job;
+      job.scenario = MakeRandomScenario(function, retval, errno_value, 0.1, seed);
+      job.label =
+          StrFormat("random 10%% on %s (seed %llu)", function, (unsigned long long)seed);
+      job.seed = seed;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+std::vector<CampaignJob> BindTable1Jobs(bool exhaustive) {
+  (void)exhaustive;
+
+  // Analyzer scenarios against both library profiles.
+  std::vector<CampaignJob> jobs = AnalyzerJobs(BindBinary().image(), CachedLibcProfile());
+  for (CampaignJob& job : AnalyzerJobs(BindBinary().image(), CachedLibxmlProfile())) {
+    jobs.push_back(std::move(job));
+  }
+
+  // Exhaustive malloc sweep over dst_lib_init: the call *is* checked (so the
+  // analyzer reports it fully checked), but the recovery path is broken.
+  // These run a different workload, so they carry their own runner.
+  for (uint64_t k = 1; k <= MiniBind::kDstAllocations; ++k) {
+    CampaignJob job;
+    job.scenario = MakeCallCountScenario("malloc", k, 0, kENOMEM);
+    job.label = StrFormat("malloc #%llu = NULL in dst_lib_init", (unsigned long long)k);
+    job.seed = k;
+    job.explore = RunBindDstJob;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<CampaignJob> PbftTable1Jobs(bool exhaustive) {
+  // Phase 1: analyzer scenarios against replica 0 (shutdown checkpoint bug).
+  std::vector<CampaignJob> jobs = AnalyzerJobs(PbftBinary().image(), CachedLibcProfile());
+
+  // Phase 2: distributed random faults in sendto/recvfrom across replicas
+  // (release build). Message loss leaves prepare certificates without their
+  // payloads; the crash manifests during the view change. The serial
+  // campaign stopped fuzzing once two bugs were on the list; max_bugs plus
+  // skip_when_saturated reproduces that cutoff deterministically.
+  Scenario dist;
+  {
+    TriggerDecl decl;
+    decl.id = "dist";
+    decl.class_name = "DistributedTrigger";
+    dist.AddTrigger(decl);
+    for (const char* function : {"sendto", "recvfrom"}) {
+      FunctionAssoc assoc;
+      assoc.function = function;
+      assoc.retval = -1;
+      assoc.errno_value = kEIO;
+      assoc.triggers.push_back(TriggerRef{"dist", false});
+      dist.AddFunction(assoc);
+    }
+  }
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    CampaignJob job;
+    job.scenario = dist;
+    job.label =
+        StrFormat("random sendto/recvfrom faults, seed %llu", (unsigned long long)seed);
+    job.seed = seed;
+    job.skip_when_saturated = !exhaustive;
+    job.explore = RunPbftDistributedJob;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+// --- the system table -------------------------------------------------------
+
+// Everything system-specific the driver needs, in one row per target. This
+// is the one copy of the dispatch lfi_tool and bug_campaign.cc used to
+// repeat as parallel if-chains.
+struct SystemEntry {
+  const char* name;
+  const AppBinary& (*binary)();
+  std::vector<const FaultProfile*> (*profiles)();
+  JobResult (*table1_runner)(const CampaignJob&);   // default workload
+  JobResult (*explore_runner)(const CampaignJob&);  // exploration workload
+  std::vector<CampaignJob> (*table1_jobs)(bool exhaustive);
+  size_t table1_max_bugs;  // historical fuzz cutoff; 0 = run everything
+};
+
+std::vector<const FaultProfile*> LibcOnly() { return {&CachedLibcProfile()}; }
+std::vector<const FaultProfile*> LibcAndLibxml() {
+  return {&CachedLibcProfile(), &CachedLibxmlProfile()};
+}
+
+const SystemEntry kSystems[] = {
+    {"git", GitBinary, LibcOnly, RunGitJob, RunGitJob, GitTable1Jobs, 0},
+    {"mysql", MysqlBinary, LibcOnly, RunMysqlJob, RunMysqlJob, MysqlTable1Jobs, 0},
+    {"bind", BindBinary, LibcAndLibxml, RunBindJob, RunBindJob, BindTable1Jobs, 0},
+    {"pbft", PbftBinary, LibcOnly, RunPbftJob, RunPbftExploreJob, PbftTable1Jobs, 2},
+};
+
+const SystemEntry* FindSystem(const std::string& name) {
+  for (const SystemEntry& entry : kSystems) {
+    if (name == entry.name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SiteFunctions(const std::vector<CallSiteReport>& reports) {
+  std::set<std::string> functions;
+  for (const CallSiteReport& report : reports) {
+    functions.insert(report.site.function);
+  }
+  return {functions.begin(), functions.end()};
+}
+
+// Engine options for a (possibly journaled) spec; the journal header is the
+// spec's identity, so `lfi_tool resume` can rebuild the spec from the file.
+CampaignEngine::Options EngineOptions(const CampaignSpec& spec, size_t max_bugs) {
+  CampaignEngine::Options options;
+  options.workers = spec.workers;
+  options.max_bugs = max_bugs;
+  options.journal_path = spec.journal_path;
+  options.resume = spec.resume;
+  options.abort_after_records = spec.abort_after_records;
+  if (!spec.journal_path.empty()) {
+    options.journal_meta = spec.ToJournalMeta();
+  }
+  return options;
+}
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f != nullptr) {
+    std::fclose(f);
+  }
+  return f != nullptr;
+}
+
+CampaignOutcome FromExploration(ExplorationResult result, const CampaignSpec& spec) {
+  CampaignOutcome outcome;
+  outcome.bugs = std::move(result.bugs);
+  outcome.coverage = std::move(result.coverage);
+  outcome.scenarios_run = result.scenarios_run;
+  outcome.journal_path = spec.journal_path;
+  return outcome;
+}
+
+}  // namespace
+
+CampaignEngine::ResultRunner SystemJobRunner(const std::string& system,
+                                             bool explore_workload) {
+  EnsureStockTriggersRegistered();
+  const SystemEntry* entry = FindSystem(system);
+  if (entry == nullptr) {
+    return nullptr;
+  }
+  return explore_workload ? entry->explore_runner : entry->table1_runner;
+}
+
+std::optional<CampaignOutcome> CampaignDriver::Run(std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CampaignOutcome> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  std::string invalid = spec_.Validate();
+  if (!invalid.empty()) {
+    return fail(std::move(invalid));
+  }
+  EnsureStockTriggersRegistered();
+  try {
+    if (spec_.shard_count > 1 && spec_.shard_index == CampaignSpec::kNoShard) {
+      return RunShardOrchestration(error);
+    }
+    switch (spec_.mode) {
+      case CampaignMode::kTable1:
+        return RunTable1(error);
+      case CampaignMode::kExplore:
+        return RunExplore(error);
+      case CampaignMode::kResume:
+        return RunResume(error);
+      case CampaignMode::kReplay:
+        return RunReplay(error);
+    }
+    return fail("unreachable campaign mode");
+  } catch (const std::exception& e) {
+    // The engine throws on unusable journals (divergence, I/O); surface it
+    // as a CLI-friendly error instead of tearing down the process.
+    return fail(e.what());
+  }
+}
+
+std::optional<CampaignOutcome> CampaignDriver::RunTable1(std::string* error) {
+  if (spec_.system == "all") {
+    // Four engines share no job stream, so one journal cannot cover the
+    // union campaign (Validate already refused a journal path).
+    std::set<FoundBug> all;
+    size_t scenarios = 0;
+    for (const SystemEntry& entry : kSystems) {
+      CampaignSpec per_system = spec_;
+      per_system.system = entry.name;
+      CampaignDriver driver(per_system);
+      auto outcome = driver.Run(error);
+      if (!outcome) {
+        return std::nullopt;
+      }
+      all.insert(outcome->bugs.begin(), outcome->bugs.end());
+      scenarios += outcome->scenarios_run;
+    }
+    CampaignOutcome outcome;
+    outcome.bugs = {all.begin(), all.end()};
+    outcome.scenarios_run = scenarios;
+    return outcome;
+  }
+
+  const SystemEntry* entry = FindSystem(spec_.system);
+  std::vector<CampaignJob> jobs = entry->table1_jobs(spec_.exhaustive);
+  size_t max_bugs = spec_.exhaustive ? 0 : entry->table1_max_bugs;
+  CampaignEngine engine(EngineOptions(spec_, max_bugs));
+  ExhaustiveSource source(std::move(jobs));
+  if (spec_.shard_index != CampaignSpec::kNoShard) {
+    ShardSource sharded(source, spec_.shard_index, spec_.shard_count);
+    return FromExploration(engine.Run(sharded, entry->table1_runner), spec_);
+  }
+  return FromExploration(engine.Run(source, entry->table1_runner), spec_);
+}
+
+std::optional<CampaignOutcome> CampaignDriver::RunExplore(std::string* error) {
+  (void)error;
+  const SystemEntry* entry = FindSystem(spec_.system);
+  std::vector<const FaultProfile*> profiles = entry->profiles();
+  std::vector<CallSiteReport> reports;
+  for (const FaultProfile* profile : profiles) {
+    const std::vector<CallSiteReport>& cached =
+        AnalysisCache::Instance().Reports(entry->binary().image(), *profile);
+    reports.insert(reports.end(), cached.begin(), cached.end());
+  }
+  // The strategies look functions up in one profile; with several libraries
+  // build a combined view (profiles never share function names here -- and
+  // if they did, the first library would win, matching link order).
+  const FaultProfile* lookup = profiles.front();
+  FaultProfile combined("combined");
+  if (profiles.size() > 1) {
+    for (auto it = profiles.rbegin(); it != profiles.rend(); ++it) {
+      for (const auto& [name, fn] : (*it)->functions()) {
+        combined.AddFunction(fn);
+      }
+    }
+    lookup = &combined;
+  }
+  CampaignEngine engine(EngineOptions(spec_, /*max_bugs=*/0));
+  auto run = [&](ScenarioSource& source) -> CampaignOutcome {
+    if (spec_.shard_index != CampaignSpec::kNoShard) {
+      ShardSource sharded(source, spec_.shard_index, spec_.shard_count);
+      return FromExploration(engine.Run(sharded, entry->explore_runner), spec_);
+    }
+    return FromExploration(engine.Run(source, entry->explore_runner), spec_);
+  };
+  switch (spec_.strategy) {
+    case ExploreStrategy::kExhaustive: {
+      std::vector<CampaignJob> jobs;
+      for (const FaultProfile* profile : profiles) {
+        for (CampaignJob& job : AnalyzerJobs(entry->binary().image(), *profile)) {
+          jobs.push_back(std::move(job));
+        }
+      }
+      ExhaustiveSource source(std::move(jobs), spec_.budget);
+      return run(source);
+    }
+    case ExploreStrategy::kRandom: {
+      RandomSweepSource source(*lookup, SiteFunctions(reports),
+                               spec_.budget != 0 ? spec_.budget : 64, spec_.seed);
+      return run(source);
+    }
+    case ExploreStrategy::kCoverage: {
+      CoverageGuidedSource::Options options;
+      options.budget = spec_.budget != 0 ? spec_.budget : 64;
+      options.seed = spec_.seed;
+      CoverageGuidedSource source(reports, *lookup, options);
+      return run(source);
+    }
+  }
+  return CampaignOutcome{};
+}
+
+std::optional<CampaignOutcome> CampaignDriver::RunResume(std::string* error) {
+  auto journal = CampaignJournal::Load(spec_.journal_path, error);
+  if (!journal) {
+    return std::nullopt;
+  }
+  auto recorded = CampaignSpec::FromJournalMeta(journal->metadata(), error);
+  if (!recorded) {
+    return std::nullopt;
+  }
+  recorded->workers = spec_.workers;
+  recorded->journal_path = spec_.journal_path;
+  recorded->resume = true;
+  recorded->json = spec_.json;
+  recorded->abort_after_records = spec_.abort_after_records;
+  CampaignDriver driver(*recorded);
+  auto outcome = driver.Run(error);
+  if (outcome) {
+    outcome->metadata = journal->metadata();
+  }
+  return outcome;
+}
+
+std::optional<CampaignOutcome> CampaignDriver::RunReplay(std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CampaignOutcome> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  auto journal = CampaignJournal::Load(spec_.journal_path, error);
+  if (!journal) {
+    return std::nullopt;
+  }
+  std::string system = journal->Meta("system", "");
+  bool explore_workload = journal->Meta("command", "explore") != "campaign";
+  CampaignEngine::ResultRunner runner = SystemJobRunner(system, explore_workload);
+  if (!runner) {
+    return fail("journal names unknown system '" + system + "'");
+  }
+
+  // Which journaled injections to replay: every record that injected, or
+  // the one the selector picks ("record" or "record:injection").
+  struct Target {
+    size_t record;
+    size_t injection;
+  };
+  std::vector<Target> targets;
+  const std::vector<JournalRecord>& records = journal->records();
+  if (!spec_.replay_selector.empty()) {
+    std::vector<std::string> parts = Split(spec_.replay_selector, ':');
+    auto record = ParseInt(parts[0]);
+    if (!record || parts.size() > 2 || *record < 0 ||
+        static_cast<size_t>(*record) >= records.size()) {
+      return fail(StrFormat("bad record selector '%s' (journal has %zu records)",
+                            spec_.replay_selector.c_str(), records.size()));
+    }
+    const InjectionLog& log = records[*record].result.log;
+    if (log.empty()) {
+      return fail(StrFormat("record %lld injected nothing; nothing to replay",
+                            static_cast<long long>(*record)));
+    }
+    size_t injection = log.size() - 1;
+    if (parts.size() == 2) {
+      auto parsed = ParseInt(parts[1]);
+      if (!parsed || *parsed < 0 || static_cast<size_t>(*parsed) >= log.size()) {
+        return fail(StrFormat("record %lld has %zu injection(s)",
+                              static_cast<long long>(*record), log.size()));
+      }
+      injection = static_cast<size_t>(*parsed);
+    }
+    targets.push_back({static_cast<size_t>(*record), injection});
+  } else {
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (!records[i].result.log.empty()) {
+        // The last injection is the one the run died on (when it died).
+        targets.push_back({i, records[i].result.log.size() - 1});
+      }
+    }
+  }
+
+  CampaignOutcome outcome;
+  outcome.journal_path = spec_.journal_path;
+  outcome.metadata = journal->metadata();
+  for (const Target& target : targets) {
+    const JournalRecord& record = records[target.record];
+    const InjectionRecord& injection = record.result.log.records()[target.injection];
+    CampaignJob job;
+    job.scenario = record.result.log.ReplayScenario(target.injection);
+    job.label = StrFormat("replay %zu:%zu of %s", target.record, target.injection,
+                          spec_.journal_path.c_str());
+    job.seed = record.seed;
+    JobResult replayed = runner(job);
+
+    // A record that exposed bugs must reproduce at least one of its crash
+    // sites from disk alone; injection-only records just report what ran.
+    // Records whose log spans several processes (the distributed pbft fuzz
+    // phase interposes every replica) cannot be reproduced faithfully by
+    // the single-process replay harness -- the call-count trigger would
+    // land on the wrong replica's Nth call -- so they are informational.
+    std::set<std::string> processes;
+    for (const InjectionRecord& logged : record.result.log.records()) {
+      processes.insert(logged.process);
+    }
+    bool single_process = processes.size() <= 1;
+    bool has_expectation = !record.result.bugs.empty() && single_process;
+    bool match = false;
+    for (const FoundBug& want : record.result.bugs) {
+      for (const FoundBug& got : replayed.bugs) {
+        match |= want.system == got.system && want.kind == got.kind && want.where == got.where;
+      }
+    }
+
+    ReplayOutcome replay;
+    replay.record = target.record;
+    replay.injection = target.injection;
+    replay.function = injection.function;
+    replay.call_number = injection.call_number;
+    replay.crashed = !replayed.bugs.empty();
+    replay.where = replayed.bugs.empty() ? "" : replayed.bugs.front().where;
+    replay.recorded_bug = !record.result.bugs.empty();
+    replay.distributed = !single_process;
+    replay.informational = !has_expectation;
+    replay.reproduced = has_expectation && match;
+    outcome.replays_expected += has_expectation ? 1 : 0;
+    outcome.replays_reproduced += (has_expectation && match) ? 1 : 0;
+    outcome.replays.push_back(std::move(replay));
+  }
+  outcome.ok = outcome.replays_reproduced == outcome.replays_expected;
+  return outcome;
+}
+
+std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CampaignOutcome> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  // Refuse to clobber artifacts before any shard spends work (the engine
+  // applies the same rule per shard journal).
+  if (FileExists(spec_.journal_path)) {
+    return fail("journal " + spec_.journal_path +
+                " already exists; resume it to continue the campaign, or delete it to "
+                "start fresh");
+  }
+
+  std::vector<CampaignSpec> children;
+  std::vector<std::string> shard_paths;
+  for (size_t shard = 0; shard < spec_.shard_count; ++shard) {
+    CampaignSpec child = spec_;
+    child.shard_index = shard;
+    child.journal_path = spec_.ShardJournalPath(shard);
+    child.json = false;
+    child.abort_after_records = 0;
+    // A leftover shard journal is a killed orchestration's completed work:
+    // resume it instead of discarding it. Finished shards replay entirely
+    // from disk; a journal recorded under a different campaign identity
+    // makes the child's engine refuse, which surfaces as the shard failing.
+    child.resume = FileExists(child.journal_path);
+    shard_paths.push_back(child.journal_path);
+    children.push_back(std::move(child));
+  }
+
+#ifdef LFI_HAVE_FORK
+  if (!tool_path_.empty()) {
+    // One `lfi_tool run-spec` child per shard: the spec itself is the wire
+    // format. Children inherit stderr; their stdout is redirected onto it so
+    // the orchestrator's own stdout (possibly --json) stays clean.
+    std::vector<std::string> spec_files;
+    std::vector<pid_t> pids;
+    bool spawn_failed = false;
+    for (size_t shard = 0; shard < children.size(); ++shard) {
+      std::string spec_file = shard_paths[shard] + ".spec";
+      {
+        std::ofstream out(spec_file);
+        out << children[shard].ToXml();
+        if (!out.good()) {
+          return fail("cannot write shard spec " + spec_file);
+        }
+      }
+      spec_files.push_back(spec_file);
+      pid_t pid = fork();
+      if (pid == 0) {
+        dup2(STDERR_FILENO, STDOUT_FILENO);
+        // execlp: argv[0] may be a bare name when the tool was found via
+        // PATH, so the exec must do the same search.
+        execlp(tool_path_.c_str(), tool_path_.c_str(), "run-spec", spec_file.c_str(),
+               static_cast<char*>(nullptr));
+        _exit(127);
+      }
+      if (pid < 0) {
+        spawn_failed = true;
+        break;
+      }
+      pids.push_back(pid);
+    }
+    std::string child_error;
+    for (size_t i = 0; i < pids.size(); ++i) {
+      int status = 0;
+      waitpid(pids[i], &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        child_error = StrFormat("shard %zu (pid %d) failed with status %d", i,
+                                static_cast<int>(pids[i]),
+                                WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+      }
+    }
+    if (spawn_failed) {
+      return fail("fork failed spawning shard processes");
+    }
+    if (!child_error.empty()) {
+      return fail(child_error + "; its journal (if any) is left for inspection");
+    }
+    for (const std::string& spec_file : spec_files) {
+      std::remove(spec_file.c_str());
+    }
+  } else
+#endif
+  {
+    // No tool path (library embedding, non-POSIX): run the shards in this
+    // process, sequentially. Same deterministic results, no isolation.
+    for (CampaignSpec& child : children) {
+      CampaignDriver driver(child);
+      if (!driver.Run(error)) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  JournalMetadata metadata;
+  std::vector<MergeInputStats> stats;
+  auto merged = MergeJournals(shard_paths, spec_.journal_path, error, &metadata, &stats);
+  if (!merged) {
+    return std::nullopt;
+  }
+  CampaignOutcome outcome = FromExploration(std::move(*merged), spec_);
+  outcome.metadata = std::move(metadata);
+  outcome.shards = std::move(stats);
+  return outcome;
+}
+
+std::optional<CampaignOutcome> MergeCampaignJournals(const std::vector<std::string>& inputs,
+                                                     const std::string& output_path,
+                                                     std::string* error) {
+  JournalMetadata metadata;
+  std::vector<MergeInputStats> stats;
+  auto merged = MergeJournals(inputs, output_path, error, &metadata, &stats);
+  if (!merged) {
+    return std::nullopt;
+  }
+  CampaignOutcome outcome;
+  outcome.bugs = std::move(merged->bugs);
+  outcome.coverage = std::move(merged->coverage);
+  outcome.scenarios_run = merged->scenarios_run;
+  outcome.journal_path = output_path;
+  outcome.metadata = std::move(metadata);
+  outcome.shards = std::move(stats);
+  return outcome;
+}
+
+}  // namespace lfi

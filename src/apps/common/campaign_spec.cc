@@ -1,0 +1,300 @@
+#include "apps/common/campaign_spec.h"
+
+#include <cstdlib>
+
+#include "core/journal.h"
+#include "util/string_util.h"
+
+namespace lfi {
+namespace {
+
+std::string SeedToString(uint64_t seed) {
+  // Full-range uint64 (ParseInt's int64 range would reject the top bit); hex
+  // keeps the round trip exact and matches the journal header encoding.
+  return StrFormat("0x%llx", static_cast<unsigned long long>(seed));
+}
+
+uint64_t SeedFromString(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 0);
+}
+
+size_t SizeFromString(const std::string& s) {
+  return static_cast<size_t>(std::strtoull(s.c_str(), nullptr, 0));
+}
+
+}  // namespace
+
+const char* CampaignModeName(CampaignMode mode) {
+  switch (mode) {
+    case CampaignMode::kTable1:
+      return "table1";
+    case CampaignMode::kExplore:
+      return "explore";
+    case CampaignMode::kResume:
+      return "resume";
+    case CampaignMode::kReplay:
+      return "replay";
+  }
+  return "?";
+}
+
+std::optional<CampaignMode> ParseCampaignMode(const std::string& name) {
+  // "campaign" is the historical journal-header spelling of table1 mode;
+  // accepting it keeps pre-redesign journals resumable.
+  if (name == "table1" || name == "campaign") {
+    return CampaignMode::kTable1;
+  }
+  if (name == "explore") {
+    return CampaignMode::kExplore;
+  }
+  if (name == "resume") {
+    return CampaignMode::kResume;
+  }
+  if (name == "replay") {
+    return CampaignMode::kReplay;
+  }
+  return std::nullopt;
+}
+
+const char* ExploreStrategyName(ExploreStrategy strategy) {
+  switch (strategy) {
+    case ExploreStrategy::kExhaustive:
+      return "exhaustive";
+    case ExploreStrategy::kRandom:
+      return "random";
+    case ExploreStrategy::kCoverage:
+      return "coverage";
+  }
+  return "?";
+}
+
+std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name) {
+  if (name == "exhaustive") {
+    return ExploreStrategy::kExhaustive;
+  }
+  if (name == "random") {
+    return ExploreStrategy::kRandom;
+  }
+  if (name == "coverage") {
+    return ExploreStrategy::kCoverage;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& CampaignSystemNames() {
+  static const std::vector<std::string> names = {"git", "mysql", "bind", "pbft"};
+  return names;
+}
+
+bool IsCampaignSystem(const std::string& name) {
+  for (const std::string& known : CampaignSystemNames()) {
+    if (name == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CampaignSpec::Validate() const {
+  bool journal_driven = mode == CampaignMode::kResume || mode == CampaignMode::kReplay;
+  if (journal_driven) {
+    if (journal_path.empty()) {
+      return std::string(CampaignModeName(mode)) + " needs the journal path to operate on";
+    }
+    if (shard_count > 1 || shard_index != kNoShard) {
+      // A shard journal carries its own shard coordinates in the header;
+      // resume re-derives them from the artifact.
+      return std::string(CampaignModeName(mode)) +
+             " takes its shard coordinates from the journal header, not the spec";
+    }
+    return "";
+  }
+  if (system.empty()) {
+    return "no target system named";
+  }
+  if (!IsCampaignSystem(system) &&
+      !(system == "all" && mode == CampaignMode::kTable1)) {
+    return "unknown system '" + system + "' (git|mysql|bind|pbft" +
+           (mode == CampaignMode::kTable1 ? "|all)" : ")");
+  }
+  if (system == "all" && !journal_path.empty()) {
+    return "campaign all cannot be journaled (four engines, no single job stream); "
+           "journal one system at a time";
+  }
+  if (shard_count == 0) {
+    return "shard count must be at least 1";
+  }
+  if (shard_index != kNoShard && shard_index >= shard_count) {
+    return StrFormat("shard index %zu is out of range for %zu shard(s)", shard_index,
+                     shard_count);
+  }
+  if (shard_count > 1) {
+    if (journal_path.empty()) {
+      return "sharded campaigns need --journal PATH (the per-shard artifacts and the "
+             "merged campaign live there)";
+    }
+    if (system == "all") {
+      return "shard one system at a time";
+    }
+    if (mode == CampaignMode::kExplore && strategy == ExploreStrategy::kCoverage) {
+      return "coverage-guided exploration closes a global feedback loop no shard can see; "
+             "run it single-process, or shard its recorded journal / the exhaustive|random "
+             "strategies";
+    }
+    if (mode == CampaignMode::kTable1 && !exhaustive) {
+      return "sharded table1 campaigns need exhaustive=true: the historical fuzz cutoff "
+             "is a global property no shard can see";
+    }
+  }
+  if (resume && journal_path.empty()) {
+    return "resume needs a journal path";
+  }
+  return "";
+}
+
+void CampaignSpec::AppendXml(XmlNode* parent) const {
+  XmlNode* node = parent->AddChild("campaignspec");
+  node->SetAttr("system", system);
+  node->SetAttr("mode", CampaignModeName(mode));
+  if (mode == CampaignMode::kExplore) {
+    node->SetAttr("strategy", ExploreStrategyName(strategy));
+  }
+  if (exhaustive) {
+    node->SetAttr("exhaustive", "true");
+  }
+  if (budget != 0) {
+    node->SetAttr("budget", StrFormat("%zu", budget));
+  }
+  if (seed != 1) {
+    node->SetAttr("seed", SeedToString(seed));
+  }
+  if (workers != 1) {
+    node->SetAttr("workers", StrFormat("%d", workers));
+  }
+  if (!journal_path.empty()) {
+    node->SetAttr("journal", journal_path);
+  }
+  if (resume) {
+    node->SetAttr("resume", "true");
+  }
+  if (shard_index != kNoShard) {
+    node->SetAttr("shard", StrFormat("%zu", shard_index));
+  }
+  if (shard_count != 1) {
+    node->SetAttr("shards", StrFormat("%zu", shard_count));
+  }
+  if (json) {
+    node->SetAttr("json", "true");
+  }
+  if (!replay_selector.empty()) {
+    node->SetAttr("selector", replay_selector);
+  }
+  if (abort_after_records != 0) {
+    node->SetAttr("abort-after", StrFormat("%zu", abort_after_records));
+  }
+}
+
+std::string CampaignSpec::ToXml() const { return ToXmlElement(*this); }
+
+std::optional<CampaignSpec> CampaignSpec::FromNode(const XmlNode& node, std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CampaignSpec> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  if (node.name() != "campaignspec") {
+    return fail("campaign spec element must be <campaignspec>");
+  }
+  CampaignSpec spec;
+  spec.system = node.AttrOr("system", "");
+  auto mode = ParseCampaignMode(node.AttrOr("mode", "explore"));
+  if (!mode) {
+    return fail("unknown campaign mode '" + node.AttrOr("mode", "") + "'");
+  }
+  spec.mode = *mode;
+  auto strategy = ParseExploreStrategy(node.AttrOr("strategy", "exhaustive"));
+  if (!strategy) {
+    return fail("unknown strategy '" + node.AttrOr("strategy", "") + "'");
+  }
+  spec.strategy = *strategy;
+  spec.exhaustive = node.AttrOr("exhaustive", "false") == "true";
+  spec.budget = SizeFromString(node.AttrOr("budget", "0"));
+  spec.seed = SeedFromString(node.AttrOr("seed", "1"));
+  if (auto workers = node.IntAttr("workers")) {
+    spec.workers = static_cast<int>(*workers);
+  }
+  spec.journal_path = node.AttrOr("journal", "");
+  spec.resume = node.AttrOr("resume", "false") == "true";
+  if (auto shard = node.Attr("shard")) {
+    spec.shard_index = SizeFromString(*shard);
+  }
+  spec.shard_count = SizeFromString(node.AttrOr("shards", "1"));
+  spec.json = node.AttrOr("json", "false") == "true";
+  spec.replay_selector = node.AttrOr("selector", "");
+  spec.abort_after_records = SizeFromString(node.AttrOr("abort-after", "0"));
+  return spec;
+}
+
+std::optional<CampaignSpec> CampaignSpec::Parse(const std::string& xml, std::string* error) {
+  return ParseXmlElement<CampaignSpec>(xml, error);
+}
+
+JournalMetadata CampaignSpec::ToJournalMeta() const {
+  JournalMetadata meta;
+  if (mode == CampaignMode::kTable1) {
+    // Historical key order and spellings: journals written before the spec
+    // existed resume against exactly this identity.
+    meta = {{"command", "campaign"},
+            {"system", system},
+            {"exhaustive", exhaustive ? "true" : "false"}};
+  } else {
+    meta = {{"command", "explore"},
+            {"system", system},
+            {"strategy", ExploreStrategyName(strategy)},
+            {"budget", StrFormat("%zu", budget)},
+            {"seed", SeedToString(seed)}};
+  }
+  if (shard_index != kNoShard) {
+    meta.emplace_back("shard", StrFormat("%zu", shard_index));
+    meta.emplace_back("shards", StrFormat("%zu", shard_count));
+  }
+  return meta;
+}
+
+std::optional<CampaignSpec> CampaignSpec::FromJournalMeta(const JournalMetadata& meta,
+                                                          std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CampaignSpec> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  CampaignSpec spec;
+  auto mode = ParseCampaignMode(MetaValue(meta, "command", "explore"));
+  if (!mode || (*mode != CampaignMode::kTable1 && *mode != CampaignMode::kExplore)) {
+    return fail("journal records unknown command '" + MetaValue(meta, "command", "") + "'");
+  }
+  spec.mode = *mode;
+  spec.system = MetaValue(meta, "system", "");
+  spec.exhaustive = MetaValue(meta, "exhaustive", "false") == "true";
+  auto strategy = ParseExploreStrategy(MetaValue(meta, "strategy", "exhaustive"));
+  if (!strategy) {
+    return fail("journal records unknown strategy '" + MetaValue(meta, "strategy", "") + "'");
+  }
+  spec.strategy = *strategy;
+  spec.budget = SizeFromString(MetaValue(meta, "budget", "0"));
+  spec.seed = SeedFromString(MetaValue(meta, "seed", "1"));
+  std::string shard = MetaValue(meta, "shard", "");
+  if (!shard.empty()) {
+    spec.shard_index = SizeFromString(shard);
+    spec.shard_count = SizeFromString(MetaValue(meta, "shards", "1"));
+  }
+  return spec;
+}
+
+std::string CampaignSpec::ShardJournalPath(size_t shard) const {
+  return journal_path + StrFormat(".shard%zu", shard);
+}
+
+}  // namespace lfi

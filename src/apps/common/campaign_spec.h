@@ -1,0 +1,123 @@
+// The declarative campaign description.
+//
+// A CampaignSpec is the one value that fully identifies a fault-injection
+// campaign: which system, which mode (the paper's Table 1 list, feedback
+// exploration, resuming or replaying a journal), which strategy/budget/seed,
+// how parallel, where the journal lives, and -- for multi-process campaigns
+// -- which shard of the work this process owns. Everything that used to be
+// spread across CampaignConfig, ExploreConfig, CampaignEngine::Options
+// wiring, and lfi_tool's per-subcommand parsing collapses into this struct;
+// CampaignDriver (campaign_driver.h) executes it.
+//
+// Specs round-trip through the XML subsystem (<campaignspec .../>), which is
+// also the parent->child wire format of `lfi_tool shard`: the orchestrator
+// serializes one spec per shard and each child runs `lfi_tool run-spec`.
+// They equally round-trip through a campaign journal's header metadata, so
+// `resume` can rebuild the whole spec from the artifact alone.
+//
+// This header also owns the one copy of the name<->enum parse tables
+// (system, mode, strategy) that lfi_tool and the campaign library used to
+// duplicate.
+
+#ifndef LFI_APPS_COMMON_CAMPAIGN_SPEC_H_
+#define LFI_APPS_COMMON_CAMPAIGN_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign_engine.h"
+#include "xml/xml.h"
+
+namespace lfi {
+
+// What the campaign does with its scenarios.
+enum class CampaignMode {
+  kTable1,   // the §7.1 bug campaign: the historical job list, run to the end
+  kExplore,  // feedback-driven exploration under a strategy/budget/seed
+  kResume,   // continue a journaled campaign (identity read from the header)
+  kReplay,   // re-inject journaled faults from disk and check reproduction
+};
+
+const char* CampaignModeName(CampaignMode mode);
+std::optional<CampaignMode> ParseCampaignMode(const std::string& name);
+
+// How kExplore produces scenarios (core/exploration.h implements these).
+enum class ExploreStrategy {
+  kExhaustive,  // the analyzer's job list, in order (the paper's behaviour)
+  kRandom,      // seeded random sweep over (function, error mode, ordinal)
+  kCoverage,    // coverage-guided: feedback steers sites and mutations
+};
+
+const char* ExploreStrategyName(ExploreStrategy strategy);
+std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name);
+
+// The campaign target systems, in canonical order. "all" (the union
+// campaign) is accepted by Table 1 mode but is not a member.
+const std::vector<std::string>& CampaignSystemNames();
+bool IsCampaignSystem(const std::string& name);
+
+struct CampaignSpec {
+  static constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+  std::string system;  // "git"|"mysql"|"bind"|"pbft", or "all" (table1 only)
+  CampaignMode mode = CampaignMode::kExplore;
+  ExploreStrategy strategy = ExploreStrategy::kExhaustive;
+  // Table 1 mode: run every generated scenario instead of stopping the fuzz
+  // phases at the historical bug counts. Required when sharding table1 work
+  // (the saturation cutoff is a global property no shard can see).
+  bool exhaustive = false;
+  size_t budget = 0;   // explore: 0 = the strategy's natural size
+  uint64_t seed = 1;   // drives random selection and per-job Runtime seeds
+  int workers = 1;     // engine worker pool; <= 0 = one per hardware thread
+  // Journal artifact: written by table1/explore runs, read (and continued /
+  // replayed) by resume/replay. Required when shard_count > 1.
+  std::string journal_path;
+  // With journal_path: replay an existing journal first and continue where
+  // it stopped (kResume sets this implicitly after reading the header).
+  bool resume = false;
+  // Multi-process sharding. shard_count > 1 with shard_index unset makes
+  // CampaignDriver orchestrate: run every shard (spawning child processes
+  // when it knows the lfi_tool path), then merge the per-shard journals.
+  // With shard_index set, this process runs only that shard of the
+  // deterministic stream into ShardJournalPath-style artifacts.
+  size_t shard_index = kNoShard;
+  size_t shard_count = 1;
+  bool json = false;  // machine-readable reporting (CLI presentation hint)
+  // Replay mode: "record[:injection]" selecting one journaled injection;
+  // empty replays every record that injected.
+  std::string replay_selector;
+  size_t abort_after_records = 0;  // kill-and-resume test hook (engine)
+
+  bool operator==(const CampaignSpec&) const = default;
+
+  // "" when the spec is runnable; otherwise a CLI-friendly description of
+  // what is wrong (unknown system, coverage strategy sharded, ...).
+  std::string Validate() const;
+
+  // XML round trip (<campaignspec .../>): canonical -- defaults are omitted
+  // and Parse(ToXml(s)) == s byte-stably. The shard orchestrator's wire
+  // format.
+  void AppendXml(XmlNode* parent) const;
+  std::string ToXml() const;
+  static std::optional<CampaignSpec> FromNode(const XmlNode& node,
+                                              std::string* error = nullptr);
+  static std::optional<CampaignSpec> Parse(const std::string& xml,
+                                           std::string* error = nullptr);
+
+  // Journal identity: the header a journaled run of this spec records
+  // (matching the historical key order, so old journals still resume), and
+  // the inverse `lfi_tool resume` uses. Environment-only fields (workers,
+  // json, abort hook) are deliberately not part of the identity.
+  JournalMetadata ToJournalMeta() const;
+  static std::optional<CampaignSpec> FromJournalMeta(const JournalMetadata& meta,
+                                                     std::string* error = nullptr);
+
+  // Canonical per-shard artifact path: "<journal_path>.shard<i>".
+  std::string ShardJournalPath(size_t shard) const;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_APPS_COMMON_CAMPAIGN_SPEC_H_

@@ -95,13 +95,17 @@ class JournalHook {
   }
 
   // Called at the serialized merge point, in job order, for jobs past the
-  // replay prefix.
+  // replay prefix. `merge_index` is the engine's global merge position; a job
+  // that carries its own stream_index (a dealt shard of a larger stream)
+  // keeps it, so the journal records positions in the unsharded stream.
   void Append(const CampaignJob& job, bool gated, const JobResult& result,
-              const RunFeedback& feedback) {
+              const RunFeedback& feedback, size_t merge_index) {
     JournalRecord record;
     record.label = job.label;
     record.seed = job.seed;
     record.gated = gated;
+    record.stream_index =
+        job.stream_index != CampaignJob::kNoStreamIndex ? job.stream_index : merge_index;
     record.scenario = job.scenario;
     if (!gated) {
       record.result = result;
@@ -231,7 +235,7 @@ ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& job
         saturated.store(true, std::memory_order_release);
       }
       if (journal != nullptr && cursor >= journal->replay_count()) {
-        journal->Append(job, gated, *pending[cursor], feedback);
+        journal->Append(job, gated, *pending[cursor], feedback, cursor);
       }
       if (source != nullptr) {
         source->OnFeedback(job, feedback);
@@ -360,7 +364,7 @@ ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner
         ++out.scenarios_run;
       }
       if (journal != nullptr && stream_base + index >= journal->replay_count()) {
-        journal->Append(job, gated, results[index], feedback);
+        journal->Append(job, gated, results[index], feedback, stream_base + index);
       }
       source.OnFeedback(job, feedback);
     }

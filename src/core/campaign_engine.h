@@ -106,9 +106,17 @@ struct JobResult {
 // One schedulable unit: a scenario plus everything needed to attribute and
 // reproduce its outcome.
 struct CampaignJob {
+  static constexpr size_t kNoStreamIndex = static_cast<size_t>(-1);
+
   Scenario scenario;
   std::string label;  // FoundBug::injected for bugs this job exposes
   uint64_t seed = 0;  // Runtime::Options::seed; 0 = scenario's own seeds
+  // Global position in the campaign's deterministic scenario stream. Sharded
+  // sources (ShardSource) stamp it so a shard's journal remembers where each
+  // job sat in the unsharded stream and MergeJournals can interleave shard
+  // records back into single-process merge order. kNoStreamIndex makes the
+  // journal fall back to the engine's own merge index.
+  size_t stream_index = kNoStreamIndex;
   // Self-contained jobs (different workload or harness than the campaign
   // default) override the campaign-wide runner.
   std::function<std::vector<FoundBug>(const CampaignJob&)> run;

@@ -1,6 +1,7 @@
 #include "core/exploration.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/scenario_gen.h"
 #include "util/string_util.h"
@@ -130,6 +131,42 @@ std::vector<CampaignJob> RandomSweepSource::NextBatch(size_t max_jobs) {
       emitted_ = budget_;  // sample space exhausted; end the sweep
       break;
     }
+  }
+  return out;
+}
+
+// --- ShardSource ------------------------------------------------------------
+
+ShardSource::ShardSource(ScenarioSource& inner, size_t shard_index, size_t shard_count) {
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw std::invalid_argument("ShardSource: shard_index must be < shard_count");
+  }
+  if (inner.needs_feedback()) {
+    throw std::invalid_argument(
+        "ShardSource: feedback-driven sources cannot be dealt across processes (their "
+        "schedule depends on results the other shards hold); shard a recorded journal "
+        "instead");
+  }
+  while (true) {
+    std::vector<CampaignJob> batch = inner.NextBatch(64);
+    if (batch.empty()) {
+      break;
+    }
+    for (CampaignJob& job : batch) {
+      size_t index = stream_size_++;
+      if (ScenarioShard(job.scenario, shard_count) != shard_index) {
+        continue;
+      }
+      job.stream_index = index;
+      jobs_.push_back(std::move(job));
+    }
+  }
+}
+
+std::vector<CampaignJob> ShardSource::NextBatch(size_t max_jobs) {
+  std::vector<CampaignJob> out;
+  while (next_ < jobs_.size() && out.size() < max_jobs) {
+    out.push_back(jobs_[next_++]);
   }
   return out;
 }

@@ -120,6 +120,35 @@ class RandomSweepSource : public ScenarioSource {
   std::set<std::string> seen_keys_;  // (function, retval, errno, count) dedup
 };
 
+// Deals an open-loop source's deterministic job stream across shards for
+// multi-process campaigns: drains `inner` up front, keeps only the jobs whose
+// scenario fingerprint (ScenarioShard) lands on `shard_index`, and stamps
+// every kept job's CampaignJob::stream_index with its position in the
+// unsharded stream. Content-keyed dealing means N processes seeded with the
+// same spec compute the same partition with no coordinator, and the recorded
+// stream positions let MergeJournals interleave the per-shard journals back
+// into exact single-process merge order.
+//
+// Feedback-driven sources (needs_feedback()) cannot be dealt this way --
+// their schedule depends on results the other shards hold -- so the
+// constructor rejects them (std::invalid_argument), as it does out-of-range
+// shard coordinates.
+class ShardSource : public ScenarioSource {
+ public:
+  ShardSource(ScenarioSource& inner, size_t shard_index, size_t shard_count);
+
+  std::vector<CampaignJob> NextBatch(size_t max_jobs) override;
+
+  size_t size() const { return jobs_.size(); }
+  // How long the unsharded stream was (every shard sees the same value).
+  size_t stream_size() const { return stream_size_; }
+
+ private:
+  std::vector<CampaignJob> jobs_;
+  size_t stream_size_ = 0;
+  size_t next_ = 0;
+};
+
 // The coverage-guided feedback loop over a binary's analyzed call sites.
 class CoverageGuidedSource : public ScenarioSource {
  public:

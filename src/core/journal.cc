@@ -1,10 +1,13 @@
 #include "core/journal.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 #include "util/string_util.h"
 
@@ -29,6 +32,9 @@ void JournalRecord::AppendXml(XmlNode* parent) const {
   XmlNode* node = parent->AddChild("record");
   node->SetAttr("label", label);
   node->SetAttr("seed", SeedToString(seed));
+  if (stream_index != kNoStreamIndex) {
+    node->SetAttr("index", StrFormat("%zu", stream_index));
+  }
   if (gated) {
     node->SetAttr("gated", "true");
   }
@@ -63,6 +69,9 @@ std::optional<JournalRecord> JournalRecord::FromNode(const XmlNode& node, std::s
   JournalRecord record;
   record.label = node.AttrOr("label", "");
   record.seed = SeedFromString(node.AttrOr("seed", "0"));
+  if (auto index = node.IntAttr("index"); index.has_value() && *index >= 0) {
+    record.stream_index = static_cast<size_t>(*index);
+  }
   record.gated = node.AttrOr("gated", "false") == "true";
   const XmlNode* scenario_node = node.Child("scenario");
   if (scenario_node == nullptr) {
@@ -150,8 +159,12 @@ std::optional<CampaignJournal> CampaignJournal::Parse(std::string_view text,
     end += std::string_view("</record>").size();
   } else if ((end = text.rfind("</journal>")) != std::string_view::npos) {
     end += std::string_view("</journal>").size();
-  } else if ((end = text.rfind("/>")) != std::string_view::npos) {
-    end += std::string_view("/>").size();  // self-closing (meta-less) header
+  } else if ((end = text.find("/>")) != std::string_view::npos) {
+    // Self-closing (meta-less) header. The FIRST "/>" is the header's own
+    // terminator; searching from the back instead would latch onto a
+    // self-closing element inside a torn first record (a killed empty shard
+    // leaves exactly this shape) and keep unparseable garbage.
+    end += std::string_view("/>").size();
   } else {
     return fail("not a campaign journal (no header)");
   }
@@ -288,6 +301,198 @@ std::vector<CampaignJob> JournalSource::NextBatch(size_t max_jobs) {
   std::vector<CampaignJob> out;
   while (next_ < jobs_.size() && out.size() < max_jobs) {
     out.push_back(jobs_[next_++]);
+  }
+  return out;
+}
+
+// --- MergeJournals ----------------------------------------------------------
+
+namespace {
+
+// Campaign identity: the header keys that must agree across merge inputs and
+// survive into the output, in the order a fresh single-process journal
+// writes them (so the merged header is byte-identical to that journal's).
+const char* const kIdentityKeys[] = {"command", "system", "strategy",
+                                     "budget",  "seed",   "exhaustive"};
+// Per-shard keys: meaningful only for one shard's artifact, dropped on merge.
+const char* const kShardKeys[] = {"shard", "shards"};
+
+bool IsShardKey(const std::string& key) {
+  for (const char* shard_key : kShardKeys) {
+    if (key == shard_key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& inputs,
+                                               const std::string& output_path,
+                                               std::string* error, JournalMetadata* metadata,
+                                               std::vector<MergeInputStats>* stats) {
+  auto fail = [&](std::string message) -> std::optional<ExplorationResult> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  if (inputs.empty()) {
+    return fail("merge needs at least one input journal");
+  }
+  if (std::FILE* f = std::fopen(output_path.c_str(), "rb")) {
+    std::fclose(f);
+    return fail("merge output " + output_path +
+                " already exists; delete it or merge to a fresh path");
+  }
+
+  std::vector<CampaignJournal> journals;
+  journals.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    auto journal = CampaignJournal::Load(path, error);
+    if (!journal) {
+      return std::nullopt;
+    }
+    journals.push_back(std::move(*journal));
+  }
+
+  // Identity check + output header. Any key an input carries must agree with
+  // every other input carrying it; the agreed values are emitted in the
+  // canonical key order, shard keys dropped.
+  JournalMetadata out_meta;
+  for (const char* key : kIdentityKeys) {
+    const std::string* agreed = nullptr;
+    size_t agreed_input = 0;
+    for (size_t i = 0; i < journals.size(); ++i) {
+      for (const auto& [k, v] : journals[i].metadata()) {
+        if (k != key) {
+          continue;
+        }
+        if (agreed == nullptr) {
+          agreed = &v;
+          agreed_input = i;
+        } else if (*agreed != v) {
+          return fail("cannot merge journals from different campaigns: " + inputs[agreed_input] +
+                      " has " + key + "='" + *agreed + "' but " + inputs[i] + " has '" + v +
+                      "'");
+        }
+      }
+    }
+    if (agreed != nullptr) {
+      out_meta.emplace_back(key, *agreed);
+    }
+  }
+  // Non-identity, non-shard keys (free-form annotations) ride along from
+  // whichever inputs carry them, first occurrence wins.
+  auto has_key = [](const JournalMetadata& meta, const std::string& key) {
+    for (const auto& [k, v] : meta) {
+      if (k == key) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const CampaignJournal& journal : journals) {
+    for (const auto& [key, value] : journal.metadata()) {
+      if (!IsShardKey(key) && !has_key(out_meta, key)) {
+        out_meta.emplace_back(key, value);
+      }
+    }
+  }
+
+  // The deterministic interleave: records sorted by their recorded global
+  // stream index. Records without one (pre-sharding journals) fall back to
+  // their input-local position; ties break by the input's shard header then
+  // local position, so permuting the input list cannot change the output.
+  struct Keyed {
+    size_t stream_index;
+    size_t shard_index;
+    size_t local_index;
+    const JournalRecord* record;
+  };
+  std::vector<Keyed> keyed;
+  if (stats != nullptr) {
+    stats->clear();
+  }
+  for (size_t i = 0; i < journals.size(); ++i) {
+    size_t shard_index = static_cast<size_t>(-1);
+    std::string shard_meta = journals[i].Meta("shard", "");
+    if (!shard_meta.empty()) {
+      shard_index = static_cast<size_t>(std::strtoull(shard_meta.c_str(), nullptr, 0));
+    }
+    MergeInputStats input_stats;
+    input_stats.path = inputs[i];
+    input_stats.shard_index = shard_index;
+    std::set<FoundBug> input_bugs;
+    const std::vector<JournalRecord>& records = journals[i].records();
+    for (size_t r = 0; r < records.size(); ++r) {
+      size_t index = records[r].stream_index != JournalRecord::kNoStreamIndex
+                         ? records[r].stream_index
+                         : r;
+      keyed.push_back({index, shard_index, r, &records[r]});
+      ++input_stats.records;
+      if (!records[r].gated) {
+        ++input_stats.scenarios_run;
+        input_bugs.insert(records[r].result.bugs.begin(), records[r].result.bugs.end());
+      }
+    }
+    input_stats.bugs = input_bugs.size();
+    if (stats != nullptr) {
+      stats->push_back(std::move(input_stats));
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return std::tie(a.stream_index, a.shard_index, a.local_index) <
+           std::tie(b.stream_index, b.shard_index, b.local_index);
+  });
+  // Disjointness: shards of one campaign never share a (stream position,
+  // shard) pair, so a collision means overlapping inputs -- the same shard
+  // listed twice, or an already-merged journal next to one of its shards.
+  // Appending the duplicates would double-count results and write a journal
+  // no resume can align with its regenerated stream.
+  for (size_t i = 1; i < keyed.size(); ++i) {
+    if (keyed[i].stream_index == keyed[i - 1].stream_index &&
+        keyed[i].shard_index == keyed[i - 1].shard_index) {
+      return fail(StrFormat("merge inputs overlap: two records claim stream index %zu "
+                            "(same journal listed twice, or a merged journal mixed with "
+                            "its own shards?)",
+                            keyed[i].stream_index));
+    }
+  }
+
+  // Re-dedup through the engine's merge fold: crash-site first-report-wins
+  // in stream order, and feedback recomputed against the rebuilt cumulative
+  // coverage (each input recorded feedback against its shard-local state,
+  // which is stale in the merged stream).
+  CampaignJournal merged;
+  if (!merged.Create(output_path, out_meta, error)) {
+    return std::nullopt;
+  }
+  ExplorationResult out;
+  std::set<FoundBug> bugs;
+  for (const Keyed& entry : keyed) {
+    JournalRecord record = *entry.record;
+    record.stream_index = entry.stream_index;
+    if (!record.gated) {
+      RunFeedback feedback;
+      for (const FoundBug& bug : record.result.bugs) {
+        feedback.new_bug |= bugs.insert(bug).second;
+      }
+      feedback.injections = record.result.injections;
+      feedback.fingerprint = record.result.fingerprint;
+      feedback.new_blocks = record.result.coverage.NewlyCoveredVersus(out.coverage);
+      out.coverage.Absorb(record.result.coverage);
+      ++out.scenarios_run;
+      record.feedback = std::move(feedback);
+    }
+    if (!merged.Append(record)) {
+      return fail("merge append failed writing " + output_path + ": disk full or I/O error");
+    }
+  }
+  out.bugs = {bugs.begin(), bugs.end()};
+  if (metadata != nullptr) {
+    *metadata = std::move(out_meta);
   }
   return out;
 }

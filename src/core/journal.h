@@ -60,12 +60,20 @@ inline std::string MetaValue(const JournalMetadata& meta, const std::string& key
 // One merged job: identity (label, seed, scenario), what the run observed,
 // and the feedback the source was given at the merge point.
 struct JournalRecord {
+  static constexpr size_t kNoStreamIndex = static_cast<size_t>(-1);
+
   std::string label;
   uint64_t seed = 0;
   // Skipped by the engine's max_bugs saturation gate: the job never ran and
   // result/feedback are empty. Recorded anyway so the replay prefix stays
   // index-aligned with the source's deterministic job stream.
   bool gated = false;
+  // The job's position in the campaign's global scenario stream (the engine's
+  // merge index, or CampaignJob::stream_index for dealt shards of a larger
+  // stream). MergeJournals sorts on it to interleave shard journals back
+  // into single-process merge order. kNoStreamIndex on records written
+  // before the attribute existed.
+  size_t stream_index = kNoStreamIndex;
   Scenario scenario;
   JobResult result;
   RunFeedback feedback;
@@ -161,6 +169,43 @@ class JournalSource : public ScenarioSource {
   std::vector<CampaignJob> jobs_;
   size_t next_ = 0;
 };
+
+// --- merging ----------------------------------------------------------------
+
+// What one input journal contributed to a merge (per-shard stats).
+struct MergeInputStats {
+  std::string path;
+  size_t shard_index = static_cast<size_t>(-1);  // the header's "shard" key, if any
+  size_t records = 0;
+  size_t scenarios_run = 0;  // non-gated records
+  size_t bugs = 0;           // crash sites deduplicated within this input
+};
+
+// Merges N journals (typically the per-shard artifacts of one sharded
+// campaign) into a single journal at `output_path`:
+//
+//   1. every input's campaign identity (command, system, strategy, budget,
+//      seed, exhaustive) must agree; the output header carries the agreed
+//      identity with the shard keys dropped, so the merged journal reads as
+//      the single-process campaign's own journal;
+//   2. records are interleaved deterministically -- sorted by their recorded
+//      global stream index (shard header index, then input position, break
+//      ties) -- so any input order yields a bit-identical output; and
+//   3. the merge re-runs the engine's deterministic fold over the sorted
+//      records: crash-site dedup in stream order and per-record feedback
+//      recomputed against the rebuilt cumulative coverage, replacing the
+//      shard-local feedback each input recorded.
+//
+// The result is byte-identical to the journal the equivalent single-process
+// run writes, and therefore resumable. Refuses to overwrite an existing
+// output file. Returns the merged campaign result (bugs, cumulative
+// coverage, scenarios run); `metadata`/`stats` receive the output header and
+// per-input accounting when non-null.
+std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& inputs,
+                                               const std::string& output_path,
+                                               std::string* error = nullptr,
+                                               JournalMetadata* metadata = nullptr,
+                                               std::vector<MergeInputStats>* stats = nullptr);
 
 }  // namespace lfi
 

@@ -1,6 +1,10 @@
 #include "core/scenario.h"
 
+#include <cstdlib>
+#include <stdexcept>
+
 #include "util/errno_codes.h"
+#include "util/sha1.h"
 #include "util/string_util.h"
 
 namespace lfi {
@@ -174,6 +178,22 @@ std::optional<Scenario> Scenario::FromNode(const XmlNode& node, std::string* err
     }
   }
   return scenario;
+}
+
+std::string ScenarioFingerprint(const Scenario& scenario) {
+  return Sha1::HexDigest(scenario.ToXml());
+}
+
+size_t ScenarioShard(const Scenario& scenario, size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("ScenarioShard: shard_count must be > 0");
+  }
+  // The leading 16 hex digits are 64 uniformly distributed bits; taking them
+  // through strtoull keeps the assignment stable across builds and standard
+  // libraries (std::hash would not be).
+  std::string fingerprint = ScenarioFingerprint(scenario);
+  uint64_t bits = std::strtoull(fingerprint.substr(0, 16).c_str(), nullptr, 16);
+  return static_cast<size_t>(bits % shard_count);
 }
 
 }  // namespace lfi

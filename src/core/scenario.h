@@ -93,6 +93,15 @@ class Scenario {
 // Deep-copies an XML node (used to retain <args> subtrees).
 std::unique_ptr<XmlNode> CloneXml(const XmlNode& node);
 
+// Stable content digest of a scenario: the SHA-1 of its canonical XML form,
+// so equal scenarios share a fingerprint no matter how they were built.
+// Multi-process sharding deals live work by this value -- every shard
+// computes the same partition from the scenario alone, with no coordinator.
+std::string ScenarioFingerprint(const Scenario& scenario);
+
+// The fingerprint reduced to a shard assignment in [0, shard_count).
+size_t ScenarioShard(const Scenario& scenario, size_t shard_count);
+
 }  // namespace lfi
 
 #endif  // LFI_CORE_SCENARIO_H_

@@ -354,6 +354,69 @@ TEST(CampaignJournal, TornTrailingRecordIsDropped) {
   EXPECT_TRUE(empty->records().empty());
 }
 
+// A meta-less header is a self-closing element; a kill during the first
+// record used to defeat the torn-tail scan (the backwards "/>" search
+// latched onto a self-closing element inside the torn record and kept the
+// garbage). An empty shard journal killed mid-append is exactly this shape.
+TEST(CampaignJournal, TornTailAfterSelfClosingHeaderIsDropped) {
+  std::string path = TempPath("journal_metaless_torn.xml");
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Create(path, {}));
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "<record label=\"torn\" seed=\"0x1\">\n  <scenario>\n    <trigger id=\"x\" />\n";
+  }
+  std::string error;
+  auto loaded = CampaignJournal::Load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->records().empty());
+}
+
+// shards > records: the empty shard still streams (zero jobs) and a
+// journaled engine run over it still writes a valid header-only journal
+// that loads and reopens downstream.
+TEST(JournalSource, EmptyShardYieldsAValidHeaderOnlyJournal) {
+  EnsureStockTriggersRegistered();
+  Rng rng(12);
+  std::string path = TempPath("journal_empty_shard_src.xml");
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.Create(path, {{"command", "explore"}, {"system", "git"}}));
+  ASSERT_TRUE(journal.Append(MakeRecord(rng, "only-record")));
+  std::string error;
+  auto loaded = CampaignJournal::Load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  JournalSource::Options options;
+  options.shard_index = 3;
+  options.shard_count = 8;  // > 1 record: this shard is empty
+  JournalSource source(*loaded, options);
+  EXPECT_EQ(source.size(), 0u);
+
+  std::string shard_path = TempPath("journal_empty_shard_out.xml");
+  std::remove(shard_path.c_str());
+  CampaignEngine::Options engine_options;
+  engine_options.journal_path = shard_path;
+  engine_options.journal_meta = {{"command", "explore"}, {"system", "git"},
+                                 {"shard", "3"},         {"shards", "8"}};
+  CampaignEngine engine(engine_options);
+  ExplorationResult result =
+      engine.Run(source, [](const CampaignJob&) { return JobResult{}; });
+  EXPECT_EQ(result.scenarios_run, 0u);
+
+  auto shard_journal = CampaignJournal::Load(shard_path, &error);
+  ASSERT_TRUE(shard_journal.has_value()) << error;
+  EXPECT_TRUE(shard_journal->records().empty());
+  EXPECT_EQ(shard_journal->Meta("shard"), "3");
+  // And the empty artifact merges (alone or with siblings) without fuss.
+  std::string merged_path = TempPath("journal_empty_shard_merged.xml");
+  std::remove(merged_path.c_str());
+  auto merged = MergeJournals({shard_path, path}, merged_path, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  auto merged_journal = CampaignJournal::Load(merged_path, &error);
+  ASSERT_TRUE(merged_journal.has_value()) << error;
+  EXPECT_EQ(merged_journal->records().size(), 1u);
+}
+
 // --- kill-and-resume determinism (the acceptance bar) ----------------------
 
 // Runs the coverage-guided pbft exploration journaled, simulates a kill
