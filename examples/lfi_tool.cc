@@ -40,9 +40,18 @@
 //                                            from disk alone and check it
 //                                            reproduces the recorded crash
 //   lfi_tool journal info <path> [--json]    inspect a journal artifact
+//   lfi_tool journal convert <in> <out> [--format xml|extent]
+//                                            rewrite a journal in the other
+//                                            encoding (default) or the named
+//                                            one, losslessly
 //   lfi_tool run-spec <spec.xml>             run a serialized CampaignSpec
 //                                            (the shard orchestrator's
 //                                            parent->child wire format)
+//
+// Journal-writing subcommands accept --format xml|extent to pick the on-disk
+// encoding of journals they create (docs/journal-format.md); the default is
+// the binary extent format, with XML kept as the debug/interchange encoding.
+// Reads always auto-detect.
 
 #include <cstdio>
 #include <cstdlib>
@@ -102,18 +111,20 @@ int Usage() {
                "  lfi_tool profile <library.self>\n"
                "  lfi_tool analyze <app.self> <library.self> [function]\n"
                "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--workers W]\n"
-               "                    [--exhaustive] [--journal PATH] [--json]\n"
+               "                    [--exhaustive] [--journal PATH] [--format xml|extent]\n"
+               "                    [--json]\n"
                "  lfi_tool explore {git|mysql|bind|pbft} [--strategy "
                "exhaustive|random|coverage]\n"
                "                   [--budget N] [--seed S] [--workers W] [--journal PATH]\n"
-               "                   [--shard I/N] [--json]\n"
+               "                   [--format xml|extent] [--shard I/N] [--json]\n"
                "  lfi_tool shard {git|mysql|bind|pbft} --shards N --journal PATH\n"
                "                 [--strategy exhaustive|random] [--budget N] [--seed S]\n"
-               "                 [--workers W] [--json]\n"
-               "  lfi_tool merge <out.xml> <in.xml...> [--json]\n"
+               "                 [--workers W] [--format xml|extent] [--json]\n"
+               "  lfi_tool merge <out> <in...> [--format xml|extent] [--json]\n"
                "  lfi_tool resume <journal> [--workers W] [--json]\n"
                "  lfi_tool replay <journal> [record[:injection]] [--json]\n"
                "  lfi_tool journal info <path> [--json]\n"
+               "  lfi_tool journal convert <in> <out> [--format xml|extent]\n"
                "  lfi_tool run-spec <spec.xml>\n");
   return 2;
 }
@@ -133,6 +144,10 @@ struct ToolOptions {
   size_t shard_count = 1;                            // --shard I/N or --shards N
   size_t abort_after = 0;  // undocumented test hook (CI kill-and-resume)
   bool json = false;
+  // --format: encoding for journals the command writes. nullopt = the
+  // default (extent for fresh journals; merge/convert derive theirs from
+  // their inputs).
+  std::optional<lfi::JournalFormat> format;
 };
 
 // Parses args[start..] into `out`. Returns false (after printing the
@@ -225,6 +240,17 @@ bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOp
       }
       out->shard_index = static_cast<size_t>(*index);
       out->shard_count = static_cast<size_t>(*count);
+    } else if (args[i] == "--format") {
+      const std::string* v = value("--format");
+      if (v == nullptr) {
+        return false;
+      }
+      auto format = lfi::ParseJournalFormat(*v);
+      if (!format) {
+        std::fprintf(stderr, "unknown journal format '%s' (xml|extent)\n", v->c_str());
+        return false;
+      }
+      out->format = *format;
     } else if (args[i] == "--abort-after") {
       const std::string* v = value("--abort-after");
       if (v == nullptr) {
@@ -260,6 +286,7 @@ lfi::CampaignSpec SpecFromOptions(lfi::CampaignMode mode, const std::string& sys
   spec.shard_index = options.shard_index;
   spec.shard_count = options.shard_count;
   spec.json = options.json;
+  spec.format = options.format.value_or(lfi::JournalFormat::kExtent);
   spec.abort_after_records = options.abort_after;
   return spec;
 }
@@ -466,7 +493,7 @@ int RunMergeCommand(const std::vector<std::string>& args, size_t start) {
     return Usage();
   }
   std::string error;
-  auto outcome = lfi::MergeCampaignJournals(inputs, args[start], &error);
+  auto outcome = lfi::MergeCampaignJournals(inputs, args[start], &error, options.format);
   if (!outcome) {
     std::fprintf(stderr, "merge failed: %s\n", error.c_str());
     return 1;
@@ -479,6 +506,28 @@ int RunMergeCommand(const std::vector<std::string>& args, size_t start) {
       std::strtoull(lfi::MetaValue(outcome->metadata, "seed", "0").c_str(), nullptr, 0);
   PrintExplorationSummary("merge", lfi::MetaValue(outcome->metadata, "system", "?"),
                           strategy.c_str(), budget, seed, *outcome, options.json);
+  return 0;
+}
+
+int RunJournalConvertCommand(const std::string& input, const std::string& output,
+                             const ToolOptions& options) {
+  std::string error;
+  size_t records = 0;
+  lfi::JournalFormat written = lfi::JournalFormat::kExtent;
+  if (!lfi::ConvertJournal(input, output, options.format, &error, &records, &written)) {
+    std::fprintf(stderr, "convert failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (options.json) {
+    std::printf(
+        "{\"command\":\"journal-convert\",\"input\":\"%s\",\"output\":\"%s\","
+        "\"format\":\"%s\",\"records\":%zu}\n",
+        lfi::JsonEscape(input).c_str(), lfi::JsonEscape(output).c_str(),
+        lfi::JournalFormatName(written), records);
+  } else {
+    std::printf("wrote %s (%s, %zu record(s))\n", output.c_str(),
+                lfi::JournalFormatName(written), records);
+  }
   return 0;
 }
 
@@ -687,6 +736,13 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return RunJournalInfoCommand(args[2], options);
+  }
+  if (cmd == "journal" && args.size() >= 4 && args[1] == "convert") {
+    ToolOptions options;
+    if (!ParseToolOptions(args, 4, &options)) {
+      return Usage();
+    }
+    return RunJournalConvertCommand(args[2], args[3], options);
   }
   if (cmd == "run-spec" && args.size() == 2) {
     std::ifstream in(args[1]);

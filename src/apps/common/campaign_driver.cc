@@ -382,6 +382,7 @@ CampaignEngine::Options EngineOptions(const CampaignSpec& spec, size_t max_bugs)
   options.max_bugs = max_bugs;
   options.journal_path = spec.journal_path;
   options.resume = spec.resume;
+  options.journal_format = spec.format;
   options.abort_after_records = spec.abort_after_records;
   if (!spec.journal_path.empty()) {
     options.journal_meta = spec.ToJournalMeta();
@@ -557,6 +558,9 @@ std::optional<CampaignOutcome> CampaignDriver::RunResume(std::string* error) {
   recorded->workers = spec_.workers;
   recorded->journal_path = spec_.journal_path;
   recorded->resume = true;
+  // Resume never re-encodes: the engine keeps appending in whatever format
+  // the file already uses.
+  recorded->format = journal->format();
   recorded->json = spec_.json;
   recorded->abort_after_records = spec_.abort_after_records;
   CampaignDriver driver(*recorded);
@@ -775,7 +779,8 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
 
   JournalMetadata metadata;
   std::vector<MergeInputStats> stats;
-  auto merged = MergeJournals(shard_paths, spec_.journal_path, error, &metadata, &stats);
+  auto merged =
+      MergeJournals(shard_paths, spec_.journal_path, error, &metadata, &stats, spec_.format);
   if (!merged) {
     return std::nullopt;
   }
@@ -787,10 +792,11 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
 
 std::optional<CampaignOutcome> MergeCampaignJournals(const std::vector<std::string>& inputs,
                                                      const std::string& output_path,
-                                                     std::string* error) {
+                                                     std::string* error,
+                                                     std::optional<JournalFormat> format) {
   JournalMetadata metadata;
   std::vector<MergeInputStats> stats;
-  auto merged = MergeJournals(inputs, output_path, error, &metadata, &stats);
+  auto merged = MergeJournals(inputs, output_path, error, &metadata, &stats, format);
   if (!merged) {
     return std::nullopt;
   }

@@ -186,6 +186,9 @@ void CampaignSpec::AppendXml(XmlNode* parent) const {
   if (json) {
     node->SetAttr("json", "true");
   }
+  if (format != JournalFormat::kExtent) {
+    node->SetAttr("format", JournalFormatName(format));
+  }
   if (!replay_selector.empty()) {
     node->SetAttr("selector", replay_selector);
   }
@@ -231,6 +234,11 @@ std::optional<CampaignSpec> CampaignSpec::FromNode(const XmlNode& node, std::str
   }
   spec.shard_count = SizeFromString(node.AttrOr("shards", "1"));
   spec.json = node.AttrOr("json", "false") == "true";
+  auto format = ParseJournalFormat(node.AttrOr("format", "extent"));
+  if (!format) {
+    return fail("unknown journal format '" + node.AttrOr("format", "") + "' (xml|extent)");
+  }
+  spec.format = *format;
   spec.replay_selector = node.AttrOr("selector", "");
   spec.abort_after_records = SizeFromString(node.AttrOr("abort-after", "0"));
   return spec;

@@ -85,6 +85,11 @@ struct CampaignSpec {
   size_t shard_index = kNoShard;
   size_t shard_count = 1;
   bool json = false;  // machine-readable reporting (CLI presentation hint)
+  // On-disk encoding for journals this campaign creates (fresh runs, shard
+  // artifacts, the merged journal). Reads auto-detect, and resume keeps the
+  // existing file's encoding, so this is an artifact preference -- never
+  // part of the campaign identity (not in ToJournalMeta).
+  JournalFormat format = JournalFormat::kExtent;
   // Replay mode: "record[:injection]" selecting one journaled injection;
   // empty replays every record that injected.
   std::string replay_selector;

@@ -68,8 +68,11 @@ class JournalHook {
                                "delete it to start fresh");
     }
     // Fresh journal; a resume of a never-created file (killed before the
-    // header was written) degenerates to the same thing.
-    if (!hook->journal_.Create(options.journal_path, options.journal_meta, &error)) {
+    // header was written) degenerates to the same thing. journal_format only
+    // applies here -- the resume path above inherits whatever encoding the
+    // existing file uses.
+    if (!hook->journal_.Create(options.journal_path, options.journal_meta, &error,
+                               options.journal_format)) {
       throw std::runtime_error(error);
     }
     return hook;
@@ -126,6 +129,17 @@ class JournalHook {
       std::fprintf(stderr, "journal: simulated kill after %zu appended record(s)\n",
                    appended_);
       std::_Exit(3);
+    }
+  }
+
+  // Completes the journal once the campaign ends: extent journals seal the
+  // open extent and write their footer index here. A failure is as loud as
+  // an append failure -- a journal without its tail flushed breaks the
+  // durability contract.
+  void Finish() {
+    std::string error;
+    if (!journal_.Finalize(&error)) {
+      throw std::runtime_error("journal finalize failed: " + error);
     }
   }
 
@@ -266,6 +280,9 @@ ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& job
     deliver(index, job.explore ? job.explore(job) : runner(job));
   });
 
+  if (journal != nullptr) {
+    journal->Finish();
+  }
   out.bugs = {bugs.begin(), bugs.end()};
   return out;
 }
@@ -374,6 +391,9 @@ ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner
     }
   }
 
+  if (journal != nullptr) {
+    journal->Finish();
+  }
   out.bugs = {bugs.begin(), bugs.end()};
   return out;
 }

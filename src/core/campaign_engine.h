@@ -51,6 +51,21 @@ class ScenarioSource;
 // back to reconstruct it.
 using JournalMetadata = std::vector<std::pair<std::string, std::string>>;
 
+// On-disk encoding of a campaign journal. Both encodings carry the same
+// records and metadata and are freely convertible (`lfi_tool journal
+// convert`); readers auto-detect the encoding from the file's first bytes,
+// so the format is a property of the artifact, never of the campaign
+// identity. kExtent (core/extent_journal.h, docs/journal-format.md) is the
+// default for new journals; kXml is kept as the human-readable debug and
+// interchange encoding.
+enum class JournalFormat {
+  kExtent,  // binary: CRC-checked, optionally compressed extents + footer index
+  kXml,     // the original append-only XML stream
+};
+
+const char* JournalFormatName(JournalFormat format);
+std::optional<JournalFormat> ParseJournalFormat(const std::string& name);
+
 // A bug exposed by the campaign, deduplicated by crash site: two injections
 // crashing at the same place in the same system are one bug (Table 1 counts
 // distinct sites, not distinct scenarios).
@@ -165,6 +180,10 @@ class CampaignEngine {
     // strategy, budget, seed). On resume the loaded header wins; a mismatch
     // with these values is an error.
     JournalMetadata journal_meta = {};
+    // On-disk encoding for a *fresh* journal. Resume keeps whatever encoding
+    // the existing file uses (auto-detected on load), so this never forks a
+    // journal's format mid-campaign.
+    JournalFormat journal_format = JournalFormat::kExtent;
     // Test hook for the kill-and-resume contract: exit the process (no
     // destructors, mid-campaign) right after this many records have been
     // appended in this run. 0 = off.

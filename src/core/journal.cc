@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "core/extent_journal.h"
 #include "util/string_util.h"
 
 namespace lfi {
@@ -125,6 +126,34 @@ std::optional<JournalRecord> JournalRecord::FromNode(const XmlNode& node, std::s
 
 // --- CampaignJournal --------------------------------------------------------
 
+const char* JournalFormatName(JournalFormat format) {
+  return format == JournalFormat::kXml ? "xml" : "extent";
+}
+
+std::optional<JournalFormat> ParseJournalFormat(const std::string& name) {
+  if (name == "extent") {
+    return JournalFormat::kExtent;
+  }
+  if (name == "xml") {
+    return JournalFormat::kXml;
+  }
+  return std::nullopt;
+}
+
+CampaignJournal::CampaignJournal() = default;
+CampaignJournal::CampaignJournal(CampaignJournal&&) = default;
+CampaignJournal& CampaignJournal::operator=(CampaignJournal&&) = default;
+
+CampaignJournal::~CampaignJournal() {
+  if (extent_out_ != nullptr && extent_out_->open()) {
+    extent_out_->Finalize(nullptr);
+  }
+}
+
+bool CampaignJournal::writable() const {
+  return out_ != nullptr || (extent_out_ != nullptr && extent_out_->open());
+}
+
 std::optional<CampaignJournal> CampaignJournal::Load(const std::string& path,
                                                      std::string* error) {
   std::ifstream in(path, std::ios::binary);
@@ -147,6 +176,22 @@ std::optional<CampaignJournal> CampaignJournal::Parse(std::string_view text,
     }
     return std::nullopt;
   };
+
+  // Encoding dispatch: extent journals declare themselves in their first
+  // four bytes; anything else is treated as the XML stream.
+  if (IsExtentJournal(text)) {
+    auto data = ParseExtentJournal(text, error);
+    if (!data) {
+      return std::nullopt;
+    }
+    CampaignJournal journal;
+    journal.format_ = JournalFormat::kExtent;
+    journal.meta_ = std::move(data->meta);
+    journal.records_ = std::move(data->records);
+    journal.extents_ = std::move(data->extents);
+    journal.intact_bytes_ = static_cast<size_t>(data->intact_bytes);
+    return journal;
+  }
 
   // A killed writer leaves at most one torn record at the tail. Everything
   // through the last complete record (or, in a record-less journal, the
@@ -185,6 +230,7 @@ std::optional<CampaignJournal> CampaignJournal::Parse(std::string_view text,
   }
 
   CampaignJournal journal;
+  journal.format_ = JournalFormat::kXml;
   const XmlNode* header = doc->root()->Child("journal");
   if (header == nullptr) {
     return fail("journal is missing its <journal> header");
@@ -211,7 +257,13 @@ std::optional<CampaignJournal> CampaignJournal::Parse(std::string_view text,
 }
 
 bool CampaignJournal::Create(const std::string& path, JournalMetadata meta,
-                             std::string* error) {
+                             std::string* error, JournalFormat format) {
+  format_ = format;
+  meta_ = std::move(meta);
+  if (format == JournalFormat::kExtent) {
+    extent_out_ = std::make_unique<ExtentJournalWriter>();
+    return extent_out_->Create(path, meta_, error);
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     if (error != nullptr) {
@@ -220,7 +272,6 @@ bool CampaignJournal::Create(const std::string& path, JournalMetadata meta,
     return false;
   }
   out_.reset(f);
-  meta_ = std::move(meta);
   XmlNode header("journal");
   header.SetAttr("version", StrFormat("%d", kVersion));
   for (const auto& [key, value] : meta_) {
@@ -235,6 +286,15 @@ bool CampaignJournal::Create(const std::string& path, JournalMetadata meta,
 }
 
 bool CampaignJournal::OpenAppend(const std::string& path, std::string* error) {
+  if (format_ == JournalFormat::kExtent) {
+    // The writer truncates the torn tail and any old footer itself; hand it
+    // the sealed-extent state Load() recovered.
+    ExtentJournalData loaded;
+    loaded.extents = extents_;
+    loaded.intact_bytes = intact_bytes_;
+    extent_out_ = std::make_unique<ExtentJournalWriter>();
+    return extent_out_->OpenAppend(path, loaded, error);
+  }
   // Drop the torn tail a kill may have left: appending after garbage would
   // leave an unparseable interior. intact_bytes_ came from Load()'s
   // last-complete-record scan.
@@ -262,6 +322,9 @@ bool CampaignJournal::OpenAppend(const std::string& path, std::string* error) {
 }
 
 bool CampaignJournal::Append(const JournalRecord& record) {
+  if (extent_out_ != nullptr && extent_out_->open()) {
+    return extent_out_->Append(record, nullptr);
+  }
   if (out_ == nullptr) {
     return false;
   }
@@ -270,6 +333,23 @@ bool CampaignJournal::Append(const JournalRecord& record) {
   // One flush per record: the contract is that a kill loses at most the
   // record being written, never an already-appended one.
   return std::fflush(out_.get()) == 0 && ok;
+}
+
+bool CampaignJournal::Finalize(std::string* error) {
+  if (extent_out_ != nullptr && extent_out_->open()) {
+    bool ok = extent_out_->Finalize(error);
+    extent_out_.reset();
+    return ok;
+  }
+  if (out_ != nullptr) {
+    bool ok = std::fflush(out_.get()) == 0;
+    out_.reset();
+    if (!ok && error != nullptr) {
+      *error = "journal flush failed: disk full or I/O error";
+    }
+    return ok;
+  }
+  return true;  // nothing open: finalizing a read-only journal is a no-op
 }
 
 // --- JournalSource ----------------------------------------------------------
@@ -331,7 +411,8 @@ bool IsShardKey(const std::string& key) {
 std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& inputs,
                                                const std::string& output_path,
                                                std::string* error, JournalMetadata* metadata,
-                                               std::vector<MergeInputStats>* stats) {
+                                               std::vector<MergeInputStats>* stats,
+                                               std::optional<JournalFormat> format) {
   auto fail = [&](std::string message) -> std::optional<ExplorationResult> {
     if (error != nullptr) {
       *error = std::move(message);
@@ -466,7 +547,8 @@ std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& i
   // coverage (each input recorded feedback against its shard-local state,
   // which is stale in the merged stream).
   CampaignJournal merged;
-  if (!merged.Create(output_path, out_meta, error)) {
+  JournalFormat out_format = format.value_or(journals.front().format());
+  if (!merged.Create(output_path, out_meta, error, out_format)) {
     return std::nullopt;
   }
   ExplorationResult out;
@@ -491,10 +573,57 @@ std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& i
     }
   }
   out.bugs = {bugs.begin(), bugs.end()};
+  if (!merged.Finalize(error)) {
+    return std::nullopt;
+  }
   if (metadata != nullptr) {
     *metadata = std::move(out_meta);
   }
   return out;
+}
+
+// --- ConvertJournal ---------------------------------------------------------
+
+bool ConvertJournal(const std::string& input_path, const std::string& output_path,
+                    std::optional<JournalFormat> format, std::string* error,
+                    size_t* records, JournalFormat* written) {
+  auto fail = [&](std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return false;
+  };
+  if (std::FILE* f = std::fopen(output_path.c_str(), "rb")) {
+    std::fclose(f);
+    return fail("convert output " + output_path +
+                " already exists; delete it or convert to a fresh path");
+  }
+  auto journal = CampaignJournal::Load(input_path, error);
+  if (!journal) {
+    return false;
+  }
+  JournalFormat out_format = format.value_or(
+      journal->format() == JournalFormat::kXml ? JournalFormat::kExtent : JournalFormat::kXml);
+  CampaignJournal out;
+  if (!out.Create(output_path, journal->metadata(), error, out_format)) {
+    return false;
+  }
+  for (const JournalRecord& record : journal->records()) {
+    if (!out.Append(record)) {
+      return fail("convert append failed writing " + output_path +
+                  ": disk full or I/O error");
+    }
+  }
+  if (!out.Finalize(error)) {
+    return false;
+  }
+  if (records != nullptr) {
+    *records = journal->records().size();
+  }
+  if (written != nullptr) {
+    *written = out_format;
+  }
+  return true;
 }
 
 }  // namespace lfi

@@ -23,12 +23,23 @@
 //            ScenarioSource, optionally dealing them round-robin across
 //            shards, so one campaign's journal can seed or split another.
 //
-// File format: a <journal version="1"> header element carrying campaign
-// metadata (<meta key value/>), followed by one <record> element per merged
-// job. Records are appended and flushed one at a time at the serialized
-// merge point; a kill therefore loses at most the record being written, and
-// Load() drops a torn trailing record by truncating at the last complete
-// one.
+// Two on-disk encodings carry the same records (JournalFormat,
+// auto-detected from the file's first bytes; `lfi_tool journal convert`
+// round-trips them losslessly):
+//
+//   kExtent  the default for new journals: a binary stream of CRC-checked,
+//            optionally compressed extents of up to 16 records each, closed
+//            by a footer index (core/extent_journal.h; byte-level spec in
+//            docs/journal-format.md). Extents are flushed whole, so a kill
+//            loses at most the extent being filled -- up to 16 records,
+//            which resume simply re-executes -- and recovery truncates to
+//            the last valid extent boundary.
+//   kXml     the debug/interchange encoding: a <journal version="1"> header
+//            element carrying campaign metadata (<meta key value/>),
+//            followed by one <record> element per merged job, appended and
+//            flushed one at a time. A kill loses at most the record being
+//            written; Load() drops a torn trailing record by truncating at
+//            the last complete one.
 
 #ifndef LFI_CORE_JOURNAL_H_
 #define LFI_CORE_JOURNAL_H_
@@ -84,24 +95,44 @@ struct JournalRecord {
                                                std::string* error = nullptr);
 };
 
+// One extent's entry in an extent journal's footer index: where its bytes
+// live, how many records it holds, and the stream-index range they span --
+// enough to seek to and decode any extent without touching the rest of the
+// file (core/extent_journal.h).
+struct ExtentInfo {
+  static constexpr uint64_t kNoIndex = static_cast<uint64_t>(-1);
+
+  uint64_t offset = 0;       // absolute byte offset of the extent header
+  uint32_t stored_size = 0;  // payload bytes on disk, after the fixed header
+  uint32_t record_count = 0;
+  // Smallest/largest stream_index among the extent's records; kNoIndex when
+  // no record carries one.
+  uint64_t first_index = kNoIndex;
+  uint64_t last_index = kNoIndex;
+};
+
+class ExtentJournalWriter;
+
 class CampaignJournal {
  public:
   static constexpr int kVersion = 1;
 
-  CampaignJournal() = default;
-  CampaignJournal(CampaignJournal&&) = default;
-  CampaignJournal& operator=(CampaignJournal&&) = default;
+  CampaignJournal();
+  ~CampaignJournal();  // finalizes a still-open extent writer (best effort)
+  CampaignJournal(CampaignJournal&&);
+  CampaignJournal& operator=(CampaignJournal&&);
 
   // --- reading --------------------------------------------------------------
 
-  // Reads and parses a journal file. Tolerates a torn trailing record (the
-  // kill-mid-write artifact): everything after the last complete record is
-  // dropped. Fails on missing files, version mismatches, and malformed
-  // records.
+  // Reads and parses a journal file, auto-detecting the encoding from the
+  // first bytes. Tolerates a torn tail (the kill-mid-write artifact):
+  // everything after the last complete record (XML) or sealed extent
+  // (extent format) is dropped. Fails on missing files, version mismatches,
+  // and malformed records.
   static std::optional<CampaignJournal> Load(const std::string& path,
                                              std::string* error = nullptr);
 
-  // Same, from journal text already in memory.
+  // Same, from journal bytes already in memory.
   static std::optional<CampaignJournal> Parse(std::string_view text,
                                               std::string* error = nullptr);
 
@@ -111,35 +142,54 @@ class CampaignJournal {
     return MetaValue(meta_, key, def);
   }
   const std::vector<JournalRecord>& records() const { return records_; }
+  // The on-disk encoding this journal was loaded from / created with.
+  JournalFormat format() const { return format_; }
+  // Extent journals: the footer index (or its scan-recovered equivalent),
+  // one entry per sealed extent. Empty for XML journals.
+  const std::vector<ExtentInfo>& extents() const { return extents_; }
 
   // --- writing --------------------------------------------------------------
 
-  // Creates (truncating) `path` and writes the header. The journal is then
-  // writable via Append().
-  bool Create(const std::string& path, JournalMetadata meta, std::string* error = nullptr);
+  // Creates (truncating) `path` and writes the header in the requested
+  // encoding. The journal is then writable via Append().
+  bool Create(const std::string& path, JournalMetadata meta, std::string* error = nullptr,
+              JournalFormat format = JournalFormat::kExtent);
 
-  // Reopens a loaded journal's file for appending (resume): loaded records
-  // stay readable as the replay prefix, new records land after them. A torn
-  // trailing record left by a kill is truncated away first, so the file
-  // stays parseable after the resumed run appends past it.
+  // Reopens a loaded journal's file for appending (resume), in whatever
+  // encoding the file already uses: loaded records stay readable as the
+  // replay prefix, new records land after them. The torn tail a kill left
+  // -- and, for extent journals, the old footer -- is truncated away first,
+  // so the file stays parseable after the resumed run appends past it.
   bool OpenAppend(const std::string& path, std::string* error = nullptr);
 
-  // Serializes and appends one record, flushing before returning so the
-  // record survives a subsequent kill. Requires Create()/OpenAppend().
+  // Serializes and appends one record. XML journals flush per record; the
+  // extent encoding buffers and flushes per sealed extent (every
+  // ExtentJournalWriter::kRecordsPerExtent records), so a kill loses at
+  // most the open extent. Requires Create()/OpenAppend().
   bool Append(const JournalRecord& record);
 
-  bool writable() const { return out_ != nullptr; }
+  // Completes a writable journal: seals the open extent, writes the footer
+  // index, flushes, and closes the write stream (no-op beyond a flush for
+  // XML). Called by the destructor as a best-effort fallback; campaigns
+  // that must surface I/O failures call it explicitly.
+  bool Finalize(std::string* error = nullptr);
+
+  bool writable() const;
 
  private:
   JournalMetadata meta_;
   std::vector<JournalRecord> records_;
-  // How many bytes of the loaded file were intact (through the last complete
-  // record); OpenAppend truncates to this before appending.
+  JournalFormat format_ = JournalFormat::kExtent;
+  std::vector<ExtentInfo> extents_;
+  // How many bytes of the loaded file were intact (through the last
+  // complete record / sealed extent); OpenAppend truncates to this before
+  // appending.
   size_t intact_bytes_ = 0;
   struct FileCloser {
     void operator()(std::FILE* f) const { std::fclose(f); }
   };
-  std::unique_ptr<std::FILE, FileCloser> out_;
+  std::unique_ptr<std::FILE, FileCloser> out_;          // XML append stream
+  std::unique_ptr<ExtentJournalWriter> extent_out_;     // extent append stream
 };
 
 // Streams a journal's recorded scenarios back as campaign jobs (label, seed,
@@ -200,12 +250,27 @@ struct MergeInputStats {
 // run writes, and therefore resumable. Refuses to overwrite an existing
 // output file. Returns the merged campaign result (bugs, cumulative
 // coverage, scenarios run); `metadata`/`stats` receive the output header and
-// per-input accounting when non-null.
-std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& inputs,
-                                               const std::string& output_path,
-                                               std::string* error = nullptr,
-                                               JournalMetadata* metadata = nullptr,
-                                               std::vector<MergeInputStats>* stats = nullptr);
+// per-input accounting when non-null. `format` picks the output encoding;
+// nullopt writes whatever encoding the first input uses (inputs of mixed
+// encodings merge fine -- the format is not part of the campaign identity).
+std::optional<ExplorationResult> MergeJournals(
+    const std::vector<std::string>& inputs, const std::string& output_path,
+    std::string* error = nullptr, JournalMetadata* metadata = nullptr,
+    std::vector<MergeInputStats>* stats = nullptr,
+    std::optional<JournalFormat> format = std::nullopt);
+
+// --- converting -------------------------------------------------------------
+
+// Rewrites a journal in another encoding, preserving header metadata and
+// every record exactly -- converting back yields a byte-identical file (for
+// finalized inputs; recovery of a torn input drops its tail first, exactly
+// as Load does). `format` defaults to the opposite of the input's encoding.
+// Refuses to overwrite an existing output. On success fills `records` and
+// `written` (the record count and output encoding) when non-null.
+bool ConvertJournal(const std::string& input_path, const std::string& output_path,
+                    std::optional<JournalFormat> format = std::nullopt,
+                    std::string* error = nullptr, size_t* records = nullptr,
+                    JournalFormat* written = nullptr);
 
 }  // namespace lfi
 

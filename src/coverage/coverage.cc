@@ -111,6 +111,31 @@ std::map<std::string, uint64_t> CoverageMap::hits() const {
   return out;
 }
 
+std::vector<CoverageMap::BlockInfo> CoverageMap::SortedBlocks() const {
+  std::vector<BlockInfo> out;
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    if (blocks_[id].known) {
+      out.push_back({SymbolTable::Blocks().Name(id), blocks_[id].recovery, blocks_[id].lines,
+                     hits_[id]});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockInfo& a, const BlockInfo& b) { return a.name < b.name; });
+  return out;
+}
+
+void CoverageMap::RestoreBlock(const BlockInfo& block) {
+  RestoreBlock(InternBlock(block.name), block.recovery, block.lines, block.hits);
+}
+
+void CoverageMap::RestoreBlock(BlockId id, bool recovery, int lines, uint64_t hits) {
+  RegisterBlock(id, recovery, lines);
+  if (hits != 0) {
+    EnsureBlock(id);
+    hits_[id] = hits;
+  }
+}
+
 void CoverageMap::AppendXml(XmlNode* parent) const {
   // Name order, like every other string-facing surface of this class: block
   // ids depend on process-wide interning order, serialized journals must not.

@@ -74,6 +74,9 @@ class XmlDocument {
   XmlNode* root() { return root_.get(); }
   const XmlNode* root() const { return root_.get(); }
   void set_root(std::unique_ptr<XmlNode> root) { root_ = std::move(root); }
+  // Detaches the root (root() becomes null): adopting a parsed subtree
+  // without the deep copy CloneXml would cost.
+  std::unique_ptr<XmlNode> take_root() { return std::move(root_); }
 
   // Serializes with an XML declaration.
   std::string ToString() const;

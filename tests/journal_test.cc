@@ -303,6 +303,9 @@ TEST(CampaignJournal, CreateAppendLoadRoundTrips) {
   gated.gated = true;
   gated.scenario = RandomScenario(rng);
   ASSERT_TRUE(journal.Append(gated));
+  // Extent journals buffer the open extent; Finalize seals it and writes the
+  // footer index (the engine does this via JournalHook::Finish).
+  ASSERT_TRUE(journal.Finalize(&error)) << error;
 
   auto loaded = CampaignJournal::Load(path, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
@@ -331,7 +334,10 @@ TEST(CampaignJournal, TornTrailingRecordIsDropped) {
   Rng rng(6);
   std::string path = TempPath("journal_torn.xml");
   CampaignJournal journal;
-  ASSERT_TRUE(journal.Create(path, {{"command", "explore"}, {"system", "git"}}));
+  // Torn-XML surgery below: this test is about the XML torn-tail scan, so
+  // pin the debug encoding (extent recovery is covered in extent_journal_test).
+  ASSERT_TRUE(journal.Create(path, {{"command", "explore"}, {"system", "git"}}, nullptr,
+                             JournalFormat::kXml));
   ASSERT_TRUE(journal.Append(MakeRecord(rng, "complete-1")));
   ASSERT_TRUE(journal.Append(MakeRecord(rng, "complete-2")));
   {
@@ -361,7 +367,7 @@ TEST(CampaignJournal, TornTrailingRecordIsDropped) {
 TEST(CampaignJournal, TornTailAfterSelfClosingHeaderIsDropped) {
   std::string path = TempPath("journal_metaless_torn.xml");
   CampaignJournal journal;
-  ASSERT_TRUE(journal.Create(path, {}));
+  ASSERT_TRUE(journal.Create(path, {}, nullptr, JournalFormat::kXml));
   {
     std::ofstream out(path, std::ios::app | std::ios::binary);
     out << "<record label=\"torn\" seed=\"0x1\">\n  <scenario>\n    <trigger id=\"x\" />\n";
@@ -383,6 +389,7 @@ TEST(JournalSource, EmptyShardYieldsAValidHeaderOnlyJournal) {
   ASSERT_TRUE(journal.Create(path, {{"command", "explore"}, {"system", "git"}}));
   ASSERT_TRUE(journal.Append(MakeRecord(rng, "only-record")));
   std::string error;
+  ASSERT_TRUE(journal.Finalize(&error)) << error;
   auto loaded = CampaignJournal::Load(path, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
 
@@ -448,10 +455,15 @@ TEST(CampaignJournal, KillAndResumeIsBitIdenticalAtAnyWorkerCount) {
       // The kill artifact: the first `keep` records, plus a torn tail.
       std::string partial_path =
           TempPath(StrFormat("journal_partial_%d_%zu.xml", workers, keep).c_str());
-      CampaignJournal partial;
-      ASSERT_TRUE(partial.Create(partial_path, full->metadata(), &error)) << error;
-      for (size_t i = 0; i < keep; ++i) {
-        ASSERT_TRUE(partial.Append(full->records()[i]));
+      {
+        // Scoped: the journal must be closed (extent mode: sealed) before the
+        // torn tail is appended and the resume below rewrites the file.
+        CampaignJournal partial;
+        ASSERT_TRUE(partial.Create(partial_path, full->metadata(), &error)) << error;
+        for (size_t i = 0; i < keep; ++i) {
+          ASSERT_TRUE(partial.Append(full->records()[i]));
+        }
+        ASSERT_TRUE(partial.Finalize(&error)) << error;
       }
       {
         std::ofstream out(partial_path, std::ios::app | std::ios::binary);
