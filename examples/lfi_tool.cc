@@ -18,28 +18,43 @@
 //                                            the §7.1 bug campaign
 //   lfi_tool explore {git|mysql|bind|pbft}
 //       [--strategy exhaustive|random|coverage] [--budget N] [--seed S]
-//       [--workers W] [--journal PATH] [--shard I/N] [--json]
-//                                            feedback-driven exploration;
+//       [--workers W] [--journal PATH] [--shard I/N] [--shards N]
+//       [--epoch-len K] [--json]             feedback-driven exploration;
 //                                            --shard runs one dealt shard of
 //                                            the stream (manual multi-machine
-//                                            sharding)
+//                                            sharding); --shards N with the
+//                                            coverage strategy runs the
+//                                            epoch-synchronized distributed
+//                                            campaign (requires --epoch-len K
+//                                            merged batches per epoch)
 //   lfi_tool shard {git|mysql|bind|pbft} --shards N --journal PATH
-//       [--strategy exhaustive|random] [--budget N] [--seed S] [--workers W]
-//       [--json]                             multi-process campaign: spawns N
+//       [--strategy exhaustive|random|coverage] [--budget N] [--seed S]
+//       [--workers W] [--epoch-len K] [--json]
+//                                            multi-process campaign: spawns N
 //                                            child lfi_tool processes, one
 //                                            per shard, then merges their
-//                                            journals into PATH
+//                                            journals into PATH (coverage
+//                                            strategy: epoch-synchronized,
+//                                            needs --epoch-len K)
 //   lfi_tool merge <out.xml> <in.xml...> [--json]
 //                                            merge shard journals into one
 //                                            resumable campaign journal
-//   lfi_tool resume <journal> [--workers W] [--json]
+//   lfi_tool resume <journal> [--workers W] [--shards N] [--json]
 //                                            continue a killed journaled
-//                                            campaign bit-identically
+//                                            campaign bit-identically;
+//                                            --shards N re-enters epoch
+//                                            orchestration for epoch-
+//                                            synchronized journals
 //   lfi_tool replay <journal> [record[:injection]] [--json]
 //                                            re-inject a journaled injection
 //                                            from disk alone and check it
 //                                            reproduces the recorded crash
-//   lfi_tool journal info <path> [--json]    inspect a journal artifact
+//   lfi_tool journal info <path> [--json]    inspect a journal artifact,
+//                                            including a per-epoch breakdown
+//                                            for epoch-synchronized journals;
+//                                            exits nonzero if stream indexes
+//                                            fail to advance or epochs
+//                                            overlap/regress
 //   lfi_tool journal convert <in> <out> [--format xml|extent]
 //                                            rewrite a journal in the other
 //                                            encoding (default) or the named
@@ -116,12 +131,14 @@ int Usage() {
                "  lfi_tool explore {git|mysql|bind|pbft} [--strategy "
                "exhaustive|random|coverage]\n"
                "                   [--budget N] [--seed S] [--workers W] [--journal PATH]\n"
-               "                   [--format xml|extent] [--shard I/N] [--json]\n"
+               "                   [--format xml|extent] [--shard I/N] [--shards N]\n"
+               "                   [--epoch-len K] [--json]\n"
                "  lfi_tool shard {git|mysql|bind|pbft} --shards N --journal PATH\n"
-               "                 [--strategy exhaustive|random] [--budget N] [--seed S]\n"
-               "                 [--workers W] [--format xml|extent] [--json]\n"
+               "                 [--strategy exhaustive|random|coverage] [--budget N]\n"
+               "                 [--seed S] [--workers W] [--epoch-len K]\n"
+               "                 [--format xml|extent] [--json]\n"
                "  lfi_tool merge <out> <in...> [--format xml|extent] [--json]\n"
-               "  lfi_tool resume <journal> [--workers W] [--json]\n"
+               "  lfi_tool resume <journal> [--workers W] [--shards N] [--json]\n"
                "  lfi_tool replay <journal> [record[:injection]] [--json]\n"
                "  lfi_tool journal info <path> [--json]\n"
                "  lfi_tool journal convert <in> <out> [--format xml|extent]\n"
@@ -142,6 +159,7 @@ struct ToolOptions {
   std::string journal;
   size_t shard_index = lfi::CampaignSpec::kNoShard;  // --shard I/N
   size_t shard_count = 1;                            // --shard I/N or --shards N
+  size_t epoch_len = 0;    // --epoch-len K (epoch-synchronized coverage runs)
   size_t abort_after = 0;  // undocumented test hook (CI kill-and-resume)
   bool json = false;
   // --format: encoding for journals the command writes. nullopt = the
@@ -226,6 +244,17 @@ bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOp
         return false;
       }
       out->shard_count = static_cast<size_t>(*parsed);
+    } else if (args[i] == "--epoch-len") {
+      const std::string* v = value("--epoch-len");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 1) {
+        std::fprintf(stderr, "bad --epoch-len value '%s'\n", v->c_str());
+        return false;
+      }
+      out->epoch_len = static_cast<size_t>(*parsed);
     } else if (args[i] == "--shard") {
       const std::string* v = value("--shard");
       if (v == nullptr) {
@@ -285,6 +314,7 @@ lfi::CampaignSpec SpecFromOptions(lfi::CampaignMode mode, const std::string& sys
   spec.journal_path = options.journal;
   spec.shard_index = options.shard_index;
   spec.shard_count = options.shard_count;
+  spec.epoch_len = options.epoch_len;
   spec.json = options.json;
   spec.format = options.format.value_or(lfi::JournalFormat::kExtent);
   spec.abort_after_records = options.abort_after;
@@ -531,6 +561,97 @@ int RunJournalConvertCommand(const std::string& input, const std::string& output
   return 0;
 }
 
+// One epoch of an epoch-synchronized journal, as `journal info` reports it:
+// how many records the epoch merged and what it contributed beyond every
+// earlier epoch (first-seen bugs, newly covered blocks).
+struct EpochInfoRow {
+  size_t epoch = 0;
+  size_t records = 0;
+  size_t gated = 0;
+  size_t bugs = 0;                 // bugs first exposed in this epoch
+  size_t new_recovery_blocks = 0;  // recovery blocks first covered here
+  size_t new_blocks = 0;           // blocks first covered here
+};
+
+// Walks the records once, building the per-epoch breakdown and validating
+// the epoch wire invariants (journal.h JournalRecord::epoch): stream indexes
+// strictly advance and epochs never regress or interleave, so every epoch
+// owns a disjoint stream-index range. Returns false (after printing the
+// offending record) on violation -- a journal that fails here was merged
+// from overlapping shard artifacts and must not be trusted.
+bool BuildEpochBreakdown(const std::string& path, const lfi::CampaignJournal& journal,
+                         std::vector<EpochInfoRow>* rows) {
+  std::set<lfi::FoundBug> seen_bugs;
+  lfi::CoverageMap cumulative;
+  lfi::CoverageMap::Stats prior = cumulative.ComputeStats();
+  auto close_row = [&](EpochInfoRow* row) {
+    lfi::CoverageMap::Stats now = cumulative.ComputeStats();
+    row->new_recovery_blocks = now.covered_recovery_blocks - prior.covered_recovery_blocks;
+    row->new_blocks = now.covered_blocks - prior.covered_blocks;
+    prior = now;
+    rows->push_back(*row);
+  };
+  EpochInfoRow row;
+  bool open = false;
+  size_t prev_stream = lfi::JournalRecord::kNoStreamIndex;
+  size_t prev_epoch = lfi::kNoEpoch;
+  for (size_t i = 0; i < journal.records().size(); ++i) {
+    const lfi::JournalRecord& record = journal.records()[i];
+    if (record.stream_index != lfi::JournalRecord::kNoStreamIndex) {
+      if (prev_stream != lfi::JournalRecord::kNoStreamIndex &&
+          record.stream_index <= prev_stream) {
+        std::fprintf(stderr,
+                     "invalid journal %s: record %zu stream index %zu does not advance past "
+                     "%zu (overlapping or reordered shard records)\n",
+                     path.c_str(), i, record.stream_index, prev_stream);
+        return false;
+      }
+      prev_stream = record.stream_index;
+    }
+    if (record.epoch != lfi::kNoEpoch && prev_epoch != lfi::kNoEpoch &&
+        record.epoch < prev_epoch) {
+      std::fprintf(stderr,
+                   "invalid journal %s: record %zu regresses to epoch %zu after epoch %zu\n",
+                   path.c_str(), i, record.epoch, prev_epoch);
+      return false;
+    }
+    if (record.epoch == lfi::kNoEpoch && prev_epoch != lfi::kNoEpoch) {
+      std::fprintf(stderr,
+                   "invalid journal %s: record %zu has no epoch after epoch-stamped records\n",
+                   path.c_str(), i);
+      return false;
+    }
+    if (record.epoch == lfi::kNoEpoch) {
+      continue;  // ordinary journal record; no breakdown row
+    }
+    prev_epoch = record.epoch;
+    if (open && record.epoch != row.epoch) {
+      close_row(&row);
+      row = EpochInfoRow();
+      open = false;
+    }
+    if (!open) {
+      row.epoch = record.epoch;
+      open = true;
+    }
+    ++row.records;
+    if (record.gated) {
+      ++row.gated;
+      continue;
+    }
+    for (const lfi::FoundBug& bug : record.result.bugs) {
+      if (seen_bugs.insert(bug).second) {
+        ++row.bugs;
+      }
+    }
+    cumulative.Absorb(record.result.coverage);
+  }
+  if (open) {
+    close_row(&row);
+  }
+  return true;
+}
+
 int RunJournalInfoCommand(const std::string& path, const ToolOptions& options) {
   std::string error;
   auto journal = lfi::CampaignJournal::Load(path, &error);
@@ -552,6 +673,10 @@ int RunJournalInfoCommand(const std::string& path, const ToolOptions& options) {
     coverage.Absorb(record.result.coverage);
   }
   std::vector<lfi::FoundBug> sorted(bugs.begin(), bugs.end());
+  std::vector<EpochInfoRow> epochs;
+  if (!BuildEpochBreakdown(path, *journal, &epochs)) {
+    return 1;
+  }
   if (options.json) {
     std::string meta_json = "{";
     for (size_t i = 0; i < journal->metadata().size(); ++i) {
@@ -563,13 +688,25 @@ int RunJournalInfoCommand(const std::string& path, const ToolOptions& options) {
                                   lfi::JsonEscape(journal->metadata()[i].second).c_str());
     }
     meta_json += "}";
+    std::string epochs_json = "[";
+    for (size_t i = 0; i < epochs.size(); ++i) {
+      if (i > 0) {
+        epochs_json += ",";
+      }
+      epochs_json += lfi::StrFormat(
+          "{\"epoch\":%zu,\"records\":%zu,\"gated\":%zu,\"new_bugs\":%zu,"
+          "\"new_recovery_blocks\":%zu,\"new_blocks\":%zu}",
+          epochs[i].epoch, epochs[i].records, epochs[i].gated, epochs[i].bugs,
+          epochs[i].new_recovery_blocks, epochs[i].new_blocks);
+    }
+    epochs_json += "]";
     std::printf(
         "{\"command\":\"journal-info\",\"path\":\"%s\",\"meta\":%s,"
         "\"records\":%zu,\"gated\":%zu,\"scenarios_run\":%zu,\"injections\":%zu,"
-        "\"coverage\":%s,\"bugs\":%s,\"count\":%zu}\n",
+        "\"coverage\":%s,\"epochs\":%s,\"bugs\":%s,\"count\":%zu}\n",
         lfi::JsonEscape(path).c_str(), meta_json.c_str(), journal->records().size(), gated,
         journal->records().size() - gated, injections, CoverageJson(coverage).c_str(),
-        BugsJson(sorted).c_str(), sorted.size());
+        epochs_json.c_str(), BugsJson(sorted).c_str(), sorted.size());
   } else {
     std::printf("journal %s\n", path.c_str());
     for (const auto& [key, value] : journal->metadata()) {
@@ -581,6 +718,14 @@ int RunJournalInfoCommand(const std::string& path, const ToolOptions& options) {
     std::printf("recovery blocks covered: %zu/%zu   blocks covered: %zu/%zu\n",
                 stats.covered_recovery_blocks, stats.recovery_blocks, stats.covered_blocks,
                 stats.total_blocks);
+    if (!epochs.empty()) {
+      std::printf("%-7s %-9s %-7s %-9s %-20s %s\n", "epoch", "records", "gated", "new bugs",
+                  "new recovery blocks", "new blocks");
+      for (const EpochInfoRow& row : epochs) {
+        std::printf("%-7zu %-9zu %-7zu %-9zu %-20zu %zu\n", row.epoch, row.records, row.gated,
+                    row.bugs, row.new_recovery_blocks, row.new_blocks);
+      }
+    }
     PrintBugTable(sorted);
   }
   return 0;

@@ -2,10 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/wait.h>
@@ -384,6 +386,12 @@ CampaignEngine::Options EngineOptions(const CampaignSpec& spec, size_t max_bugs)
   options.resume = spec.resume;
   options.journal_format = spec.format;
   options.abort_after_records = spec.abort_after_records;
+  // An epoch shard child's whole run lies inside one already-scheduled epoch
+  // (the frontier snapshot fixed the schedule), so the engine runs it
+  // open-loop with a fixed epoch stamp; the single-process epoch campaign
+  // instead lets the engine drive the epoch boundaries itself.
+  options.epoch_len = spec.epoch_index != kNoEpoch ? 0 : spec.epoch_len;
+  options.epoch = spec.epoch_index;
   if (!spec.journal_path.empty()) {
     options.journal_meta = spec.ToJournalMeta();
   }
@@ -396,6 +404,56 @@ bool FileExists(const std::string& path) {
     std::fclose(f);
   }
   return f != nullptr;
+}
+
+// The analyzer inputs an exploration strategy consumes: every library's call
+// site reports concatenated in profile order (deterministic, so plan report
+// indices are stable across processes), plus one profile to look functions
+// up in -- a combined view when the system links several libraries (profiles
+// never share function names here; if they did, the first library would win,
+// matching link order).
+struct ExploreInputs {
+  std::vector<const FaultProfile*> profiles;
+  std::vector<CallSiteReport> reports;
+  FaultProfile combined{"combined"};
+  bool use_combined = false;
+
+  const FaultProfile& lookup() const { return use_combined ? combined : *profiles.front(); }
+};
+
+ExploreInputs BuildExploreInputs(const SystemEntry& entry) {
+  ExploreInputs inputs;
+  inputs.profiles = entry.profiles();
+  for (const FaultProfile* profile : inputs.profiles) {
+    const std::vector<CallSiteReport>& cached =
+        AnalysisCache::Instance().Reports(entry.binary().image(), *profile);
+    inputs.reports.insert(inputs.reports.end(), cached.begin(), cached.end());
+  }
+  if (inputs.profiles.size() > 1) {
+    for (auto it = inputs.profiles.rbegin(); it != inputs.profiles.rend(); ++it) {
+      for (const auto& [name, fn] : (*it)->functions()) {
+        inputs.combined.AddFunction(fn);
+      }
+    }
+    inputs.use_combined = true;
+  }
+  return inputs;
+}
+
+// Points the process-wide AnalysisCache at the campaign's persistent
+// on-disk cache directory (unless the user already chose one via
+// LFI_ANALYSIS_CACHE), and exports the choice so spawned shard children
+// inherit it: every child then loads the binary analysis from disk instead
+// of re-running the analyzer at startup.
+void ConfigureAnalysisCacheDir(const std::string& journal_path) {
+  if (journal_path.empty() || std::getenv("LFI_ANALYSIS_CACHE") != nullptr) {
+    return;
+  }
+  std::string dir = journal_path + ".acache";
+  AnalysisCache::Instance().SetPersistDir(dir);
+#ifdef LFI_HAVE_FORK
+  setenv("LFI_ANALYSIS_CACHE", dir.c_str(), /*overwrite=*/0);
+#endif
 }
 
 CampaignOutcome FromExploration(ExplorationResult result, const CampaignSpec& spec) {
@@ -432,7 +490,13 @@ std::optional<CampaignOutcome> CampaignDriver::Run(std::string* error) {
   }
   EnsureStockTriggersRegistered();
   try {
-    if (spec_.shard_count > 1 && spec_.shard_index == CampaignSpec::kNoShard) {
+    bool orchestrates = spec_.shard_count > 1 && spec_.shard_index == CampaignSpec::kNoShard &&
+                        (spec_.mode == CampaignMode::kTable1 || spec_.mode == CampaignMode::kExplore);
+    if (orchestrates) {
+      if (spec_.mode == CampaignMode::kExplore && spec_.strategy == ExploreStrategy::kCoverage) {
+        // Validate guaranteed epoch_len != 0 for this combination.
+        return RunEpochOrchestration(error);
+      }
       return RunShardOrchestration(error);
     }
     switch (spec_.mode) {
@@ -489,28 +553,14 @@ std::optional<CampaignOutcome> CampaignDriver::RunTable1(std::string* error) {
 }
 
 std::optional<CampaignOutcome> CampaignDriver::RunExplore(std::string* error) {
-  (void)error;
-  const SystemEntry* entry = FindSystem(spec_.system);
-  std::vector<const FaultProfile*> profiles = entry->profiles();
-  std::vector<CallSiteReport> reports;
-  for (const FaultProfile* profile : profiles) {
-    const std::vector<CallSiteReport>& cached =
-        AnalysisCache::Instance().Reports(entry->binary().image(), *profile);
-    reports.insert(reports.end(), cached.begin(), cached.end());
-  }
-  // The strategies look functions up in one profile; with several libraries
-  // build a combined view (profiles never share function names here -- and
-  // if they did, the first library would win, matching link order).
-  const FaultProfile* lookup = profiles.front();
-  FaultProfile combined("combined");
-  if (profiles.size() > 1) {
-    for (auto it = profiles.rbegin(); it != profiles.rend(); ++it) {
-      for (const auto& [name, fn] : (*it)->functions()) {
-        combined.AddFunction(fn);
-      }
+  auto fail = [&](std::string message) -> std::optional<CampaignOutcome> {
+    if (error != nullptr) {
+      *error = std::move(message);
     }
-    lookup = &combined;
-  }
+    return std::nullopt;
+  };
+  const SystemEntry* entry = FindSystem(spec_.system);
+  ExploreInputs inputs = BuildExploreInputs(*entry);
   CampaignEngine engine(EngineOptions(spec_, /*max_bugs=*/0));
   auto run = [&](ScenarioSource& source) -> CampaignOutcome {
     if (spec_.shard_index != CampaignSpec::kNoShard) {
@@ -522,7 +572,7 @@ std::optional<CampaignOutcome> CampaignDriver::RunExplore(std::string* error) {
   switch (spec_.strategy) {
     case ExploreStrategy::kExhaustive: {
       std::vector<CampaignJob> jobs;
-      for (const FaultProfile* profile : profiles) {
+      for (const FaultProfile* profile : inputs.profiles) {
         for (CampaignJob& job : AnalyzerJobs(entry->binary().image(), *profile)) {
           jobs.push_back(std::move(job));
         }
@@ -531,7 +581,7 @@ std::optional<CampaignOutcome> CampaignDriver::RunExplore(std::string* error) {
       return run(source);
     }
     case ExploreStrategy::kRandom: {
-      RandomSweepSource source(*lookup, SiteFunctions(reports),
+      RandomSweepSource source(inputs.lookup(), SiteFunctions(inputs.reports),
                                spec_.budget != 0 ? spec_.budget : 64, spec_.seed);
       return run(source);
     }
@@ -539,7 +589,31 @@ std::optional<CampaignOutcome> CampaignDriver::RunExplore(std::string* error) {
       CoverageGuidedSource::Options options;
       options.budget = spec_.budget != 0 ? spec_.budget : 64;
       options.seed = spec_.seed;
-      CoverageGuidedSource source(reports, *lookup, options);
+      std::optional<FrontierState> frontier;
+      if (spec_.epoch_index != kNoEpoch) {
+        // Epoch shard child: reseed the frontier the orchestrator exported
+        // at the epoch boundary and re-derive the epoch's job stream
+        // open-loop. The schedule limit is where the epoch ends in the
+        // unsharded stream; a frontier that runs dry earlier stops earlier,
+        // exactly like the single-process run's early epoch flush.
+        std::ifstream in(spec_.frontier_path);
+        std::string xml((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+        if (xml.empty()) {
+          return fail("cannot read frontier snapshot " + spec_.frontier_path);
+        }
+        std::string frontier_error;
+        frontier = FrontierState::Parse(xml, &frontier_error);
+        if (!frontier) {
+          return fail("bad frontier snapshot " + spec_.frontier_path + ": " + frontier_error);
+        }
+        options.open_loop = true;
+        options.schedule_limit =
+            frontier->scheduled + spec_.epoch_len * CampaignEngine::Options::kDefaultBatchSize;
+      }
+      CoverageGuidedSource source(inputs.reports, inputs.lookup(), options);
+      if (frontier) {
+        source.ImportFrontier(*frontier);
+      }
       return run(source);
     }
   }
@@ -558,6 +632,17 @@ std::optional<CampaignOutcome> CampaignDriver::RunResume(std::string* error) {
   recorded->workers = spec_.workers;
   recorded->journal_path = spec_.journal_path;
   recorded->resume = true;
+  // `resume --shards N` resumes a merged epoch-synchronized journal as a
+  // distributed campaign again (the journal's identity doesn't record the
+  // shard count -- it is an execution choice, not part of the identity).
+  if (spec_.shard_count > 1 && recorded->epoch_len == 0) {
+    if (error != nullptr) {
+      *error = "--shards on resume applies to epoch-synchronized (epoch-len) campaigns; "
+               "this journal resumes single-process";
+    }
+    return std::nullopt;
+  }
+  recorded->shard_count = spec_.shard_count;
   // Resume never re-encodes: the engine keeps appending in whatever format
   // the file already uses.
   recorded->format = journal->format();
@@ -694,6 +779,7 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
                 " already exists; resume it to continue the campaign, or delete it to "
                 "start fresh");
   }
+  ConfigureAnalysisCacheDir(spec_.journal_path);
 
   std::vector<CampaignSpec> children;
   std::vector<std::string> shard_paths;
@@ -712,6 +798,31 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
     children.push_back(std::move(child));
   }
 
+  if (!RunShardChildren(children, error)) {
+    return std::nullopt;
+  }
+
+  JournalMetadata metadata;
+  std::vector<MergeInputStats> stats;
+  auto merged =
+      MergeJournals(shard_paths, spec_.journal_path, error, &metadata, &stats, spec_.format);
+  if (!merged) {
+    return std::nullopt;
+  }
+  CampaignOutcome outcome = FromExploration(std::move(*merged), spec_);
+  outcome.metadata = std::move(metadata);
+  outcome.shards = std::move(stats);
+  return outcome;
+}
+
+bool CampaignDriver::RunShardChildren(const std::vector<CampaignSpec>& children,
+                                      std::string* error) {
+  auto fail = [&](std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return false;
+  };
 #ifdef LFI_HAVE_FORK
   if (!tool_path_.empty()) {
     // One `lfi_tool run-spec` child per shard: the spec itself is the wire
@@ -721,7 +832,7 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
     std::vector<pid_t> pids;
     bool spawn_failed = false;
     for (size_t shard = 0; shard < children.size(); ++shard) {
-      std::string spec_file = shard_paths[shard] + ".spec";
+      std::string spec_file = children[shard].journal_path + ".spec";
       {
         std::ofstream out(spec_file);
         out << children[shard].ToXml();
@@ -764,29 +875,268 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
     for (const std::string& spec_file : spec_files) {
       std::remove(spec_file.c_str());
     }
-  } else
+    return true;
+  }
 #endif
-  {
-    // No tool path (library embedding, non-POSIX): run the shards in this
-    // process, sequentially. Same deterministic results, no isolation.
-    for (CampaignSpec& child : children) {
-      CampaignDriver driver(child);
-      if (!driver.Run(error)) {
+  // No tool path (library embedding, non-POSIX): one thread per shard in
+  // this process. Same deterministic artifacts -- every child writes its own
+  // journal and the shared caches are thread-safe -- just no process
+  // isolation.
+  std::vector<std::string> errors(children.size());
+  std::vector<char> ok(children.size(), 1);
+  std::vector<std::thread> threads;
+  threads.reserve(children.size());
+  for (size_t shard = 0; shard < children.size(); ++shard) {
+    threads.emplace_back([&, shard] {
+      CampaignDriver driver(children[shard]);
+      if (!driver.Run(&errors[shard])) {
+        ok[shard] = 0;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (size_t shard = 0; shard < children.size(); ++shard) {
+    if (!ok[shard]) {
+      return fail(StrFormat("shard %zu failed: %s; its journal (if any) is left for "
+                            "inspection",
+                            shard, errors[shard].c_str()));
+    }
+  }
+  return true;
+}
+
+std::optional<CampaignOutcome> CampaignDriver::RunEpochOrchestration(std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<CampaignOutcome> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  const size_t batch_size = CampaignEngine::Options::kDefaultBatchSize;
+
+  // Resume loads the merged journal (possibly torn by a kill) and replays
+  // its complete epochs through the loop below; a fresh run refuses to
+  // clobber an existing artifact.
+  std::vector<JournalRecord> loaded;
+  JournalFormat format = spec_.format;
+  if (spec_.resume) {
+    auto journal = CampaignJournal::Load(spec_.journal_path, error);
+    if (!journal) {
+      return std::nullopt;
+    }
+    for (const auto& [key, value] : spec_.ToJournalMeta()) {
+      std::string recorded = journal->Meta(key, "");
+      if (recorded != value) {
+        return fail("journal " + spec_.journal_path + " records a campaign with " + key +
+                    "='" + recorded + "', not '" + value + "'; resuming it would diverge");
+      }
+    }
+    loaded = journal->records();
+    format = journal->format();
+  } else if (FileExists(spec_.journal_path)) {
+    return fail("journal " + spec_.journal_path +
+                " already exists; resume it to continue the campaign, or delete it to "
+                "start fresh");
+  }
+  ConfigureAnalysisCacheDir(spec_.journal_path);
+
+  const SystemEntry* entry = FindSystem(spec_.system);
+  ExploreInputs inputs = BuildExploreInputs(*entry);
+  CoverageGuidedSource::Options master_options;
+  master_options.budget = spec_.budget != 0 ? spec_.budget : 64;
+  master_options.seed = spec_.seed;
+  CoverageGuidedSource master(inputs.reports, inputs.lookup(), master_options);
+
+  // The merged journal is written exactly the way the single-process
+  // --epoch-len run writes its own: the same header (no shard keys), records
+  // appended in stream order as epochs merge, one Finalize at the very end.
+  // On resume the file is rewritten from record zero -- appending the loaded
+  // records unchanged reseals extents at the same boundaries, so the rewrite
+  // is bit-identical and cleanly discards any torn tail the kill left.
+  CampaignJournal merged;
+  if (!merged.Create(spec_.journal_path, spec_.ToJournalMeta(), error, format)) {
+    return std::nullopt;
+  }
+  MergeFoldState fold;
+  std::deque<JournalRecord> replay(loaded.begin(), loaded.end());
+  size_t appended_live = 0;
+  std::vector<MergeInputStats> shard_stats(spec_.shard_count);
+  std::vector<std::set<FoundBug>> shard_bugs(spec_.shard_count);
+  for (size_t shard = 0; shard < spec_.shard_count; ++shard) {
+    shard_stats[shard].path = spec_.journal_path + StrFormat(".epoch*.shard%zu", shard);
+    shard_stats[shard].shard_index = shard;
+  }
+
+  for (size_t epoch = 0;; ++epoch) {
+    // The epoch's schedule is a pure function of the frontier: snapshot it
+    // first, then enumerate the epoch's jobs from the master source exactly
+    // as the single-process engine would -- up to epoch_len batches, ending
+    // early if the frontier runs dry (feedback for these jobs arrives only
+    // after the epoch merges, so enumeration is open-loop by construction).
+    FrontierState frontier = master.ExportFrontier();
+    std::vector<CampaignJob> jobs;
+    size_t batches = 0;
+    while (batches < spec_.epoch_len) {
+      std::vector<CampaignJob> next = master.NextBatch(batch_size);
+      if (next.empty()) {
+        break;
+      }
+      ++batches;
+      for (CampaignJob& job : next) {
+        jobs.push_back(std::move(job));
+      }
+    }
+    if (jobs.empty()) {
+      break;  // frontier exhausted or budget reached: the campaign is over
+    }
+
+    if (replay.size() >= jobs.size()) {
+      // The merged journal fully covers this epoch: replay it. Loaded
+      // records substitute for child work, and the master receives the
+      // epoch's feedback exactly as if the epoch had just merged.
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        const JournalRecord& record = replay[i];
+        if (record.label != jobs[i].label || record.stream_index != jobs[i].stream_index ||
+            record.epoch != epoch) {
+          return fail(StrFormat(
+              "journal %s does not align with the regenerated stream at record %zu "
+              "('%s' where the frontier schedules '%s'); it was not recorded by this spec",
+              spec_.journal_path.c_str(), fold.records + i, record.label.c_str(),
+              jobs[i].label.c_str()));
+        }
+      }
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        JournalRecord record = std::move(replay.front());
+        replay.pop_front();
+        // The engine's fold, continued across the rewrite: the recomputed
+        // feedback equals the recorded copy, so the bytes do not change.
+        RunFeedback feedback;
+        if (!record.gated) {
+          for (const FoundBug& bug : record.result.bugs) {
+            feedback.new_bug |= fold.bugs.insert(bug).second;
+          }
+          feedback.injections = record.result.injections;
+          feedback.fingerprint = record.result.fingerprint;
+          feedback.new_blocks = record.result.coverage.NewlyCoveredVersus(fold.coverage);
+          fold.coverage.Absorb(record.result.coverage);
+          ++fold.scenarios_run;
+          record.feedback = feedback;
+        }
+        if (!merged.Append(record)) {
+          return fail("journal append failed rewriting " + spec_.journal_path +
+                      ": disk full or I/O error");
+        }
+        ++fold.records;
+        fold.next_stream_index = record.stream_index + 1;
+        master.OnFeedback(jobs[i], feedback);
+      }
+      continue;
+    }
+    // The first epoch the merged journal does not fully cover runs live. Its
+    // partial records (the kill's torn tail) are discarded: the sealed
+    // per-epoch shard journals are the durable copy the epoch is rebuilt
+    // from, and a shard whose journal already completed replays it from disk
+    // without re-executing anything.
+    replay.clear();
+
+    std::string frontier_path = spec_.EpochFrontierPath(epoch);
+    {
+      std::ofstream out(frontier_path);
+      out << frontier.ToXml();
+      if (!out.good()) {
+        return fail("cannot write frontier snapshot " + frontier_path);
+      }
+    }
+
+    std::vector<CampaignSpec> children;
+    for (size_t shard = 0; shard < spec_.shard_count; ++shard) {
+      CampaignSpec child = spec_;
+      child.shard_index = shard;
+      child.epoch_index = epoch;
+      child.journal_path = spec_.EpochShardJournalPath(epoch, shard);
+      child.frontier_path = frontier_path;
+      child.json = false;
+      child.abort_after_records = 0;
+      // A leftover epoch-shard journal is a killed orchestration's completed
+      // work: resume it (a complete one replays wholly from disk).
+      child.resume = FileExists(child.journal_path);
+      children.push_back(std::move(child));
+    }
+    if (!RunShardChildren(children, error)) {
+      return std::nullopt;
+    }
+
+    std::vector<CampaignJournal> epoch_journals;
+    for (const CampaignSpec& child : children) {
+      auto journal = CampaignJournal::Load(child.journal_path, error);
+      if (!journal) {
         return std::nullopt;
       }
+      epoch_journals.push_back(std::move(*journal));
+    }
+    std::vector<JournalRecord> merged_records;
+    if (!MergeRecordsInto(merged, epoch_journals, &fold, error, &merged_records)) {
+      return std::nullopt;
+    }
+    if (merged_records.size() != jobs.size()) {
+      return fail(StrFormat("epoch %zu merged %zu records but the frontier scheduled %zu "
+                            "jobs; a shard child diverged from the schedule",
+                            epoch, merged_records.size(), jobs.size()));
+    }
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (merged_records[i].label != jobs[i].label ||
+          merged_records[i].stream_index != jobs[i].stream_index) {
+        return fail(StrFormat("epoch %zu record %zu is '%s' where the frontier scheduled "
+                              "'%s'; a shard child diverged from the schedule",
+                              epoch, i, merged_records[i].label.c_str(),
+                              jobs[i].label.c_str()));
+      }
+    }
+    for (size_t shard = 0; shard < epoch_journals.size(); ++shard) {
+      MergeInputStats& stats = shard_stats[shard];
+      stats.records += epoch_journals[shard].records().size();
+      for (const JournalRecord& record : epoch_journals[shard].records()) {
+        if (!record.gated) {
+          ++stats.scenarios_run;
+        }
+        for (const FoundBug& bug : record.result.bugs) {
+          shard_bugs[shard].insert(bug);
+        }
+      }
+      stats.bugs = shard_bugs[shard].size();
+    }
+    // The epoch boundary: the whole epoch's feedback reaches the master
+    // frontier at once, in stream order -- exactly the single-process
+    // engine's deferred epoch flush.
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      master.OnFeedback(jobs[i], merged_records[i].feedback);
+    }
+    appended_live += merged_records.size();
+    if (spec_.abort_after_records != 0 && appended_live >= spec_.abort_after_records) {
+      // The kill-and-resume test hook, mirroring the engine's: die without
+      // finalizing. The sealed shard journals plus the merged journal's
+      // sealed extents are exactly what resume rebuilds from.
+      std::_Exit(3);
     }
   }
 
-  JournalMetadata metadata;
-  std::vector<MergeInputStats> stats;
-  auto merged =
-      MergeJournals(shard_paths, spec_.journal_path, error, &metadata, &stats, spec_.format);
-  if (!merged) {
+  if (!replay.empty()) {
+    return fail(StrFormat("journal %s has %zu records past the regenerated stream's end; "
+                          "it was not recorded by this spec",
+                          spec_.journal_path.c_str(), replay.size()));
+  }
+  if (!merged.Finalize(error)) {
     return std::nullopt;
   }
-  CampaignOutcome outcome = FromExploration(std::move(*merged), spec_);
-  outcome.metadata = std::move(metadata);
-  outcome.shards = std::move(stats);
+  CampaignOutcome outcome;
+  outcome.bugs = {fold.bugs.begin(), fold.bugs.end()};
+  outcome.coverage = std::move(fold.coverage);
+  outcome.scenarios_run = fold.scenarios_run;
+  outcome.journal_path = spec_.journal_path;
+  outcome.metadata = spec_.ToJournalMeta();
+  outcome.shards = std::move(shard_stats);
   return outcome;
 }
 

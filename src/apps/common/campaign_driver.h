@@ -90,6 +90,16 @@ class CampaignDriver {
   std::optional<CampaignOutcome> RunResume(std::string* error);
   std::optional<CampaignOutcome> RunReplay(std::string* error);
   std::optional<CampaignOutcome> RunShardOrchestration(std::string* error);
+  // Epoch-synchronized distributed coverage-guided exploration (the spec has
+  // shard_count > 1, the coverage strategy, and epoch_len > 0): runs the
+  // spawn -> merge -> reseed loop docs/architecture.md specifies, producing a
+  // merged journal byte-identical to the single-process --epoch-len run.
+  std::optional<CampaignOutcome> RunEpochOrchestration(std::string* error);
+  // Runs one child campaign per spec: as spawned `lfi_tool run-spec`
+  // processes when the tool path is known, else on threads in this process
+  // (same deterministic artifacts, no isolation). False + *error on the
+  // first failed child.
+  bool RunShardChildren(const std::vector<CampaignSpec>& children, std::string* error);
 
   CampaignSpec spec_;
   std::string tool_path_;

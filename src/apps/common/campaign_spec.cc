@@ -101,13 +101,32 @@ std::string CampaignSpec::Validate() const {
     if (journal_path.empty()) {
       return std::string(CampaignModeName(mode)) + " needs the journal path to operate on";
     }
-    if (shard_count > 1 || shard_index != kNoShard) {
+    if (shard_index != kNoShard) {
       // A shard journal carries its own shard coordinates in the header;
       // resume re-derives them from the artifact.
       return std::string(CampaignModeName(mode)) +
              " takes its shard coordinates from the journal header, not the spec";
     }
+    if (shard_count > 1 && mode != CampaignMode::kResume) {
+      return "replay takes its shard coordinates from the journal header, not the spec";
+    }
     return "";
+  }
+  if (epoch_len != 0 &&
+      (mode != CampaignMode::kExplore || strategy != ExploreStrategy::kCoverage)) {
+    return "epoch-len synchronizes coverage feedback; it only applies to "
+           "explore --strategy coverage";
+  }
+  if (epoch_index != kNoEpoch && epoch_len == 0) {
+    return "an epoch index only makes sense inside an epoch-len campaign";
+  }
+  if (!frontier_path.empty() && epoch_len == 0) {
+    return "a frontier snapshot only makes sense inside an epoch-len campaign";
+  }
+  if (mode == CampaignMode::kExplore && strategy == ExploreStrategy::kCoverage &&
+      shard_index != kNoShard && (epoch_index == kNoEpoch || frontier_path.empty())) {
+    return "a coverage shard child runs one epoch of an orchestrated campaign: it needs "
+           "the epoch ordinal and frontier snapshot the orchestrator provides (run-spec)";
   }
   if (system.empty()) {
     return "no target system named";
@@ -136,10 +155,11 @@ std::string CampaignSpec::Validate() const {
     if (system == "all") {
       return "shard one system at a time";
     }
-    if (mode == CampaignMode::kExplore && strategy == ExploreStrategy::kCoverage) {
+    if (mode == CampaignMode::kExplore && strategy == ExploreStrategy::kCoverage &&
+        epoch_len == 0) {
       return "coverage-guided exploration closes a global feedback loop no shard can see; "
-             "run it single-process, or shard its recorded journal / the exhaustive|random "
-             "strategies";
+             "run it with --epoch-len K (epoch-synchronized feedback), single-process, or "
+             "shard its recorded journal / the exhaustive|random strategies";
     }
     if (mode == CampaignMode::kTable1 && !exhaustive) {
       return "sharded table1 campaigns need exhaustive=true: the historical fuzz cutoff "
@@ -182,6 +202,15 @@ void CampaignSpec::AppendXml(XmlNode* parent) const {
   }
   if (shard_count != 1) {
     node->SetAttr("shards", StrFormat("%zu", shard_count));
+  }
+  if (epoch_len != 0) {
+    node->SetAttr("epoch-len", StrFormat("%zu", epoch_len));
+  }
+  if (epoch_index != kNoEpoch) {
+    node->SetAttr("epoch", StrFormat("%zu", epoch_index));
+  }
+  if (!frontier_path.empty()) {
+    node->SetAttr("frontier", frontier_path);
   }
   if (json) {
     node->SetAttr("json", "true");
@@ -233,6 +262,11 @@ std::optional<CampaignSpec> CampaignSpec::FromNode(const XmlNode& node, std::str
     spec.shard_index = SizeFromString(*shard);
   }
   spec.shard_count = SizeFromString(node.AttrOr("shards", "1"));
+  spec.epoch_len = SizeFromString(node.AttrOr("epoch-len", "0"));
+  if (auto epoch = node.Attr("epoch")) {
+    spec.epoch_index = SizeFromString(*epoch);
+  }
+  spec.frontier_path = node.AttrOr("frontier", "");
   spec.json = node.AttrOr("json", "false") == "true";
   auto format = ParseJournalFormat(node.AttrOr("format", "extent"));
   if (!format) {
@@ -262,10 +296,20 @@ JournalMetadata CampaignSpec::ToJournalMeta() const {
             {"strategy", ExploreStrategyName(strategy)},
             {"budget", StrFormat("%zu", budget)},
             {"seed", SeedToString(seed)}};
+    if (epoch_len != 0) {
+      // Part of the identity: the epoch length decides the feedback
+      // schedule, so journals with different epoch-len are different
+      // campaigns (journal.cc's merge identity lists this key).
+      meta.emplace_back("epoch-len", StrFormat("%zu", epoch_len));
+    }
   }
   if (shard_index != kNoShard) {
     meta.emplace_back("shard", StrFormat("%zu", shard_index));
     meta.emplace_back("shards", StrFormat("%zu", shard_count));
+  }
+  if (epoch_index != kNoEpoch) {
+    // Shard-artifact coordinate, like shard/shards: stripped on merge.
+    meta.emplace_back("epoch", StrFormat("%zu", epoch_index));
   }
   return meta;
 }
@@ -293,16 +337,29 @@ std::optional<CampaignSpec> CampaignSpec::FromJournalMeta(const JournalMetadata&
   spec.strategy = *strategy;
   spec.budget = SizeFromString(MetaValue(meta, "budget", "0"));
   spec.seed = SeedFromString(MetaValue(meta, "seed", "1"));
+  spec.epoch_len = SizeFromString(MetaValue(meta, "epoch-len", "0"));
   std::string shard = MetaValue(meta, "shard", "");
   if (!shard.empty()) {
     spec.shard_index = SizeFromString(shard);
     spec.shard_count = SizeFromString(MetaValue(meta, "shards", "1"));
+  }
+  std::string epoch = MetaValue(meta, "epoch", "");
+  if (!epoch.empty()) {
+    spec.epoch_index = SizeFromString(epoch);
   }
   return spec;
 }
 
 std::string CampaignSpec::ShardJournalPath(size_t shard) const {
   return journal_path + StrFormat(".shard%zu", shard);
+}
+
+std::string CampaignSpec::EpochShardJournalPath(size_t epoch, size_t shard) const {
+  return journal_path + StrFormat(".epoch%zu.shard%zu", epoch, shard);
+}
+
+std::string CampaignSpec::EpochFrontierPath(size_t epoch) const {
+  return journal_path + StrFormat(".epoch%zu.frontier", epoch);
 }
 
 }  // namespace lfi

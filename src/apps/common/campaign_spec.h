@@ -84,6 +84,22 @@ struct CampaignSpec {
   // deterministic stream into ShardJournalPath-style artifacts.
   size_t shard_index = kNoShard;
   size_t shard_count = 1;
+  // Epoch-synchronized exploration: with epoch_len != 0 the coverage-guided
+  // frontier runs open-loop for epoch_len merged batches, then all feedback
+  // for the epoch folds in at once. This makes the feedback schedule a pure
+  // function of the spec -- the property that lets shard_count > 1 combine
+  // with the coverage strategy (shards run whole epochs blind, the
+  // orchestrator merges and reseeds between epochs) while staying
+  // bit-identical to the single-process run. Part of the campaign identity
+  // (journal key "epoch-len") whenever nonzero.
+  size_t epoch_len = 0;
+  // Shard-child runs of one epoch carry the epoch ordinal so their journal
+  // records are stamped (and their artifacts labelled) correctly. Never part
+  // of the merged identity -- MergeJournals strips it with the shard keys.
+  size_t epoch_index = kNoEpoch;
+  // Epoch children: path of the frontier snapshot (FrontierState XML) the
+  // child reseeds its source from before running. Never journaled.
+  std::string frontier_path;
   bool json = false;  // machine-readable reporting (CLI presentation hint)
   // On-disk encoding for journals this campaign creates (fresh runs, shard
   // artifacts, the merged journal). Reads auto-detect, and resume keeps the
@@ -121,6 +137,12 @@ struct CampaignSpec {
 
   // Canonical per-shard artifact path: "<journal_path>.shard<i>".
   std::string ShardJournalPath(size_t shard) const;
+
+  // Epoch-protocol artifact paths: the sealed per-epoch shard journal
+  // "<journal_path>.epoch<e>.shard<i>" and the frontier snapshot
+  // "<journal_path>.epoch<e>.frontier" the epoch's children reseed from.
+  std::string EpochShardJournalPath(size_t epoch, size_t shard) const;
+  std::string EpochFrontierPath(size_t epoch) const;
 };
 
 }  // namespace lfi

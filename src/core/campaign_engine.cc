@@ -101,14 +101,17 @@ class JournalHook {
   // replay prefix. `merge_index` is the engine's global merge position; a job
   // that carries its own stream_index (a dealt shard of a larger stream)
   // keeps it, so the journal records positions in the unsharded stream.
+  // `epoch` (kNoEpoch = none) marks which epoch of an epoch-synchronized
+  // campaign produced the record.
   void Append(const CampaignJob& job, bool gated, const JobResult& result,
-              const RunFeedback& feedback, size_t merge_index) {
+              const RunFeedback& feedback, size_t merge_index, size_t epoch) {
     JournalRecord record;
     record.label = job.label;
     record.seed = job.seed;
     record.gated = gated;
     record.stream_index =
         job.stream_index != CampaignJob::kNoStreamIndex ? job.stream_index : merge_index;
+    record.epoch = epoch;
     record.scenario = job.scenario;
     if (!gated) {
       record.result = result;
@@ -249,7 +252,7 @@ ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& job
         saturated.store(true, std::memory_order_release);
       }
       if (journal != nullptr && cursor >= journal->replay_count()) {
-        journal->Append(job, gated, *pending[cursor], feedback, cursor);
+        journal->Append(job, gated, *pending[cursor], feedback, cursor, options_.epoch);
       }
       if (source != nullptr) {
         source->OnFeedback(job, feedback);
@@ -334,9 +337,32 @@ ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner
   std::unique_ptr<JournalHook> journal = JournalHook::Open(options_);
   size_t stream_base = 0;  // global index of this batch's first job
 
+  // Epoch mode (Options::epoch_len > 0): the source schedules open-loop
+  // within an epoch -- feedback parks in `deferred` -- and receives the whole
+  // epoch's feedback, in job order, only once epoch_len batches merged or the
+  // source ran dry. Delivery can refill the source's queues (mutations of
+  // fruitful runs), so a dry NextBatch only ends the campaign after the
+  // pending epoch flushed and the source stayed dry.
+  const size_t epoch_len = options_.epoch_len;
+  size_t epoch = epoch_len == 0 ? kNoEpoch : 0;
+  size_t batches_this_epoch = 0;
+  std::vector<std::pair<CampaignJob, RunFeedback>> deferred;
+  auto flush_epoch = [&] {
+    for (auto& [job, feedback] : deferred) {
+      source.OnFeedback(job, feedback);
+    }
+    deferred.clear();
+    ++epoch;
+    batches_this_epoch = 0;
+  };
+
   while (true) {
     std::vector<CampaignJob> batch = source.NextBatch(batch_size);
     if (batch.empty()) {
+      if (epoch_len != 0 && !deferred.empty()) {
+        flush_epoch();
+        continue;
+      }
       break;
     }
     if (journal != nullptr) {
@@ -381,13 +407,20 @@ ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner
         ++out.scenarios_run;
       }
       if (journal != nullptr && stream_base + index >= journal->replay_count()) {
-        journal->Append(job, gated, results[index], feedback, stream_base + index);
+        journal->Append(job, gated, results[index], feedback, stream_base + index, epoch);
       }
-      source.OnFeedback(job, feedback);
+      if (epoch_len == 0) {
+        source.OnFeedback(job, feedback);
+      } else {
+        deferred.emplace_back(job, std::move(feedback));
+      }
     }
     stream_base += batch.size();
     if (options_.max_bugs != 0 && bugs.size() >= options_.max_bugs) {
       saturated = true;
+    }
+    if (epoch_len != 0 && ++batches_this_epoch >= epoch_len) {
+      flush_epoch();
     }
   }
 

@@ -51,6 +51,13 @@ class ScenarioSource;
 // back to reconstruct it.
 using JournalMetadata = std::vector<std::pair<std::string, std::string>>;
 
+// Epoch sentinel: "not part of an epoch-synchronized campaign". Epochs are
+// the synchronization unit of distributed coverage-guided exploration
+// (docs/architecture.md): feedback reaches the scenario source only at epoch
+// boundaries, and journal records remember which epoch produced them so a
+// resumed orchestrator can reconstruct the schedule.
+inline constexpr size_t kNoEpoch = static_cast<size_t>(-1);
+
 // On-disk encoding of a campaign journal. Both encodings carry the same
 // records and metadata and are freely convertible (`lfi_tool journal
 // convert`); readers auto-detect the encoding from the file's first bytes,
@@ -156,13 +163,19 @@ struct ExplorationResult {
 class CampaignEngine {
  public:
   struct Options {
+    // The batch size every spec-driven campaign runs with (CampaignSpec has
+    // no batch-size knob): epoch arithmetic -- epoch_len is measured in
+    // batches -- must agree between the engine and the distributed
+    // orchestrator, so both read it here.
+    static constexpr size_t kDefaultBatchSize = 8;
+
     int workers = 1;      // <= 0: one worker per hardware thread
     size_t max_bugs = 0;  // 0 = run everything; else gate skip_when_saturated jobs
     // Jobs pulled from a ScenarioSource per batch. Part of the determinism
     // contract: feedback reaches the source after each merged batch, so the
     // batch size -- never the worker count -- decides what a feedback-driven
     // strategy knows when it schedules the next jobs.
-    size_t batch_size = 8;
+    size_t batch_size = kDefaultBatchSize;
     // Non-empty: persist every merged job -- scenario, injection log,
     // fingerprint, bugs, coverage delta -- to an append-only campaign
     // journal at this path (core/journal.h). Records are appended at the
@@ -188,6 +201,18 @@ class CampaignEngine {
     // destructors, mid-campaign) right after this many records have been
     // appended in this run. 0 = off.
     size_t abort_after_records = 0;
+    // Epoch-synchronized feedback (> 0, in batches): OnFeedback delivery to
+    // a feedback-driven source is withheld until `epoch_len` merged batches
+    // complete (or the source runs dry mid-epoch), then delivered in job
+    // order all at once. This is the single-process reference semantics of
+    // distributed coverage-guided exploration -- the orchestrator's
+    // spawn/merge/reseed loop must produce the same stream, byte for byte --
+    // and records are stamped with the epoch ordinal that produced them.
+    size_t epoch_len = 0;
+    // Stamps every record this run appends with one fixed epoch ordinal: an
+    // epoch shard child's whole run lies inside a single epoch. kNoEpoch =
+    // no stamp (the default for ordinary campaigns).
+    size_t epoch = kNoEpoch;
   };
 
   using JobRunner = std::function<std::vector<FoundBug>(const CampaignJob&)>;

@@ -62,6 +62,91 @@ std::optional<RunFeedback> RunFeedback::Parse(const std::string& xml, std::strin
   return ParseXmlElement<RunFeedback>(xml, error);
 }
 
+// --- FrontierState XML ------------------------------------------------------
+
+namespace {
+
+void AppendPlans(XmlNode* parent, const char* name,
+                 const std::vector<FrontierState::Plan>& plans) {
+  XmlNode* list = parent->AddChild(name);
+  for (const FrontierState::Plan& plan : plans) {
+    XmlNode* node = list->AddChild("plan");
+    node->SetAttr("report", StrFormat("%zu", plan.report_index));
+    node->SetAttr("retval", StrFormat("%lld", static_cast<long long>(plan.retval)));
+    node->SetAttr("errno", StrFormat("%d", plan.errno_value));
+    node->SetAttr("call", StrFormat("%llu", (unsigned long long)plan.call_count));
+  }
+}
+
+bool ParsePlans(const XmlNode& parent, const char* name,
+                std::vector<FrontierState::Plan>* out, std::string* error) {
+  const XmlNode* list = parent.Child(name);
+  if (list == nullptr) {
+    if (error != nullptr) {
+      *error = StrFormat("frontier is missing its <%s> list", name);
+    }
+    return false;
+  }
+  for (const XmlNode* node : list->Children("plan")) {
+    FrontierState::Plan plan;
+    plan.report_index = static_cast<size_t>(node->IntAttr("report").value_or(0));
+    plan.retval = node->IntAttr("retval").value_or(0);
+    plan.errno_value = static_cast<int>(node->IntAttr("errno").value_or(0));
+    plan.call_count = static_cast<uint64_t>(node->IntAttr("call").value_or(0));
+    out->push_back(plan);
+  }
+  return true;
+}
+
+}  // namespace
+
+void FrontierState::AppendXml(XmlNode* parent) const {
+  XmlNode* node = parent->AddChild("frontier");
+  node->SetAttr("scheduled", StrFormat("%zu", scheduled));
+  AppendPlans(node, "explore", explore);
+  AppendPlans(node, "exploit", exploit);
+  XmlNode* keys = node->AddChild("seen");
+  for (const std::string& key : seen_keys) {
+    keys->AddChild("key")->SetAttr("id", key);
+  }
+  XmlNode* fingerprints = node->AddChild("fingerprints");
+  for (const std::string& fingerprint : seen_fingerprints) {
+    fingerprints->AddChild("fp")->SetAttr("id", fingerprint);
+  }
+}
+
+std::string FrontierState::ToXml() const { return ToXmlElement(*this); }
+
+std::optional<FrontierState> FrontierState::FromNode(const XmlNode& node, std::string* error) {
+  if (node.name() != "frontier") {
+    if (error != nullptr) {
+      *error = "frontier element must be <frontier>";
+    }
+    return std::nullopt;
+  }
+  FrontierState state;
+  state.scheduled = static_cast<size_t>(node.IntAttr("scheduled").value_or(0));
+  if (!ParsePlans(node, "explore", &state.explore, error) ||
+      !ParsePlans(node, "exploit", &state.exploit, error)) {
+    return std::nullopt;
+  }
+  if (const XmlNode* keys = node.Child("seen")) {
+    for (const XmlNode* key : keys->Children("key")) {
+      state.seen_keys.push_back(key->AttrOr("id", ""));
+    }
+  }
+  if (const XmlNode* fingerprints = node.Child("fingerprints")) {
+    for (const XmlNode* fingerprint : fingerprints->Children("fp")) {
+      state.seen_fingerprints.push_back(fingerprint->AttrOr("id", ""));
+    }
+  }
+  return state;
+}
+
+std::optional<FrontierState> FrontierState::Parse(const std::string& xml, std::string* error) {
+  return ParseXmlElement<FrontierState>(xml, error);
+}
+
 // --- ExhaustiveSource -------------------------------------------------------
 
 ExhaustiveSource::ExhaustiveSource(std::vector<CampaignJob> jobs, size_t budget)
@@ -154,10 +239,14 @@ ShardSource::ShardSource(ScenarioSource& inner, size_t shard_index, size_t shard
     }
     for (CampaignJob& job : batch) {
       size_t index = stream_size_++;
+      if (job.stream_index == CampaignJob::kNoStreamIndex) {
+        // An epoch-mode inner source stamps its own (epoch-global) stream
+        // positions; anything else gets its drain position here.
+        job.stream_index = index;
+      }
       if (ScenarioShard(job.scenario, shard_count) != shard_index) {
         continue;
       }
-      job.stream_index = index;
       jobs_.push_back(std::move(job));
     }
   }
@@ -251,7 +340,14 @@ bool CoverageGuidedSource::Schedule(const Plan& plan, std::vector<CampaignJob>* 
   seed = MixSeed(seed, static_cast<uint64_t>(plan.errno_value));
   seed = MixSeed(seed, plan.call_count);
   job.seed = seed | 1;
-  in_flight_[job.label] = plan;
+  // Stamp the job's position in the schedule stream. In a single process the
+  // engine's merge index equals this position, so stamping changes nothing;
+  // in an epoch shard child it is what lets MergeJournals restore exact
+  // single-process order (scheduled_ continues from the imported frontier).
+  job.stream_index = scheduled_;
+  if (!options_.open_loop) {
+    in_flight_[job.label] = plan;
+  }
   out->push_back(std::move(job));
   ++scheduled_;
   return true;
@@ -259,7 +355,8 @@ bool CoverageGuidedSource::Schedule(const Plan& plan, std::vector<CampaignJob>* 
 
 std::vector<CampaignJob> CoverageGuidedSource::NextBatch(size_t max_jobs) {
   std::vector<CampaignJob> out;
-  while (out.size() < max_jobs && scheduled_ < options_.budget) {
+  while (out.size() < max_jobs && scheduled_ < options_.budget &&
+         (options_.schedule_limit == 0 || scheduled_ < options_.schedule_limit)) {
     Plan plan;
     if (!explore_.empty()) {
       plan = explore_.front();
@@ -332,6 +429,31 @@ void CoverageGuidedSource::EnqueueMutations(const Plan& plan) {
   for (uint64_t count = 2; count <= options_.max_call_count; ++count) {
     offer(plan.retval, plan.errno_value, count);
   }
+}
+
+FrontierState CoverageGuidedSource::ExportFrontier() const {
+  if (!in_flight_.empty()) {
+    throw std::logic_error(
+        "CoverageGuidedSource::ExportFrontier: source is not quiescent (feedback is "
+        "outstanding for scheduled jobs); export only at an epoch boundary");
+  }
+  FrontierState state;
+  state.explore.assign(explore_.begin(), explore_.end());
+  state.exploit.assign(exploit_.begin(), exploit_.end());
+  state.seen_keys.assign(seen_keys_.begin(), seen_keys_.end());
+  state.seen_fingerprints.assign(seen_fingerprints_.begin(), seen_fingerprints_.end());
+  state.scheduled = scheduled_;
+  return state;
+}
+
+void CoverageGuidedSource::ImportFrontier(const FrontierState& state) {
+  explore_.assign(state.explore.begin(), state.explore.end());
+  exploit_.assign(state.exploit.begin(), state.exploit.end());
+  seen_keys_ = std::set<std::string>(state.seen_keys.begin(), state.seen_keys.end());
+  seen_fingerprints_ =
+      std::set<std::string>(state.seen_fingerprints.begin(), state.seen_fingerprints.end());
+  in_flight_.clear();
+  scheduled_ = state.scheduled;
 }
 
 }  // namespace lfi

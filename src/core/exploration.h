@@ -124,10 +124,12 @@ class RandomSweepSource : public ScenarioSource {
 // multi-process campaigns: drains `inner` up front, keeps only the jobs whose
 // scenario fingerprint (ScenarioShard) lands on `shard_index`, and stamps
 // every kept job's CampaignJob::stream_index with its position in the
-// unsharded stream. Content-keyed dealing means N processes seeded with the
-// same spec compute the same partition with no coordinator, and the recorded
-// stream positions let MergeJournals interleave the per-shard journals back
-// into exact single-process merge order.
+// unsharded stream (a job the inner source already stamped — e.g. an
+// epoch-mode CoverageGuidedSource, whose stream positions continue across
+// epochs — keeps its stamp). Content-keyed dealing means N processes seeded
+// with the same spec compute the same partition with no coordinator, and the
+// recorded stream positions let MergeJournals interleave the per-shard
+// journals back into exact single-process merge order.
 //
 // Feedback-driven sources (needs_feedback()) cannot be dealt this way --
 // their schedule depends on results the other shards hold -- so the
@@ -149,6 +151,50 @@ class ShardSource : public ScenarioSource {
   size_t next_ = 0;
 };
 
+// The complete mutable state of a CoverageGuidedSource at a quiescent point
+// (no feedback outstanding): the pending explore/exploit queues, the scenario
+// and fingerprint dedup sets, and how many jobs have been scheduled so far.
+// Plans reference call-site reports by index, which is stable across
+// processes because the analyzer (and the report concatenation order the
+// campaign driver uses) is deterministic for a given binary + profiles.
+//
+// This is the unit of frontier hand-off in epoch-synchronized distributed
+// exploration: the orchestrator exports its master source's state at an
+// epoch boundary, each shard child imports it and re-derives the epoch's job
+// stream open-loop, and a source rebuilt this way is indistinguishable from
+// one that absorbed the merged feedback prefix live (ImportFrontier after
+// ExportFrontier round-trips exactly; operator== is the test hook).
+struct FrontierState {
+  // Mirrors CoverageGuidedSource's internal plan: a site plus the
+  // (retval, errno, call-count) variant to inject there. call_count == 0 =
+  // every call at the site.
+  struct Plan {
+    size_t report_index = 0;
+    int64_t retval = 0;
+    int errno_value = 0;
+    uint64_t call_count = 0;
+
+    bool operator==(const Plan& o) const = default;
+  };
+
+  std::vector<Plan> explore;                  // unexplored sites, in order
+  std::vector<Plan> exploit;                  // pending mutations, in order
+  std::vector<std::string> seen_keys;         // scenario dedup (sorted)
+  std::vector<std::string> seen_fingerprints; // equivalent-run dedup (sorted)
+  size_t scheduled = 0;                       // jobs scheduled so far
+
+  bool operator==(const FrontierState& o) const = default;
+
+  // XML round trip (<frontier>), the wire format the orchestrator hands to
+  // epoch shard children.
+  void AppendXml(XmlNode* parent) const;
+  std::string ToXml() const;
+  static std::optional<FrontierState> FromNode(const XmlNode& node,
+                                               std::string* error = nullptr);
+  static std::optional<FrontierState> Parse(const std::string& xml,
+                                            std::string* error = nullptr);
+};
+
 // The coverage-guided feedback loop over a binary's analyzed call sites.
 class CoverageGuidedSource : public ScenarioSource {
  public:
@@ -162,6 +208,13 @@ class CoverageGuidedSource : public ScenarioSource {
     bool include_checked_sites = true;
     int max_mutations_per_run = 3;  // mutations enqueued per fruitful run
     uint64_t max_call_count = 3;    // call-ordinal mutations try 2..this
+    // Epoch mode (one shard child's slice of a distributed campaign): the
+    // source runs open-loop -- needs_feedback() turns false so ShardSource
+    // accepts it and the engine drains it in one pass -- and stops
+    // scheduling at `schedule_limit` total jobs (0 = no limit), i.e. at the
+    // end of the epoch whose frontier was imported.
+    bool open_loop = false;
+    size_t schedule_limit = 0;
   };
 
   CoverageGuidedSource(std::vector<CallSiteReport> reports, const FaultProfile& profile,
@@ -169,19 +222,20 @@ class CoverageGuidedSource : public ScenarioSource {
 
   std::vector<CampaignJob> NextBatch(size_t max_jobs) override;
   void OnFeedback(const CampaignJob& job, const RunFeedback& feedback) override;
-  bool needs_feedback() const override { return true; }
+  bool needs_feedback() const override { return !options_.open_loop; }
 
   size_t scheduled() const { return scheduled_; }
 
+  // Snapshots / replaces the source's mutable state. Export requires
+  // quiescence -- every scheduled job's feedback delivered (or the source
+  // running open-loop, where nothing is ever in flight) -- and throws
+  // std::logic_error otherwise: an in-flight plan is not representable and
+  // silently dropping it would fork the schedule.
+  FrontierState ExportFrontier() const;
+  void ImportFrontier(const FrontierState& state);
+
  private:
-  // One planned scenario: a site plus the (retval, errno, call-count)
-  // variant to inject there. call_count == 0 = every call at the site.
-  struct Plan {
-    size_t report_index = 0;
-    int64_t retval = 0;
-    int errno_value = 0;
-    uint64_t call_count = 0;
-  };
+  using Plan = FrontierState::Plan;
 
   std::string PlanKey(const Plan& plan) const;
   bool Schedule(const Plan& plan, std::vector<CampaignJob>* out);

@@ -322,6 +322,8 @@ void EncodeRecord(const JournalRecord& record, ByteWriter* w, StringPool* pool) 
   w->PutVarint(record.stream_index == JournalRecord::kNoStreamIndex
                    ? 0
                    : static_cast<uint64_t>(record.stream_index) + 1);
+  // Format v2: the epoch ordinal (+1; 0 = not epoch-synchronized).
+  w->PutVarint(record.epoch == kNoEpoch ? 0 : static_cast<uint64_t>(record.epoch) + 1);
   EncodeScenario(record.scenario, w, pool);
   if (!record.gated) {
     EncodeResult(record.result, w, pool);
@@ -341,6 +343,8 @@ bool DecodeRecord(ByteReader* r, PoolReader* pool, JournalRecord* out, std::stri
   uint64_t index = r->GetVarint();
   out->stream_index =
       index == 0 ? JournalRecord::kNoStreamIndex : static_cast<size_t>(index - 1);
+  uint64_t epoch = r->GetVarint();
+  out->epoch = epoch == 0 ? kNoEpoch : static_cast<size_t>(epoch - 1);
   if (!DecodeScenario(r, pool, &out->scenario, error)) {
     return false;
   }

@@ -53,7 +53,9 @@ inline constexpr std::string_view kExtentFileMagic = "LFIJ";
 inline constexpr std::string_view kExtentMagic = "XTNT";
 inline constexpr std::string_view kExtentFooterMagic = "XIDX";
 inline constexpr std::string_view kExtentTrailerMagic = "LFIE";
-inline constexpr uint8_t kExtentFormatVersion = 1;
+// v2 added the per-record epoch varint (epoch-synchronized distributed
+// campaigns); v1 files predate it and are rejected by the version check.
+inline constexpr uint8_t kExtentFormatVersion = 2;
 inline constexpr uint8_t kExtentCodecRaw = 0;
 inline constexpr uint8_t kExtentCodecLz = 1;
 inline constexpr size_t kExtentHeaderBytes = 40;

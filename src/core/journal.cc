@@ -36,6 +36,9 @@ void JournalRecord::AppendXml(XmlNode* parent) const {
   if (stream_index != kNoStreamIndex) {
     node->SetAttr("index", StrFormat("%zu", stream_index));
   }
+  if (epoch != kNoEpoch) {
+    node->SetAttr("epoch", StrFormat("%zu", epoch));
+  }
   if (gated) {
     node->SetAttr("gated", "true");
   }
@@ -72,6 +75,9 @@ std::optional<JournalRecord> JournalRecord::FromNode(const XmlNode& node, std::s
   record.seed = SeedFromString(node.AttrOr("seed", "0"));
   if (auto index = node.IntAttr("index"); index.has_value() && *index >= 0) {
     record.stream_index = static_cast<size_t>(*index);
+  }
+  if (auto epoch = node.IntAttr("epoch"); epoch.has_value() && *epoch >= 0) {
+    record.epoch = static_cast<size_t>(*epoch);
   }
   record.gated = node.AttrOr("gated", "false") == "true";
   const XmlNode* scenario_node = node.Child("scenario");
@@ -392,10 +398,12 @@ namespace {
 // Campaign identity: the header keys that must agree across merge inputs and
 // survive into the output, in the order a fresh single-process journal
 // writes them (so the merged header is byte-identical to that journal's).
-const char* const kIdentityKeys[] = {"command", "system", "strategy",
-                                     "budget",  "seed",   "exhaustive"};
-// Per-shard keys: meaningful only for one shard's artifact, dropped on merge.
-const char* const kShardKeys[] = {"shard", "shards"};
+const char* const kIdentityKeys[] = {"command",   "system", "strategy",
+                                     "budget",    "seed",   "epoch-len",
+                                     "exhaustive"};
+// Per-shard keys: meaningful only for one shard's (or one epoch slice's)
+// artifact, dropped on merge.
+const char* const kShardKeys[] = {"shard", "shards", "epoch"};
 
 bool IsShardKey(const std::string& key) {
   for (const char* shard_key : kShardKeys) {
@@ -407,6 +415,106 @@ bool IsShardKey(const std::string& key) {
 }
 
 }  // namespace
+
+bool MergeRecordsInto(CampaignJournal& output, const std::vector<CampaignJournal>& inputs,
+                      MergeFoldState* fold, std::string* error,
+                      std::vector<JournalRecord>* merged_records) {
+  auto fail = [&](std::string message) {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return false;
+  };
+  if (!output.writable()) {
+    return fail("merge output journal is not open for appending");
+  }
+
+  // The deterministic interleave: records sorted by their recorded global
+  // stream index. Records without one (pre-sharding journals) fall back to
+  // their input-local position; ties break by the input's shard header then
+  // local position, so permuting the input list cannot change the output.
+  struct Keyed {
+    size_t stream_index;
+    size_t shard_index;
+    size_t local_index;
+    bool recorded_index;  // stream_index came from the record, not the fallback
+    const JournalRecord* record;
+  };
+  std::vector<Keyed> keyed;
+  for (const CampaignJournal& journal : inputs) {
+    size_t shard_index = static_cast<size_t>(-1);
+    std::string shard_meta = journal.Meta("shard", "");
+    if (!shard_meta.empty()) {
+      shard_index = static_cast<size_t>(std::strtoull(shard_meta.c_str(), nullptr, 0));
+    }
+    const std::vector<JournalRecord>& records = journal.records();
+    for (size_t r = 0; r < records.size(); ++r) {
+      bool recorded = records[r].stream_index != JournalRecord::kNoStreamIndex;
+      keyed.push_back({recorded ? records[r].stream_index : r, shard_index, r, recorded,
+                       &records[r]});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return std::tie(a.stream_index, a.shard_index, a.local_index) <
+           std::tie(b.stream_index, b.shard_index, b.local_index);
+  });
+  // Disjointness: a campaign's shards partition the stream, so two records
+  // both *recorded* at one stream position mean overlapping inputs -- the
+  // same shard listed twice, shards of different campaigns, or an
+  // already-merged journal next to one of its shards. Appending the
+  // duplicates would double-count results and write a journal no resume can
+  // align with its regenerated stream. Fallback (position-derived) keys may
+  // legitimately collide across pre-sharding inputs and only collide within
+  // one input when the same journal is listed twice. Incremental merges also
+  // reject records at stream positions the fold already consumed (an epoch
+  // fed to the orchestrator twice).
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i > 0 && keyed[i].stream_index == keyed[i - 1].stream_index &&
+        ((keyed[i].recorded_index && keyed[i - 1].recorded_index) ||
+         keyed[i].shard_index == keyed[i - 1].shard_index)) {
+      return fail(StrFormat("merge inputs overlap: two records claim stream index %zu "
+                            "(same journal listed twice, or a merged journal mixed with "
+                            "its own shards?)",
+                            keyed[i].stream_index));
+    }
+    if (fold->records > 0 && keyed[i].stream_index < fold->next_stream_index) {
+      return fail(StrFormat("merge inputs overlap already-merged records: stream index %zu "
+                            "was consumed by an earlier incremental merge (next expected "
+                            "index is %zu)",
+                            keyed[i].stream_index, fold->next_stream_index));
+    }
+  }
+
+  // The engine's merge fold, continued from `fold`: crash-site
+  // first-report-wins in stream order, and feedback recomputed against the
+  // cumulative coverage (each input recorded feedback against its
+  // shard-local state, which is stale in the merged stream).
+  for (const Keyed& entry : keyed) {
+    JournalRecord record = *entry.record;
+    record.stream_index = entry.stream_index;
+    if (!record.gated) {
+      RunFeedback feedback;
+      for (const FoundBug& bug : record.result.bugs) {
+        feedback.new_bug |= fold->bugs.insert(bug).second;
+      }
+      feedback.injections = record.result.injections;
+      feedback.fingerprint = record.result.fingerprint;
+      feedback.new_blocks = record.result.coverage.NewlyCoveredVersus(fold->coverage);
+      fold->coverage.Absorb(record.result.coverage);
+      ++fold->scenarios_run;
+      record.feedback = std::move(feedback);
+    }
+    if (!output.Append(record)) {
+      return fail("merge append failed: disk full or I/O error");
+    }
+    ++fold->records;
+    fold->next_stream_index = entry.stream_index + 1;
+    if (merged_records != nullptr) {
+      merged_records->push_back(std::move(record));
+    }
+  }
+  return true;
+}
 
 std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& inputs,
                                                const std::string& output_path,
@@ -482,97 +590,46 @@ std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& i
     }
   }
 
-  // The deterministic interleave: records sorted by their recorded global
-  // stream index. Records without one (pre-sharding journals) fall back to
-  // their input-local position; ties break by the input's shard header then
-  // local position, so permuting the input list cannot change the output.
-  struct Keyed {
-    size_t stream_index;
-    size_t shard_index;
-    size_t local_index;
-    const JournalRecord* record;
-  };
-  std::vector<Keyed> keyed;
+  // Per-input accounting (independent of the fold).
   if (stats != nullptr) {
     stats->clear();
-  }
-  for (size_t i = 0; i < journals.size(); ++i) {
-    size_t shard_index = static_cast<size_t>(-1);
-    std::string shard_meta = journals[i].Meta("shard", "");
-    if (!shard_meta.empty()) {
-      shard_index = static_cast<size_t>(std::strtoull(shard_meta.c_str(), nullptr, 0));
-    }
-    MergeInputStats input_stats;
-    input_stats.path = inputs[i];
-    input_stats.shard_index = shard_index;
-    std::set<FoundBug> input_bugs;
-    const std::vector<JournalRecord>& records = journals[i].records();
-    for (size_t r = 0; r < records.size(); ++r) {
-      size_t index = records[r].stream_index != JournalRecord::kNoStreamIndex
-                         ? records[r].stream_index
-                         : r;
-      keyed.push_back({index, shard_index, r, &records[r]});
-      ++input_stats.records;
-      if (!records[r].gated) {
-        ++input_stats.scenarios_run;
-        input_bugs.insert(records[r].result.bugs.begin(), records[r].result.bugs.end());
+    for (size_t i = 0; i < journals.size(); ++i) {
+      size_t shard_index = static_cast<size_t>(-1);
+      std::string shard_meta = journals[i].Meta("shard", "");
+      if (!shard_meta.empty()) {
+        shard_index = static_cast<size_t>(std::strtoull(shard_meta.c_str(), nullptr, 0));
       }
-    }
-    input_stats.bugs = input_bugs.size();
-    if (stats != nullptr) {
+      MergeInputStats input_stats;
+      input_stats.path = inputs[i];
+      input_stats.shard_index = shard_index;
+      std::set<FoundBug> input_bugs;
+      for (const JournalRecord& record : journals[i].records()) {
+        ++input_stats.records;
+        if (!record.gated) {
+          ++input_stats.scenarios_run;
+          input_bugs.insert(record.result.bugs.begin(), record.result.bugs.end());
+        }
+      }
+      input_stats.bugs = input_bugs.size();
       stats->push_back(std::move(input_stats));
     }
   }
-  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
-    return std::tie(a.stream_index, a.shard_index, a.local_index) <
-           std::tie(b.stream_index, b.shard_index, b.local_index);
-  });
-  // Disjointness: shards of one campaign never share a (stream position,
-  // shard) pair, so a collision means overlapping inputs -- the same shard
-  // listed twice, or an already-merged journal next to one of its shards.
-  // Appending the duplicates would double-count results and write a journal
-  // no resume can align with its regenerated stream.
-  for (size_t i = 1; i < keyed.size(); ++i) {
-    if (keyed[i].stream_index == keyed[i - 1].stream_index &&
-        keyed[i].shard_index == keyed[i - 1].shard_index) {
-      return fail(StrFormat("merge inputs overlap: two records claim stream index %zu "
-                            "(same journal listed twice, or a merged journal mixed with "
-                            "its own shards?)",
-                            keyed[i].stream_index));
-    }
-  }
 
-  // Re-dedup through the engine's merge fold: crash-site first-report-wins
-  // in stream order, and feedback recomputed against the rebuilt cumulative
-  // coverage (each input recorded feedback against its shard-local state,
-  // which is stale in the merged stream).
+  // One-shot merge: the incremental step (sort, overlap rejection, engine
+  // fold) from a fresh fold state into a fresh output file.
   CampaignJournal merged;
   JournalFormat out_format = format.value_or(journals.front().format());
   if (!merged.Create(output_path, out_meta, error, out_format)) {
     return std::nullopt;
   }
-  ExplorationResult out;
-  std::set<FoundBug> bugs;
-  for (const Keyed& entry : keyed) {
-    JournalRecord record = *entry.record;
-    record.stream_index = entry.stream_index;
-    if (!record.gated) {
-      RunFeedback feedback;
-      for (const FoundBug& bug : record.result.bugs) {
-        feedback.new_bug |= bugs.insert(bug).second;
-      }
-      feedback.injections = record.result.injections;
-      feedback.fingerprint = record.result.fingerprint;
-      feedback.new_blocks = record.result.coverage.NewlyCoveredVersus(out.coverage);
-      out.coverage.Absorb(record.result.coverage);
-      ++out.scenarios_run;
-      record.feedback = std::move(feedback);
-    }
-    if (!merged.Append(record)) {
-      return fail("merge append failed writing " + output_path + ": disk full or I/O error");
-    }
+  MergeFoldState fold;
+  if (!MergeRecordsInto(merged, journals, &fold, error)) {
+    return std::nullopt;
   }
-  out.bugs = {bugs.begin(), bugs.end()};
+  ExplorationResult out;
+  out.bugs = {fold.bugs.begin(), fold.bugs.end()};
+  out.coverage = std::move(fold.coverage);
+  out.scenarios_run = fold.scenarios_run;
   if (!merged.Finalize(error)) {
     return std::nullopt;
   }

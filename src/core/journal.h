@@ -85,6 +85,12 @@ struct JournalRecord {
   // into single-process merge order. kNoStreamIndex on records written
   // before the attribute existed.
   size_t stream_index = kNoStreamIndex;
+  // Which epoch of an epoch-synchronized campaign (docs/architecture.md)
+  // merged this record: feedback from epoch e reached the scenario source
+  // only after every record of epoch e. kNoEpoch for ordinary campaigns.
+  // Epochs are non-decreasing in record order and their stream-index ranges
+  // are disjoint (`lfi_tool journal info` validates both).
+  size_t epoch = kNoEpoch;
   Scenario scenario;
   JobResult result;
   RunFeedback feedback;
@@ -231,13 +237,42 @@ struct MergeInputStats {
   size_t bugs = 0;           // crash sites deduplicated within this input
 };
 
+// The engine-fold state an incremental merge carries between calls: the
+// crash-site dedup set, the cumulative coverage, and how far the merged
+// stream has grown. A distributed coverage-guided campaign merges one
+// epoch's shard journals per call, so folding from this state -- instead of
+// re-folding from record zero like one-shot MergeJournals -- keeps the
+// per-epoch cost proportional to the epoch, not the campaign so far.
+struct MergeFoldState {
+  std::set<FoundBug> bugs;
+  CoverageMap coverage;
+  size_t scenarios_run = 0;
+  size_t records = 0;            // records merged so far
+  size_t next_stream_index = 0;  // smallest stream index a new record may claim
+};
+
+// The incremental merge step: interleaves `inputs`' records by recorded
+// stream index (ties broken by each input's "shard" header key, then local
+// position -- input order never matters), rejects overlaps both within the
+// batch and against everything `fold` already merged, folds each record
+// through the engine's dedup/feedback fold continuing from `fold`, and
+// appends the folded records to the writable `output` journal. `fold` is
+// advanced in place; `merged_records` (when non-null) receives the folded
+// records in merge order, which is how the orchestrator delivers the
+// epoch's feedback to its master source. One-shot MergeJournals is exactly
+// this with a fresh fold and a fresh output file.
+bool MergeRecordsInto(CampaignJournal& output, const std::vector<CampaignJournal>& inputs,
+                      MergeFoldState* fold, std::string* error = nullptr,
+                      std::vector<JournalRecord>* merged_records = nullptr);
+
 // Merges N journals (typically the per-shard artifacts of one sharded
 // campaign) into a single journal at `output_path`:
 //
 //   1. every input's campaign identity (command, system, strategy, budget,
-//      seed, exhaustive) must agree; the output header carries the agreed
-//      identity with the shard keys dropped, so the merged journal reads as
-//      the single-process campaign's own journal;
+//      seed, epoch-len, exhaustive) must agree; the output header carries
+//      the agreed identity with the shard keys (shard, shards, epoch)
+//      dropped, so the merged journal reads as the single-process
+//      campaign's own journal;
 //   2. records are interleaved deterministically -- sorted by their recorded
 //      global stream index (shard header index, then input position, break
 //      ties) -- so any input order yields a bit-identical output; and
