@@ -59,9 +59,28 @@
 //                                            rewrite a journal in the other
 //                                            encoding (default) or the named
 //                                            one, losslessly
+//   lfi_tool journal doctor <path> [--repair] [--json]
+//                                            diagnose a journal artifact:
+//                                            torn tails, stale/missing extent
+//                                            footers, epoch invariant
+//                                            violations, and orphaned shard/
+//                                            frontier artifacts. --repair
+//                                            truncates torn tails, reseals
+//                                            the footer, and removes orphans.
+//                                            Exit: 0 healthy/repaired, 1
+//                                            unreadable, 2 usage, 3
+//                                            repairable issues found, 4
+//                                            invariant violation
 //   lfi_tool run-spec <spec.xml>             run a serialized CampaignSpec
 //                                            (the shard orchestrator's
 //                                            parent->child wire format)
+//
+// Campaign-shaped subcommands also accept the supervision options
+// --child-timeout-ms MS, --max-retries R, --backoff-ms MS (shard child
+// deadline/retry policy), --job-timeout-ms MS (per-job hang detection), and
+// --failpoints SPEC (deterministic fault injection into the orchestrator
+// itself; see src/util/failpoint.h for the spec syntax). None of these enter
+// the campaign identity.
 //
 // Journal-writing subcommands accept --format xml|extent to pick the on-disk
 // encoding of journals they create (docs/journal-format.md); the default is
@@ -142,7 +161,11 @@ int Usage() {
                "  lfi_tool replay <journal> [record[:injection]] [--json]\n"
                "  lfi_tool journal info <path> [--json]\n"
                "  lfi_tool journal convert <in> <out> [--format xml|extent]\n"
-               "  lfi_tool run-spec <spec.xml>\n");
+               "  lfi_tool journal doctor <path> [--repair] [--json]\n"
+               "  lfi_tool run-spec <spec.xml>\n"
+               "campaign subcommands also accept supervision options:\n"
+               "  --child-timeout-ms MS --max-retries R --backoff-ms MS\n"
+               "  --job-timeout-ms MS --failpoints SPEC\n");
   return 2;
 }
 
@@ -161,6 +184,13 @@ struct ToolOptions {
   size_t shard_count = 1;                            // --shard I/N or --shards N
   size_t epoch_len = 0;    // --epoch-len K (epoch-synchronized coverage runs)
   size_t abort_after = 0;  // undocumented test hook (CI kill-and-resume)
+  // Supervision policy (campaign_spec.h): shard child deadlines and
+  // retry/backoff, per-job hang detection, and deterministic failpoints.
+  uint64_t child_timeout_ms = 0;
+  size_t max_retries = 2;
+  uint64_t backoff_ms = 50;
+  uint64_t job_timeout_ms = 0;
+  std::string failpoints;
   bool json = false;
   // --format: encoding for journals the command writes. nullopt = the
   // default (extent for fresh journals; merge/convert derive theirs from
@@ -280,6 +310,56 @@ bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOp
         return false;
       }
       out->format = *format;
+    } else if (args[i] == "--child-timeout-ms") {
+      const std::string* v = value("--child-timeout-ms");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "bad --child-timeout-ms value '%s'\n", v->c_str());
+        return false;
+      }
+      out->child_timeout_ms = static_cast<uint64_t>(*parsed);
+    } else if (args[i] == "--max-retries") {
+      const std::string* v = value("--max-retries");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "bad --max-retries value '%s'\n", v->c_str());
+        return false;
+      }
+      out->max_retries = static_cast<size_t>(*parsed);
+    } else if (args[i] == "--backoff-ms") {
+      const std::string* v = value("--backoff-ms");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "bad --backoff-ms value '%s'\n", v->c_str());
+        return false;
+      }
+      out->backoff_ms = static_cast<uint64_t>(*parsed);
+    } else if (args[i] == "--job-timeout-ms") {
+      const std::string* v = value("--job-timeout-ms");
+      if (v == nullptr) {
+        return false;
+      }
+      auto parsed = lfi::ParseInt(*v);
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "bad --job-timeout-ms value '%s'\n", v->c_str());
+        return false;
+      }
+      out->job_timeout_ms = static_cast<uint64_t>(*parsed);
+    } else if (args[i] == "--failpoints") {
+      const std::string* v = value("--failpoints");
+      if (v == nullptr) {
+        return false;
+      }
+      out->failpoints = *v;
     } else if (args[i] == "--abort-after") {
       const std::string* v = value("--abort-after");
       if (v == nullptr) {
@@ -318,6 +398,11 @@ lfi::CampaignSpec SpecFromOptions(lfi::CampaignMode mode, const std::string& sys
   spec.json = options.json;
   spec.format = options.format.value_or(lfi::JournalFormat::kExtent);
   spec.abort_after_records = options.abort_after;
+  spec.child_timeout_ms = options.child_timeout_ms;
+  spec.max_retries = options.max_retries;
+  spec.backoff_ms = options.backoff_ms;
+  spec.job_timeout_ms = options.job_timeout_ms;
+  spec.failpoints = options.failpoints;
   return spec;
 }
 
@@ -731,6 +816,211 @@ int RunJournalInfoCommand(const std::string& path, const ToolOptions& options) {
   return 0;
 }
 
+// --- journal doctor ---------------------------------------------------------
+
+// One defect `journal doctor` diagnosed. Repairable defects (torn tails,
+// stale footers, orphaned artifacts) are fixed by --repair; invariant
+// violations are not -- a journal merged from overlapping shard artifacts
+// cannot be mechanically un-merged.
+struct DoctorIssue {
+  std::string kind;
+  std::string detail;
+  bool repairable = false;
+  bool repaired = false;
+};
+
+std::optional<uint64_t> FileSizeBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(in.tellg());
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+// Sibling artifacts a sharded/epoch campaign writes next to its merged
+// journal. Once the merged journal is finalized they are dead weight -- the
+// merge consumed them -- so the doctor reports them as orphans (and --repair
+// removes them). While the journal is torn/unfinalized they may still feed a
+// recovery and are left alone. Scans are contiguous-from-zero, matching how
+// the orchestrator numbers shards and epochs.
+std::vector<std::string> FindSiblingArtifacts(const std::string& journal_path) {
+  constexpr size_t kScanLimit = 256;  // shards or epochs; far above any real run
+  std::vector<std::string> found;
+  auto probe = [&](const std::string& path) {
+    if (FileExists(path)) {
+      found.push_back(path);
+      return true;
+    }
+    return false;
+  };
+  probe(journal_path + ".tmp");
+  probe(journal_path + ".spec");
+  for (size_t shard = 0; shard < kScanLimit; ++shard) {
+    std::string base = lfi::StrFormat("%s.shard%zu", journal_path.c_str(), shard);
+    bool any = probe(base);
+    any |= probe(base + ".spec");
+    any |= probe(base + ".tmp");
+    if (!any) {
+      break;
+    }
+  }
+  for (size_t epoch = 0; epoch < kScanLimit; ++epoch) {
+    std::string prefix = lfi::StrFormat("%s.epoch%zu", journal_path.c_str(), epoch);
+    bool any = probe(prefix + ".frontier");
+    any |= probe(prefix + ".frontier.tmp");
+    for (size_t shard = 0; shard < kScanLimit; ++shard) {
+      std::string base = lfi::StrFormat("%s.shard%zu", prefix.c_str(), shard);
+      bool shard_any = probe(base);
+      shard_any |= probe(base + ".spec");
+      shard_any |= probe(base + ".tmp");
+      if (!shard_any) {
+        break;
+      }
+      any = true;
+    }
+    if (!any) {
+      break;
+    }
+  }
+  return found;
+}
+
+int RunJournalDoctorCommand(const std::string& path, bool repair, const ToolOptions& options) {
+  std::string error;
+  auto size = FileSizeBytes(path);
+  if (!size) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  auto journal = lfi::CampaignJournal::Load(path, &error);
+  if (!journal) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<DoctorIssue> issues;
+  bool invariant_violation = false;
+  // A sealed extent journal's footer legitimately lives past intact_bytes
+  // (the truncation point appends continue from), so bytes past it are a
+  // torn tail only when the footer was NOT valid -- any garbage appended
+  // after a valid footer invalidates it, forcing the scan path here.
+  bool torn = journal->sealed() ? journal->format() == lfi::JournalFormat::kXml &&
+                                      *size > journal->intact_bytes()
+                                : *size > journal->intact_bytes();
+  if (torn) {
+    issues.push_back({"torn-tail",
+                      lfi::StrFormat("%llu byte(s) past the last %s boundary",
+                                     static_cast<unsigned long long>(*size) -
+                                         static_cast<unsigned long long>(
+                                             journal->intact_bytes()),
+                                     journal->format() == lfi::JournalFormat::kExtent
+                                         ? "sealed extent"
+                                         : "complete record"),
+                      /*repairable=*/true});
+  }
+  if (!journal->sealed()) {
+    issues.push_back({"stale-footer",
+                      "extent footer missing or invalid (journal was not finalized); "
+                      "records were recovered by scan",
+                      /*repairable=*/true});
+  }
+  std::vector<EpochInfoRow> epochs;
+  if (!BuildEpochBreakdown(path, *journal, &epochs)) {
+    invariant_violation = true;
+    issues.push_back({"invariant-violation",
+                      "stream-index/epoch invariants violated (details above); the "
+                      "journal was merged from overlapping or reordered shard artifacts",
+                      /*repairable=*/false});
+  }
+  // Orphan detection only applies to a finalized journal: a torn one may
+  // still need its siblings to finish recovering.
+  std::vector<std::string> orphans;
+  if ((journal->sealed() || repair) && !invariant_violation) {
+    orphans = FindSiblingArtifacts(path);
+  }
+  if (!orphans.empty()) {
+    std::string detail = lfi::StrFormat("%zu stale sibling artifact(s):", orphans.size());
+    for (const std::string& orphan : orphans) {
+      detail += " " + orphan;
+    }
+    issues.push_back({"orphaned-artifacts", detail, /*repairable=*/true});
+  }
+
+  size_t repaired = 0;
+  if (repair && !invariant_violation) {
+    bool needs_reseal = torn || !journal->sealed();
+    if (needs_reseal) {
+      // OpenAppend truncates the torn tail (and the old footer); Finalize
+      // reseals. The record set is exactly what Load recovered.
+      if (!journal->OpenAppend(path, &error) || !journal->Finalize(&error)) {
+        std::fprintf(stderr, "repair failed: %s\n", error.c_str());
+        return 1;
+      }
+    }
+    for (const std::string& orphan : orphans) {
+      std::remove(orphan.c_str());
+    }
+    for (DoctorIssue& issue : issues) {
+      if (issue.repairable) {
+        issue.repaired = true;
+        ++repaired;
+      }
+    }
+  }
+
+  bool healthy = issues.empty();
+  if (options.json) {
+    std::string issues_json = "[";
+    for (size_t i = 0; i < issues.size(); ++i) {
+      if (i > 0) {
+        issues_json += ",";
+      }
+      issues_json += lfi::StrFormat(
+          "{\"kind\":\"%s\",\"detail\":\"%s\",\"repairable\":%s,\"repaired\":%s}",
+          lfi::JsonEscape(issues[i].kind).c_str(), lfi::JsonEscape(issues[i].detail).c_str(),
+          issues[i].repairable ? "true" : "false", issues[i].repaired ? "true" : "false");
+    }
+    issues_json += "]";
+    std::printf(
+        "{\"command\":\"journal-doctor\",\"path\":\"%s\",\"format\":\"%s\","
+        "\"records\":%zu,\"intact_bytes\":%zu,\"file_bytes\":%llu,\"sealed\":%s,"
+        "\"issues\":%s,\"healthy\":%s,\"repaired\":%zu}\n",
+        lfi::JsonEscape(path).c_str(), lfi::JournalFormatName(journal->format()),
+        journal->records().size(), journal->intact_bytes(),
+        static_cast<unsigned long long>(*size), journal->sealed() ? "true" : "false",
+        issues_json.c_str(), healthy ? "true" : "false", repaired);
+  } else {
+    std::printf("journal %s: %s, %zu record(s), %llu byte(s) (%zu intact)\n", path.c_str(),
+                lfi::JournalFormatName(journal->format()), journal->records().size(),
+                static_cast<unsigned long long>(*size), journal->intact_bytes());
+    for (const DoctorIssue& issue : issues) {
+      std::printf("  %s: %s%s\n", issue.kind.c_str(), issue.detail.c_str(),
+                  issue.repaired        ? " [repaired]"
+                  : issue.repairable ? " [repairable: rerun with --repair]"
+                                     : " [NOT repairable]");
+    }
+    if (healthy) {
+      std::printf("healthy\n");
+    } else if (repaired == issues.size()) {
+      std::printf("%zu issue(s) repaired\n", repaired);
+    } else {
+      std::printf("%zu issue(s) found\n", issues.size());
+    }
+  }
+  if (invariant_violation) {
+    return 4;
+  }
+  if (healthy || (repair && repaired == issues.size())) {
+    return 0;
+  }
+  return 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -888,6 +1178,23 @@ int main(int argc, char** argv) {
       return Usage();
     }
     return RunJournalConvertCommand(args[2], args[3], options);
+  }
+  if (cmd == "journal" && args.size() >= 3 && args[1] == "doctor") {
+    // --repair is doctor-only; strip it before the shared option parser.
+    bool repair = false;
+    std::vector<std::string> rest;
+    for (size_t i = 3; i < args.size(); ++i) {
+      if (args[i] == "--repair") {
+        repair = true;
+      } else {
+        rest.push_back(args[i]);
+      }
+    }
+    ToolOptions options;
+    if (!ParseToolOptions(rest, 0, &options)) {
+      return Usage();
+    }
+    return RunJournalDoctorCommand(args[2], repair, options);
   }
   if (cmd == "run-spec" && args.size() == 2) {
     std::ifstream in(args[1]);

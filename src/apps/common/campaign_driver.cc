@@ -17,6 +17,7 @@
 
 #include "apps/bind/bind.h"
 #include "apps/common/bug_campaign.h"
+#include "apps/common/shard_supervisor.h"
 #include "apps/git/git.h"
 #include "apps/mysql/mysql.h"
 #include "apps/pbft/pbft.h"
@@ -27,6 +28,7 @@
 #include "core/exploration.h"
 #include "core/stock_triggers.h"
 #include "util/errno_codes.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 #include "vlib/library_profiles.h"
 
@@ -392,6 +394,10 @@ CampaignEngine::Options EngineOptions(const CampaignSpec& spec, size_t max_bugs)
   // instead lets the engine drive the epoch boundaries itself.
   options.epoch_len = spec.epoch_index != kNoEpoch ? 0 : spec.epoch_len;
   options.epoch = spec.epoch_index;
+  // Hang detection: never part of the identity, so journals recorded under
+  // any timeout byte-compare against any other.
+  options.job_timeout_ms = spec.job_timeout_ms;
+  options.system = spec.system;
   if (!spec.journal_path.empty()) {
     options.journal_meta = spec.ToJournalMeta();
   }
@@ -487,6 +493,26 @@ std::optional<CampaignOutcome> CampaignDriver::Run(std::string* error) {
   std::string invalid = spec_.Validate();
   if (!invalid.empty()) {
     return fail(std::move(invalid));
+  }
+  // Chaos hooks, armed before anything fallible runs. The spec carries the
+  // schedule over the wire to spawned children (Arm replaces the whole set,
+  // so a forked child re-arming its inherited registry is idempotent);
+  // scope names this process so "epoch1.shard2:..." entries fire only in
+  // the child they script.
+  if (!spec_.failpoints.empty()) {
+    std::string fp_error;
+    if (!Failpoints::Instance().Arm(spec_.failpoints, &fp_error)) {
+      return fail("bad failpoint spec: " + fp_error);
+    }
+  }
+  if (spec_.shard_index != CampaignSpec::kNoShard) {
+    Failpoints::Instance().SetScope(
+        spec_.epoch_index != kNoEpoch
+            ? StrFormat("epoch%zu.shard%zu", spec_.epoch_index, spec_.shard_index)
+            : StrFormat("shard%zu", spec_.shard_index));
+    if (FailpointFired("child.start")) {
+      return fail("failpoint child.start fired");
+    }
   }
   EnsureStockTriggersRegistered();
   try {
@@ -648,6 +674,13 @@ std::optional<CampaignOutcome> CampaignDriver::RunResume(std::string* error) {
   recorded->format = journal->format();
   recorded->json = spec_.json;
   recorded->abort_after_records = spec_.abort_after_records;
+  // Supervision policy is environment, not identity: the resuming run's
+  // flags win, and a resume never inherits the killed run's failpoints.
+  recorded->child_timeout_ms = spec_.child_timeout_ms;
+  recorded->max_retries = spec_.max_retries;
+  recorded->backoff_ms = spec_.backoff_ms;
+  recorded->job_timeout_ms = spec_.job_timeout_ms;
+  recorded->failpoints = spec_.failpoints;
   CampaignDriver driver(*recorded);
   auto outcome = driver.Run(error);
   if (outcome) {
@@ -798,7 +831,9 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
     children.push_back(std::move(child));
   }
 
-  if (!RunShardChildren(children, error)) {
+  // Every shard sees at most the whole budget's job stream, so the budget
+  // is the (conservative) per-child job bound the derived deadline uses.
+  if (!RunShardChildren(children, spec_.budget, error)) {
     return std::nullopt;
   }
 
@@ -816,95 +851,25 @@ std::optional<CampaignOutcome> CampaignDriver::RunShardOrchestration(std::string
 }
 
 bool CampaignDriver::RunShardChildren(const std::vector<CampaignSpec>& children,
-                                      std::string* error) {
-  auto fail = [&](std::string message) {
-    if (error != nullptr) {
-      *error = std::move(message);
-    }
-    return false;
-  };
-#ifdef LFI_HAVE_FORK
-  if (!tool_path_.empty()) {
-    // One `lfi_tool run-spec` child per shard: the spec itself is the wire
-    // format. Children inherit stderr; their stdout is redirected onto it so
-    // the orchestrator's own stdout (possibly --json) stays clean.
-    std::vector<std::string> spec_files;
-    std::vector<pid_t> pids;
-    bool spawn_failed = false;
-    for (size_t shard = 0; shard < children.size(); ++shard) {
-      std::string spec_file = children[shard].journal_path + ".spec";
-      {
-        std::ofstream out(spec_file);
-        out << children[shard].ToXml();
-        if (!out.good()) {
-          return fail("cannot write shard spec " + spec_file);
-        }
-      }
-      spec_files.push_back(spec_file);
-      pid_t pid = fork();
-      if (pid == 0) {
-        dup2(STDERR_FILENO, STDOUT_FILENO);
-        // execlp: argv[0] may be a bare name when the tool was found via
-        // PATH, so the exec must do the same search.
-        execlp(tool_path_.c_str(), tool_path_.c_str(), "run-spec", spec_file.c_str(),
-               static_cast<char*>(nullptr));
-        _exit(127);
-      }
-      if (pid < 0) {
-        spawn_failed = true;
-        break;
-      }
-      pids.push_back(pid);
-    }
-    std::string child_error;
-    for (size_t i = 0; i < pids.size(); ++i) {
-      int status = 0;
-      waitpid(pids[i], &status, 0);
-      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-        child_error = StrFormat("shard %zu (pid %d) failed with status %d", i,
-                                static_cast<int>(pids[i]),
-                                WIFEXITED(status) ? WEXITSTATUS(status) : -1);
-      }
-    }
-    if (spawn_failed) {
-      return fail("fork failed spawning shard processes");
-    }
-    if (!child_error.empty()) {
-      return fail(child_error + "; its journal (if any) is left for inspection");
-    }
-    for (const std::string& spec_file : spec_files) {
-      std::remove(spec_file.c_str());
-    }
-    return true;
+                                      size_t jobs_hint, std::string* error) {
+  ShardSupervisor::Options options;
+  options.tool_path = tool_path_;
+  options.max_retries = spec_.max_retries;
+  options.backoff_ms = spec_.backoff_ms;
+  // The per-child deadline: explicit wins; otherwise derive one from the
+  // per-job budget (a child runs at most jobs_hint jobs plus startup/merge
+  // slack). No budget at all = no deadline -- hang detection is opt-in.
+  options.child_timeout_ms = spec_.child_timeout_ms;
+  if (options.child_timeout_ms == 0 && spec_.job_timeout_ms != 0) {
+    size_t jobs = jobs_hint != 0 ? jobs_hint : 64;
+    options.child_timeout_ms = spec_.job_timeout_ms * static_cast<uint64_t>(jobs + 2);
   }
-#endif
-  // No tool path (library embedding, non-POSIX): one thread per shard in
-  // this process. Same deterministic artifacts -- every child writes its own
-  // journal and the shared caches are thread-safe -- just no process
-  // isolation.
-  std::vector<std::string> errors(children.size());
-  std::vector<char> ok(children.size(), 1);
-  std::vector<std::thread> threads;
-  threads.reserve(children.size());
-  for (size_t shard = 0; shard < children.size(); ++shard) {
-    threads.emplace_back([&, shard] {
-      CampaignDriver driver(children[shard]);
-      if (!driver.Run(&errors[shard])) {
-        ok[shard] = 0;
-      }
-    });
-  }
-  for (std::thread& thread : threads) {
-    thread.join();
-  }
-  for (size_t shard = 0; shard < children.size(); ++shard) {
-    if (!ok[shard]) {
-      return fail(StrFormat("shard %zu failed: %s; its journal (if any) is left for "
-                            "inspection",
-                            shard, errors[shard].c_str()));
-    }
-  }
-  return true;
+  ShardSupervisor supervisor(options,
+                             [](const CampaignSpec& child, std::string* child_error) {
+                               CampaignDriver driver(child);
+                               return driver.Run(child_error).has_value();
+                             });
+  return supervisor.Run(children, error);
 }
 
 std::optional<CampaignOutcome> CampaignDriver::RunEpochOrchestration(std::string* error) {
@@ -1041,11 +1006,20 @@ std::optional<CampaignOutcome> CampaignDriver::RunEpochOrchestration(std::string
     // without re-executing anything.
     replay.clear();
 
+    // The frontier export is tmp+rename like every artifact a child (or a
+    // resumed orchestrator) may read: a crash mid-write must never leave a
+    // half-written snapshot where a complete one is expected.
     std::string frontier_path = spec_.EpochFrontierPath(epoch);
     {
-      std::ofstream out(frontier_path);
+      std::string tmp_path = frontier_path + ".tmp";
+      std::ofstream out(tmp_path);
       out << frontier.ToXml();
-      if (!out.good()) {
+      bool ok = out.good();
+      out.close();
+      if (FailpointFired("frontier.write")) {
+        ok = false;
+      }
+      if (!ok || std::rename(tmp_path.c_str(), frontier_path.c_str()) != 0) {
         return fail("cannot write frontier snapshot " + frontier_path);
       }
     }
@@ -1064,7 +1038,7 @@ std::optional<CampaignOutcome> CampaignDriver::RunEpochOrchestration(std::string
       child.resume = FileExists(child.journal_path);
       children.push_back(std::move(child));
     }
-    if (!RunShardChildren(children, error)) {
+    if (!RunShardChildren(children, jobs.size(), error)) {
       return std::nullopt;
     }
 

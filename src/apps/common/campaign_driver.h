@@ -95,11 +95,16 @@ class CampaignDriver {
   // spawn -> merge -> reseed loop docs/architecture.md specifies, producing a
   // merged journal byte-identical to the single-process --epoch-len run.
   std::optional<CampaignOutcome> RunEpochOrchestration(std::string* error);
-  // Runs one child campaign per spec: as spawned `lfi_tool run-spec`
-  // processes when the tool path is known, else on threads in this process
-  // (same deterministic artifacts, no isolation). False + *error on the
-  // first failed child.
-  bool RunShardChildren(const std::vector<CampaignSpec>& children, std::string* error);
+  // Runs one child campaign per spec under the ShardSupervisor
+  // (apps/common/shard_supervisor.h): exec'd `lfi_tool run-spec` processes
+  // when the tool path is known, fork-without-exec child processes
+  // otherwise (threads on non-POSIX). The supervisor applies the spec's
+  // deadline/retry/backoff policy; `jobs_hint` (jobs a child may run, 0 =
+  // unknown) sizes the derived per-child deadline when the spec sets
+  // job_timeout_ms but no child_timeout_ms. False + *error when a child
+  // exhausts its retries.
+  bool RunShardChildren(const std::vector<CampaignSpec>& children, size_t jobs_hint,
+                        std::string* error);
 
   CampaignSpec spec_;
   std::string tool_path_;

@@ -215,6 +215,23 @@ void CampaignSpec::AppendXml(XmlNode* parent) const {
   if (json) {
     node->SetAttr("json", "true");
   }
+  if (child_timeout_ms != 0) {
+    node->SetAttr("child-timeout-ms", StrFormat("%llu", static_cast<unsigned long long>(
+                                                            child_timeout_ms)));
+  }
+  if (max_retries != 2) {
+    node->SetAttr("max-retries", StrFormat("%zu", max_retries));
+  }
+  if (backoff_ms != 50) {
+    node->SetAttr("backoff-ms", StrFormat("%llu", static_cast<unsigned long long>(backoff_ms)));
+  }
+  if (job_timeout_ms != 0) {
+    node->SetAttr("job-timeout-ms",
+                  StrFormat("%llu", static_cast<unsigned long long>(job_timeout_ms)));
+  }
+  if (!failpoints.empty()) {
+    node->SetAttr("failpoints", failpoints);
+  }
   if (format != JournalFormat::kExtent) {
     node->SetAttr("format", JournalFormatName(format));
   }
@@ -268,6 +285,11 @@ std::optional<CampaignSpec> CampaignSpec::FromNode(const XmlNode& node, std::str
   }
   spec.frontier_path = node.AttrOr("frontier", "");
   spec.json = node.AttrOr("json", "false") == "true";
+  spec.child_timeout_ms = SeedFromString(node.AttrOr("child-timeout-ms", "0"));
+  spec.max_retries = SizeFromString(node.AttrOr("max-retries", "2"));
+  spec.backoff_ms = SeedFromString(node.AttrOr("backoff-ms", "50"));
+  spec.job_timeout_ms = SeedFromString(node.AttrOr("job-timeout-ms", "0"));
+  spec.failpoints = node.AttrOr("failpoints", "");
   auto format = ParseJournalFormat(node.AttrOr("format", "extent"));
   if (!format) {
     return fail("unknown journal format '" + node.AttrOr("format", "") + "' (xml|extent)");

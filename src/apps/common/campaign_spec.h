@@ -101,6 +101,28 @@ struct CampaignSpec {
   // child reseeds its source from before running. Never journaled.
   std::string frontier_path;
   bool json = false;  // machine-readable reporting (CLI presentation hint)
+  // --- supervision policy (apps/common/shard_supervisor.h) -----------------
+  // Execution environment, never campaign identity: none of these enter
+  // ToJournalMeta, so a journal recorded under any timeout/retry/failpoint
+  // schedule resumes and byte-compares against any other.
+  //
+  // Wall-clock deadline per spawned shard child; a child past it is
+  // SIGKILLed and retried. 0 derives one from job_timeout_ms (per-epoch job
+  // count + slack) when that is set, else no deadline.
+  uint64_t child_timeout_ms = 0;
+  // Respawns per failed shard child (crash, nonzero exit, timeout) before
+  // the campaign fails loudly. A respawn resumes the dead child's sealed
+  // journal prefix, so retries never change the merged bytes.
+  size_t max_retries = 2;
+  uint64_t backoff_ms = 50;  // first respawn delay; doubles, capped
+  // Engine-level hang detection: wall-clock budget per job. A job past it is
+  // abandoned and reported as a deterministic FoundBug kind "hang"
+  // (CampaignEngine::Options::job_timeout_ms). 0 = off.
+  uint64_t job_timeout_ms = 0;
+  // Failpoint schedule (util/failpoint.h spec syntax) armed by the driver
+  // and inherited by spawned children over the spec wire format. Chaos
+  // testing only; stripped from supervisor respawns.
+  std::string failpoints;
   // On-disk encoding for journals this campaign creates (fresh runs, shard
   // artifacts, the merged journal). Reads auto-detect, and resume keeps the
   // existing file's encoding, so this is an artifact preference -- never

@@ -1,16 +1,20 @@
 #include "core/campaign_engine.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "core/analysis_cache.h"
 #include "core/exploration.h"
 #include "core/journal.h"
 #include "core/scenario_gen.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 #include "util/work_queue.h"
 
@@ -117,6 +121,10 @@ class JournalHook {
       record.result = result;
       record.feedback = feedback;
     }
+    if (FailpointFired("engine.record")) {
+      throw std::runtime_error("failpoint engine.record fired before record " +
+                               std::to_string(replay_count() + appended_));
+    }
     if (!journal_.Append(record)) {
       // A swallowed write failure (disk full, I/O error) would break the
       // "loses at most one record" durability contract far beyond one
@@ -153,6 +161,60 @@ class JournalHook {
   size_t appended_ = 0;
   size_t abort_after_ = 0;
 };
+
+// Runs one job, under a wall-clock watchdog when Options::job_timeout_ms is
+// set. A job past its budget is a target hung under an injected fault: the
+// worker thread is abandoned (it owns copies of everything it touches, so
+// detaching is safe) and the job reports a deterministic "hang" bug -- site
+// and fingerprint derive from the label alone, so the resulting journal
+// record is identical however long the wait actually took.
+JobResult ExecuteJob(const CampaignJob& job, const CampaignEngine::ResultRunner& runner,
+                     const CampaignEngine::Options& options) {
+  if (options.job_timeout_ms == 0) {
+    FailpointFired("engine.job.run");  // hang-action failpoints park here
+    return job.explore ? job.explore(job) : runner(job);
+  }
+  struct Watch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    JobResult result;
+  };
+  auto watch = std::make_shared<Watch>();
+  std::thread worker([watch, job, runner] {
+    FailpointFired("engine.job.run");  // hang-action failpoints park here
+    {
+      // A hang failpoint released after the watchdog fired (Failpoints::
+      // Clear) must NOT run the job: its closure references engine state
+      // the campaign may have torn down by then.
+      std::lock_guard<std::mutex> lock(watch->mu);
+      if (watch->abandoned) {
+        return;
+      }
+    }
+    JobResult result = job.explore ? job.explore(job) : runner(job);
+    std::lock_guard<std::mutex> lock(watch->mu);
+    watch->result = std::move(result);
+    watch->done = true;
+    watch->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(watch->mu);
+  if (watch->cv.wait_for(lock, std::chrono::milliseconds(options.job_timeout_ms),
+                         [&] { return watch->done; })) {
+    lock.unlock();
+    worker.join();
+    return std::move(watch->result);
+  }
+  watch->abandoned = true;
+  lock.unlock();
+  worker.detach();  // the hung run is leaked deliberately; kill on process exit
+  JobResult hung;
+  hung.bugs.push_back({options.system.empty() ? "campaign" : options.system, "hang",
+                       "unresponsive under injected fault: " + job.label, job.label});
+  hung.fingerprint = "hang!" + job.label;
+  return hung;
+}
 
 }  // namespace
 
@@ -280,7 +342,7 @@ ExplorationResult CampaignEngine::RunOrdered(const std::vector<CampaignJob>& job
       deliver(index, {});
       return;
     }
-    deliver(index, job.explore ? job.explore(job) : runner(job));
+    deliver(index, ExecuteJob(job, runner, options_));
   });
 
   if (journal != nullptr) {
@@ -384,7 +446,7 @@ ExplorationResult CampaignEngine::Run(ScenarioSource& source, const ResultRunner
       if (job.skip_when_saturated && saturated) {
         return;  // merge-side gate below is the authoritative one
       }
-      results[index] = job.explore ? job.explore(job) : runner(job);
+      results[index] = ExecuteJob(job, runner, options_);
     });
 
     // The deterministic merge point: job order decides dedup winners, the

@@ -213,6 +213,17 @@ class CampaignEngine {
     // epoch shard child's whole run lies inside a single epoch. kNoEpoch =
     // no stamp (the default for ordinary campaigns).
     size_t epoch = kNoEpoch;
+    // Wall-clock budget per job (0 = none). A job still running past it --
+    // a target hung under an injected fault -- is abandoned on its worker
+    // thread and reported as a deterministic FoundBug kind "hang" whose
+    // site and fingerprint derive from the job label alone, so the record
+    // (and the journal bytes) are reproducible. Deliberately NOT part of
+    // the campaign identity: the same campaign run under any timeout
+    // resumes and byte-compares against any other, and resume replays hang
+    // records from disk without re-waiting.
+    uint64_t job_timeout_ms = 0;
+    // System name attributed to hang bugs ("" falls back to "campaign").
+    std::string system;
   };
 
   using JobRunner = std::function<std::vector<FoundBug>(const CampaignJob&)>;

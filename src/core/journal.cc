@@ -1,6 +1,7 @@
 #include "core/journal.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +11,7 @@
 #include <tuple>
 
 #include "core/extent_journal.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace lfi {
@@ -196,6 +198,7 @@ std::optional<CampaignJournal> CampaignJournal::Parse(std::string_view text,
     journal.records_ = std::move(data->records);
     journal.extents_ = std::move(data->extents);
     journal.intact_bytes_ = static_cast<size_t>(data->intact_bytes);
+    journal.sealed_ = data->footer_valid;
     return journal;
   }
 
@@ -328,6 +331,9 @@ bool CampaignJournal::OpenAppend(const std::string& path, std::string* error) {
 }
 
 bool CampaignJournal::Append(const JournalRecord& record) {
+  if (FailpointFired("journal.append")) {
+    return false;  // scripted I/O failure: the caller's disk-full path runs
+  }
   if (extent_out_ != nullptr && extent_out_->open()) {
     return extent_out_->Append(record, nullptr);
   }
@@ -342,6 +348,12 @@ bool CampaignJournal::Append(const JournalRecord& record) {
 }
 
 bool CampaignJournal::Finalize(std::string* error) {
+  if (writable() && FailpointFired("journal.finalize")) {
+    if (error != nullptr) {
+      *error = "failpoint journal.finalize fired";
+    }
+    return false;
+  }
   if (extent_out_ != nullptr && extent_out_->open()) {
     bool ok = extent_out_->Finalize(error);
     extent_out_.reset();
@@ -616,10 +628,15 @@ std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& i
   }
 
   // One-shot merge: the incremental step (sort, overlap rejection, engine
-  // fold) from a fresh fold state into a fresh output file.
+  // fold) from a fresh fold state into a fresh output file. Crash-atomic:
+  // the merge writes and finalizes <output>.tmp, then renames it into
+  // place, so a crash mid-merge never leaves a half-written journal where a
+  // later resume would look for a complete one -- the final path either
+  // does not exist or holds the fully finalized merge.
   CampaignJournal merged;
   JournalFormat out_format = format.value_or(journals.front().format());
-  if (!merged.Create(output_path, out_meta, error, out_format)) {
+  std::string tmp_path = output_path + ".tmp";
+  if (!merged.Create(tmp_path, out_meta, error, out_format)) {
     return std::nullopt;
   }
   MergeFoldState fold;
@@ -632,6 +649,12 @@ std::optional<ExplorationResult> MergeJournals(const std::vector<std::string>& i
   out.scenarios_run = fold.scenarios_run;
   if (!merged.Finalize(error)) {
     return std::nullopt;
+  }
+  if (FailpointFired("merge.rename")) {
+    return fail("failpoint merge.rename fired between finalize and rename");
+  }
+  if (std::rename(tmp_path.c_str(), output_path.c_str()) != 0) {
+    return fail("cannot rename " + tmp_path + " into place as " + output_path);
   }
   if (metadata != nullptr) {
     *metadata = std::move(out_meta);
@@ -661,8 +684,11 @@ bool ConvertJournal(const std::string& input_path, const std::string& output_pat
   }
   JournalFormat out_format = format.value_or(
       journal->format() == JournalFormat::kXml ? JournalFormat::kExtent : JournalFormat::kXml);
+  // Same tmp+rename discipline as MergeJournals: the converted artifact
+  // appears at output_path only complete and finalized.
+  std::string tmp_path = output_path + ".tmp";
   CampaignJournal out;
-  if (!out.Create(output_path, journal->metadata(), error, out_format)) {
+  if (!out.Create(tmp_path, journal->metadata(), error, out_format)) {
     return false;
   }
   for (const JournalRecord& record : journal->records()) {
@@ -673,6 +699,9 @@ bool ConvertJournal(const std::string& input_path, const std::string& output_pat
   }
   if (!out.Finalize(error)) {
     return false;
+  }
+  if (std::rename(tmp_path.c_str(), output_path.c_str()) != 0) {
+    return fail("cannot rename " + tmp_path + " into place as " + output_path);
   }
   if (records != nullptr) {
     *records = journal->records().size();

@@ -153,6 +153,14 @@ class CampaignJournal {
   // Extent journals: the footer index (or its scan-recovered equivalent),
   // one entry per sealed extent. Empty for XML journals.
   const std::vector<ExtentInfo>& extents() const { return extents_; }
+  // Recovery introspection (`lfi_tool journal doctor`): how many bytes of
+  // the loaded file were intact (through the last complete record / sealed
+  // extent) -- anything past that is a torn tail a kill left behind.
+  size_t intact_bytes() const { return intact_bytes_; }
+  // Extent journals: the footer index was present and valid, i.e. the
+  // journal was finalized and not torn (false = recovered by scan). XML has
+  // no finalization marker and always reports true.
+  bool sealed() const { return sealed_; }
 
   // --- writing --------------------------------------------------------------
 
@@ -191,6 +199,7 @@ class CampaignJournal {
   // complete record / sealed extent); OpenAppend truncates to this before
   // appending.
   size_t intact_bytes_ = 0;
+  bool sealed_ = true;
   struct FileCloser {
     void operator()(std::FILE* f) const { std::fclose(f); }
   };
