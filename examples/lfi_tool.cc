@@ -165,7 +165,7 @@ int Usage() {
                "  lfi_tool run-spec <spec.xml>\n"
                "campaign subcommands also accept supervision options:\n"
                "  --child-timeout-ms MS --max-retries R --backoff-ms MS\n"
-               "  --job-timeout-ms MS --failpoints SPEC\n");
+               "  --job-timeout-ms MS --failpoints SPEC --cold-start\n");
   return 2;
 }
 
@@ -191,6 +191,8 @@ struct ToolOptions {
   uint64_t backoff_ms = 50;
   uint64_t job_timeout_ms = 0;
   std::string failpoints;
+  // --cold-start: fresh target per job (the warm-pool ablation baseline).
+  bool cold_start = false;
   bool json = false;
   // --format: encoding for journals the command writes. nullopt = the
   // default (extent for fresh journals; merge/convert derive theirs from
@@ -213,6 +215,8 @@ bool ParseToolOptions(const std::vector<std::string>& args, size_t start, ToolOp
       out->json = true;
     } else if (args[i] == "--exhaustive") {
       out->exhaustive = true;
+    } else if (args[i] == "--cold-start") {
+      out->cold_start = true;
     } else if (args[i] == "--strategy") {
       const std::string* v = value("--strategy");
       if (v == nullptr) {
@@ -403,6 +407,7 @@ lfi::CampaignSpec SpecFromOptions(lfi::CampaignMode mode, const std::string& sys
   spec.backoff_ms = options.backoff_ms;
   spec.job_timeout_ms = options.job_timeout_ms;
   spec.failpoints = options.failpoints;
+  spec.cold_start = options.cold_start;
   return spec;
 }
 

@@ -66,6 +66,38 @@ class MiniBind {
   // The default test suite (Table 3 workload).
   bool RunDefaultTestSuite();
 
+  // --- warm-instance snapshot --------------------------------------------
+  // dst_tables_ holds raw heap pointers owned by the virtual libc; the libc
+  // restore is applied first (releasing post-snapshot blocks), then the
+  // pointer vector itself is rolled back so both views stay consistent.
+  struct Snapshot {
+    VirtualLibc::Snapshot libc;
+    CoverageMap coverage;
+    std::map<std::string, std::string> zone;
+    int server_fd = -1;
+    int server_port = -1;
+    uint64_t queries_served = 0;
+    uint64_t nxdomain_count = 0;
+    bool dst_initialized = false;
+    std::vector<void*> dst_tables;
+  };
+  Snapshot TakeSnapshot() const {
+    return {libc_.TakeSnapshot(), coverage_,        zone_,    server_fd_,       server_port_,
+            queries_served_,      nxdomain_count_, dst_initialized_, dst_tables_};
+  }
+  bool Restore(const Snapshot& snapshot) {
+    bool ok = libc_.Restore(snapshot.libc);
+    coverage_ = snapshot.coverage;
+    zone_ = snapshot.zone;
+    server_fd_ = snapshot.server_fd;
+    server_port_ = snapshot.server_port;
+    queries_served_ = snapshot.queries_served;
+    nxdomain_count_ = snapshot.nxdomain_count;
+    dst_initialized_ = snapshot.dst_initialized;
+    dst_tables_ = snapshot.dst_tables;
+    return ok;
+  }
+
  private:
   void RegisterCoverageBlocks();
 

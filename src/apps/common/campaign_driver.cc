@@ -18,6 +18,7 @@
 #include "apps/bind/bind.h"
 #include "apps/common/bug_campaign.h"
 #include "apps/common/shard_supervisor.h"
+#include "apps/common/warm_targets.h"
 #include "apps/git/git.h"
 #include "apps/mysql/mysql.h"
 #include "apps/pbft/pbft.h"
@@ -46,211 +47,21 @@ const FaultProfile& CachedLibxmlProfile() {
   return AnalysisCache::Instance().Profile("libxml2", LibxmlProfile);
 }
 
-// The run's behavioural identity for the feedback loop: the exact fault
-// sequence injected, plus the crash site when the run died.
-std::string OutcomeFingerprint(TestController& controller, const TestOutcome& outcome) {
-  std::string fp =
-      controller.runtime() != nullptr ? controller.runtime()->log().Fingerprint() : "";
-  if (outcome.crashed()) {
-    fp += "!" + outcome.crash_where;
-  }
-  return fp;
-}
-
-// --- per-system job runners (JobResult: bugs + coverage + fingerprint) -----
-
-JobResult RunGitJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniGit git(&fs, &net, "/repo");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome =
-      controller.RunTest(&git.libc(), [&] { return git.RunDefaultTestSuite(); });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"git", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  } else if (outcome.injections > 0 && !git.Fsck()) {
-    // The fault was absorbed but the repository is corrupt: silent data
-    // loss (the setenv/hook bug).
-    result.bugs.push_back(
-        {"git", "data loss", "repository corrupted by hook environment", job.label});
-  }
-  result.coverage = git.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-JobResult RunMysqlJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniMysql mysql(&fs, &net, "/mysql");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome = controller.RunTest(&mysql.libc(), [&] {
-    mysql.libc().fs()->WriteFile("/mysql/share/errmsg.sys",
-                                 "OK\nCan't create table\nDuplicate key\n");
-    if (!mysql.Startup()) {
-      return false;
-    }
-    return mysql.MergeBig();
-  });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"mysql", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  }
-  result.coverage = mysql.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-JobResult RunBindJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniBind bind(&fs, &net, "/etc/bind");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome =
-      controller.RunTest(&bind.libc(), [&] { return bind.RunDefaultTestSuite(); });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  }
-  result.coverage = bind.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-// The BIND dst_lib_init malloc sweep runs a different workload, so those
-// jobs are self-contained.
-JobResult RunBindDstJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  MiniBind bind(&fs, &net, "/etc/bind");
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome = controller.RunTest(&bind.libc(), [&] { return bind.DstLibInit(); });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"bind", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  }
-  result.coverage = bind.coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-// One pbft scenario against replica 0, the cluster on the default workload
-// plus the graceful shutdown (the unchecked-fopen path). `requests` sizes
-// the workload: the Table 1 campaign uses 8; exploration uses enough to
-// cross the checkpoint interval so checkpoint recovery code is reachable.
-JobResult RunPbftJobWith(const CampaignJob& job, int requests, int max_ticks) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  PbftConfig pbft_config;
-  PbftCluster cluster(&fs, &net, pbft_config);
-  if (!cluster.Start()) {
-    return result;
-  }
-  TestController controller(job.scenario, SeededOptions(job.seed));
-  TestOutcome outcome = controller.RunTest(&cluster.replica(0).libc(), [&] {
-    cluster.RunWorkload(requests, max_ticks);
-    cluster.replica(0).Shutdown();
-    return cluster.client().completed() >= requests;
-  });
-  if (outcome.crashed()) {
-    result.bugs.push_back(
-        {"pbft", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
-  } else if (cluster.crashed()) {
-    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
-  }
-  result.coverage = cluster.Coverage();
-  result.fingerprint = OutcomeFingerprint(controller, outcome);
-  result.injections = outcome.injections;
-  if (controller.runtime() != nullptr) {
-    result.log = controller.runtime()->log();
-  }
-  return result;
-}
-
-JobResult RunPbftJob(const CampaignJob& job) {
-  return RunPbftJobWith(job, /*requests=*/8, /*max_ticks=*/2000);
-}
-
-JobResult RunPbftExploreJob(const CampaignJob& job) {
-  return RunPbftJobWith(job, /*requests=*/20, /*max_ticks=*/3000);
-}
-
-// Distributed random message loss across all replicas (release build): the
-// §7.3 phase that exposes the view-change bug.
-JobResult RunPbftDistributedJob(const CampaignJob& job) {
-  JobResult result;
-  VirtualFs fs;
-  VirtualNet net;
-  PbftConfig pbft_config;
-  pbft_config.debug_build = false;
-  PbftCluster cluster(&fs, &net, pbft_config);
-  if (!cluster.Start()) {
-    return result;
-  }
-  RandomLossController controller(0.35, job.seed);
-  std::vector<std::unique_ptr<Runtime>> runtimes;
-  for (int i = 0; i < cluster.n(); ++i) {
-    cluster.replica(i).libc().SetService(DistributedController::kServiceName, &controller);
-    runtimes.push_back(std::make_unique<Runtime>(job.scenario));
-    cluster.replica(i).libc().set_interposer(runtimes.back().get());
-  }
-  cluster.RunWorkload(/*requests=*/30, /*max_ticks=*/4000);
-  if (cluster.crashed()) {
-    result.bugs.push_back({"pbft", "SIGSEGV", cluster.crash_reason(), job.label});
-  }
-  result.coverage = cluster.Coverage();
-  for (const auto& runtime : runtimes) {
-    std::string fp = runtime->log().Fingerprint();
-    if (!fp.empty()) {
-      if (!result.fingerprint.empty()) {
-        result.fingerprint += "|";
-      }
-      result.fingerprint += fp;
-    }
-    result.injections += runtime->injections();
-    // One journaled log for the whole cluster, in replica order; the
-    // per-record process name keeps the replicas apart.
-    for (const InjectionRecord& record : runtime->log().records()) {
-      result.log.Record(record);
-    }
-  }
-  if (cluster.crashed()) {
-    result.fingerprint += "!" + cluster.crash_reason();
-  }
-  return result;
-}
-
 // --- Table 1 job lists ------------------------------------------------------
+// The job runners themselves live in apps/common/warm_targets.cc: one shared
+// core per workload, wrapped either cold (construct-run-destroy) or warm
+// (snapshot/reset pools). Builders receive the campaign's ExecutionLayer so
+// self-contained jobs (job.explore) plug into the same warm pools.
 
-std::vector<CampaignJob> GitTable1Jobs(bool exhaustive) {
+std::vector<CampaignJob> GitTable1Jobs(bool exhaustive, ExecutionLayer& exec) {
   (void)exhaustive;
+  (void)exec;
   return AnalyzerJobs(GitBinary().image(), CachedLibcProfile());
 }
 
-std::vector<CampaignJob> MysqlTable1Jobs(bool exhaustive) {
+std::vector<CampaignJob> MysqlTable1Jobs(bool exhaustive, ExecutionLayer& exec) {
   (void)exhaustive;
+  (void)exec;
   const FaultProfile& profile = CachedLibcProfile();
 
   // Phase 1: analyzer-generated scenarios.
@@ -274,7 +85,7 @@ std::vector<CampaignJob> MysqlTable1Jobs(bool exhaustive) {
   return jobs;
 }
 
-std::vector<CampaignJob> BindTable1Jobs(bool exhaustive) {
+std::vector<CampaignJob> BindTable1Jobs(bool exhaustive, ExecutionLayer& exec) {
   (void)exhaustive;
 
   // Analyzer scenarios against both library profiles.
@@ -291,13 +102,13 @@ std::vector<CampaignJob> BindTable1Jobs(bool exhaustive) {
     job.scenario = MakeCallCountScenario("malloc", k, 0, kENOMEM);
     job.label = StrFormat("malloc #%llu = NULL in dst_lib_init", (unsigned long long)k);
     job.seed = k;
-    job.explore = RunBindDstJob;
+    job.explore = exec.bind_dst_runner();
     jobs.push_back(std::move(job));
   }
   return jobs;
 }
 
-std::vector<CampaignJob> PbftTable1Jobs(bool exhaustive) {
+std::vector<CampaignJob> PbftTable1Jobs(bool exhaustive, ExecutionLayer& exec) {
   // Phase 1: analyzer scenarios against replica 0 (shutdown checkpoint bug).
   std::vector<CampaignJob> jobs = AnalyzerJobs(PbftBinary().image(), CachedLibcProfile());
 
@@ -328,7 +139,7 @@ std::vector<CampaignJob> PbftTable1Jobs(bool exhaustive) {
         StrFormat("random sendto/recvfrom faults, seed %llu", (unsigned long long)seed);
     job.seed = seed;
     job.skip_when_saturated = !exhaustive;
-    job.explore = RunPbftDistributedJob;
+    job.explore = exec.pbft_distributed_runner();
     jobs.push_back(std::move(job));
   }
   return jobs;
@@ -343,9 +154,9 @@ struct SystemEntry {
   const char* name;
   const AppBinary& (*binary)();
   std::vector<const FaultProfile*> (*profiles)();
-  JobResult (*table1_runner)(const CampaignJob&);   // default workload
-  JobResult (*explore_runner)(const CampaignJob&);  // exploration workload
-  std::vector<CampaignJob> (*table1_jobs)(bool exhaustive);
+  JobResult (*table1_runner)(const CampaignJob&);   // default workload, cold
+  JobResult (*explore_runner)(const CampaignJob&);  // exploration workload, cold
+  std::vector<CampaignJob> (*table1_jobs)(bool exhaustive, ExecutionLayer& exec);
   size_t table1_max_bugs;  // historical fuzz cutoff; 0 = run everything
 };
 
@@ -567,15 +378,18 @@ std::optional<CampaignOutcome> CampaignDriver::RunTable1(std::string* error) {
   }
 
   const SystemEntry* entry = FindSystem(spec_.system);
-  std::vector<CampaignJob> jobs = entry->table1_jobs(spec_.exhaustive);
+  // The execution layer (warm pools unless --cold-start) must outlive the
+  // engine run: jobs built below capture its runners.
+  ExecutionLayer exec(spec_.system, /*explore_workload=*/false, spec_.cold_start);
+  std::vector<CampaignJob> jobs = entry->table1_jobs(spec_.exhaustive, exec);
   size_t max_bugs = spec_.exhaustive ? 0 : entry->table1_max_bugs;
   CampaignEngine engine(EngineOptions(spec_, max_bugs));
   ExhaustiveSource source(std::move(jobs));
   if (spec_.shard_index != CampaignSpec::kNoShard) {
     ShardSource sharded(source, spec_.shard_index, spec_.shard_count);
-    return FromExploration(engine.Run(sharded, entry->table1_runner), spec_);
+    return FromExploration(engine.Run(sharded, exec.runner()), spec_);
   }
-  return FromExploration(engine.Run(source, entry->table1_runner), spec_);
+  return FromExploration(engine.Run(source, exec.runner()), spec_);
 }
 
 std::optional<CampaignOutcome> CampaignDriver::RunExplore(std::string* error) {
@@ -588,12 +402,13 @@ std::optional<CampaignOutcome> CampaignDriver::RunExplore(std::string* error) {
   const SystemEntry* entry = FindSystem(spec_.system);
   ExploreInputs inputs = BuildExploreInputs(*entry);
   CampaignEngine engine(EngineOptions(spec_, /*max_bugs=*/0));
+  ExecutionLayer exec(spec_.system, /*explore_workload=*/true, spec_.cold_start);
   auto run = [&](ScenarioSource& source) -> CampaignOutcome {
     if (spec_.shard_index != CampaignSpec::kNoShard) {
       ShardSource sharded(source, spec_.shard_index, spec_.shard_count);
-      return FromExploration(engine.Run(sharded, entry->explore_runner), spec_);
+      return FromExploration(engine.Run(sharded, exec.runner()), spec_);
     }
-    return FromExploration(engine.Run(source, entry->explore_runner), spec_);
+    return FromExploration(engine.Run(source, exec.runner()), spec_);
   };
   switch (spec_.strategy) {
     case ExploreStrategy::kExhaustive: {
@@ -680,6 +495,7 @@ std::optional<CampaignOutcome> CampaignDriver::RunResume(std::string* error) {
   recorded->max_retries = spec_.max_retries;
   recorded->backoff_ms = spec_.backoff_ms;
   recorded->job_timeout_ms = spec_.job_timeout_ms;
+  recorded->cold_start = spec_.cold_start;
   recorded->failpoints = spec_.failpoints;
   CampaignDriver driver(*recorded);
   auto outcome = driver.Run(error);

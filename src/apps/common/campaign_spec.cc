@@ -229,6 +229,9 @@ void CampaignSpec::AppendXml(XmlNode* parent) const {
     node->SetAttr("job-timeout-ms",
                   StrFormat("%llu", static_cast<unsigned long long>(job_timeout_ms)));
   }
+  if (cold_start) {
+    node->SetAttr("cold-start", "true");
+  }
   if (!failpoints.empty()) {
     node->SetAttr("failpoints", failpoints);
   }
@@ -289,6 +292,7 @@ std::optional<CampaignSpec> CampaignSpec::FromNode(const XmlNode& node, std::str
   spec.max_retries = SizeFromString(node.AttrOr("max-retries", "2"));
   spec.backoff_ms = SeedFromString(node.AttrOr("backoff-ms", "50"));
   spec.job_timeout_ms = SeedFromString(node.AttrOr("job-timeout-ms", "0"));
+  spec.cold_start = node.AttrOr("cold-start", "false") == "true";
   spec.failpoints = node.AttrOr("failpoints", "");
   auto format = ParseJournalFormat(node.AttrOr("format", "extent"));
   if (!format) {

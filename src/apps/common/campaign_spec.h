@@ -119,6 +119,13 @@ struct CampaignSpec {
   // abandoned and reported as a deterministic FoundBug kind "hang"
   // (CampaignEngine::Options::job_timeout_ms). 0 = off.
   uint64_t job_timeout_ms = 0;
+  // Ablation knob: run every job against a freshly built target (the paper's
+  // fresh-process-per-test model) instead of the default warm snapshot/reset
+  // pools (apps/common/warm_targets.h). Execution environment, never campaign
+  // identity -- warm and cold runs produce byte-identical journals, so this
+  // is not in ToJournalMeta; it IS on the spec wire so spawned shard children
+  // inherit the choice.
+  bool cold_start = false;
   // Failpoint schedule (util/failpoint.h spec syntax) armed by the driver
   // and inherited by spawned children over the spec wire format. Chaos
   // testing only; stripped from supervisor respawns.

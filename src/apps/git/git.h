@@ -81,6 +81,24 @@ class MiniGit {
   // coverage experiment replays). Returns false on any detected failure.
   bool RunDefaultTestSuite();
 
+  // --- warm-instance snapshot -------------------------------------------
+  // Captures the application's full state (libc-visible process state,
+  // coverage, hook counter). The owning fs/net are snapshotted separately by
+  // the warm target. Restore() returns false when the libc state is
+  // non-restorable (see VirtualLibc::Restore); the instance must then be
+  // discarded and rebuilt cold.
+  struct Snapshot {
+    VirtualLibc::Snapshot libc;
+    CoverageMap coverage;
+    int hook_runs = 0;
+  };
+  Snapshot TakeSnapshot() const { return {libc_.TakeSnapshot(), coverage_, hook_runs_}; }
+  bool Restore(const Snapshot& snapshot) {
+    coverage_ = snapshot.coverage;
+    hook_runs_ = snapshot.hook_runs;
+    return libc_.Restore(snapshot.libc);
+  }
+
  private:
   std::string ObjectPath(const std::string& id) const;
   void RegisterCoverageBlocks();

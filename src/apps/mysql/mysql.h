@@ -70,6 +70,36 @@ class MiniMysql {
   void SetThreadCount(int64_t n);
   void SetShutdownInProgress(bool value);
 
+  // --- warm-instance snapshot --------------------------------------------
+  // The errmsg table is captured as (initialized, storage) and its interior
+  // pointer recomputed on restore, so a restored instance never aliases the
+  // snapshot's storage vector.
+  struct Snapshot {
+    VirtualLibc::Snapshot libc;
+    CoverageMap coverage;
+    int create_mutex_held = 0;
+    bool errmsg_initialized = false;
+    std::vector<std::string> errmsg_storage;
+    std::vector<std::string> startup_log;
+    int oltp_fd = -1;
+    int oltp_rows = 0;
+  };
+  Snapshot TakeSnapshot() const {
+    return {libc_.TakeSnapshot(), coverage_,       create_mutex_.held, errmsg_.initialized,
+            errmsg_storage_,      startup_log_,    oltp_fd_,           oltp_rows_};
+  }
+  bool Restore(const Snapshot& snapshot) {
+    coverage_ = snapshot.coverage;
+    create_mutex_.held = snapshot.create_mutex_held;
+    errmsg_storage_ = snapshot.errmsg_storage;
+    errmsg_.initialized = snapshot.errmsg_initialized;
+    errmsg_.messages = errmsg_.initialized ? &errmsg_storage_ : nullptr;
+    startup_log_ = snapshot.startup_log;
+    oltp_fd_ = snapshot.oltp_fd;
+    oltp_rows_ = snapshot.oltp_rows;
+    return libc_.Restore(snapshot.libc);
+  }
+
  private:
   std::string TablePath(const std::string& table, int segment) const;
   void RegisterCoverageBlocks();

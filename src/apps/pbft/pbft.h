@@ -64,11 +64,25 @@ class PbftReplica {
   bool halted() const { return halted_; }
   int view_changes() const { return view_changes_; }
 
+  // Socket bring-up plus session-key establishment: like the Castro-Liskov
+  // implementation this stands in for, every pair of nodes shares a symmetric
+  // MAC key, derived here by iterated hashing. That derivation is the
+  // expensive part of replica bring-up -- the cost the fresh-process-per-test
+  // model pays on every single test, and what the warm-instance snapshot
+  // (TakeSnapshot/Restore below) amortizes to one copy of the key table.
   bool Start();
   // One simulation tick: drain the socket, run timers, retransmit.
   void Step();
   // Graceful shutdown: writes the final checkpoint (the unchecked-fopen bug).
   void Shutdown();
+
+  // --- warm-instance snapshot --------------------------------------------
+  // Move-only (the message log owns request payloads through unique_ptr);
+  // defined after the class so it can name the private SeqState. Restore()
+  // deep-copies out of the snapshot, so one snapshot serves many restores.
+  struct Snapshot;
+  Snapshot TakeSnapshot() const;
+  bool Restore(const Snapshot& snapshot);
 
  private:
   struct SeqState {
@@ -101,12 +115,17 @@ class PbftReplica {
   void Retransmit();
   SeqState& Seq(int64_t seq);
   void RegisterCoverageBlocks();
+  // Deep copy of the message log (SeqState owns its payload).
+  static std::map<int64_t, SeqState> CloneLog(const std::map<int64_t, SeqState>& log);
 
   VirtualLibc libc_;
   CoverageMap coverage_;
   PbftConfig config_;
   int id_;
   int fd_ = -1;
+  // Established by Start(): peer port -> shared MAC key. Datagrams from
+  // ports without a session key are discarded on receipt.
+  std::map<int, std::string> session_keys_;
   int view_ = 0;
   int64_t next_seq_ = 0;       // primary: last assigned sequence
   int64_t executed_count_ = 0;
@@ -127,6 +146,30 @@ class PbftReplica {
   std::string checkpoint_digest_ = "genesis";
 };
 
+// Out-of-class so it can name the private SeqState (member type has access).
+struct PbftReplica::Snapshot {
+  VirtualLibc::Snapshot libc;
+  CoverageMap coverage;
+  int fd = -1;
+  std::map<int, std::string> session_keys;
+  int view = 0;
+  int64_t next_seq = 0;
+  int64_t executed_count = 0;
+  int64_t low_watermark = 0;
+  std::map<int64_t, SeqState> log;
+  std::map<std::string, int> pending_client;
+  std::set<std::string> executed_digests;
+  std::map<std::string, std::pair<int, std::string>> reply_cache;
+  std::set<int> view_change_votes;
+  bool view_change_sent = false;
+  int idle_ticks = 0;
+  int ticks = 0;
+  bool halted = false;
+  int view_changes = 0;
+  std::string state_digest;
+  std::string checkpoint_digest;
+};
+
 class PbftClient {
  public:
   static constexpr const char* kModule = "pbft-client";
@@ -141,10 +184,42 @@ class PbftClient {
   // Caps how many requests the client issues (0 = unlimited).
   void set_max_requests(int max_requests) { max_requests_ = max_requests; }
 
+  // --- warm-instance snapshot --------------------------------------------
+  struct Snapshot {
+    VirtualLibc::Snapshot libc;
+    int fd = -1;
+    std::map<int, std::string> session_keys;
+    int64_t timestamp = 0;
+    bool outstanding = false;
+    int ticks_since_send = 0;
+    bool broadcast_mode = false;
+    std::set<int> reply_votes;
+    int completed = 0;
+    int max_requests = 0;
+  };
+  Snapshot TakeSnapshot() const {
+    return {libc_.TakeSnapshot(), fd_,          session_keys_, timestamp_,
+            outstanding_,         ticks_since_send_, broadcast_mode_,
+            reply_votes_,         completed_,    max_requests_};
+  }
+  bool Restore(const Snapshot& snapshot) {
+    fd_ = snapshot.fd;
+    session_keys_ = snapshot.session_keys;
+    timestamp_ = snapshot.timestamp;
+    outstanding_ = snapshot.outstanding;
+    ticks_since_send_ = snapshot.ticks_since_send;
+    broadcast_mode_ = snapshot.broadcast_mode;
+    reply_votes_ = snapshot.reply_votes;
+    completed_ = snapshot.completed;
+    max_requests_ = snapshot.max_requests;
+    return libc_.Restore(snapshot.libc);
+  }
+
  private:
   VirtualLibc libc_;
   PbftConfig config_;
   int fd_ = -1;
+  std::map<int, std::string> session_keys_;  // replica port -> shared MAC key
   int64_t timestamp_ = 0;
   bool outstanding_ = false;
   int ticks_since_send_ = 0;
@@ -176,6 +251,20 @@ class PbftCluster {
   bool crashed() const { return crashed_; }
   const std::string& crash_reason() const { return crash_reason_; }
   int crashed_replica() const { return crashed_replica_; }
+
+  // --- warm-instance snapshot --------------------------------------------
+  // Snapshots every replica, the client, and the cluster-level crash record.
+  // The fabric (VirtualNet) is snapshotted separately by the warm target.
+  // Restore() returns false when any process is non-restorable.
+  struct Snapshot {
+    std::vector<PbftReplica::Snapshot> replicas;
+    PbftClient::Snapshot client;
+    bool crashed = false;
+    std::string crash_reason;
+    int crashed_replica = -1;
+  };
+  Snapshot TakeSnapshot() const;
+  bool Restore(const Snapshot& snapshot);
 
  private:
   PbftConfig config_;

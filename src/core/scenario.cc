@@ -181,7 +181,16 @@ std::optional<Scenario> Scenario::FromNode(const XmlNode& node, std::string* err
 }
 
 std::string ScenarioFingerprint(const Scenario& scenario) {
-  return Sha1::HexDigest(scenario.ToXml());
+  // The dedup/shard-dealing hot path: stream the canonical document bytes
+  // straight into the digest instead of materializing the XML string per
+  // scenario. Byte-equality with Sha1::HexDigest(scenario.ToXml()) is
+  // guaranteed by sharing the one serializer (XmlNode::Write), and pinned by
+  // ScenarioTest.FingerprintMatchesMaterializedXml.
+  XmlDocument doc("scenario");
+  scenario.WriteXmlInto(doc.root());
+  Sha1 sha;
+  doc.Write([&sha](std::string_view chunk) { sha.Update(chunk); });
+  return Sha1::ToHex(sha.Finish());
 }
 
 size_t ScenarioShard(const Scenario& scenario, size_t shard_count) {

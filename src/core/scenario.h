@@ -83,9 +83,12 @@ class Scenario {
     return triggers_ == o.triggers_ && functions_ == o.functions_;
   }
 
- private:
+  // Builds the canonical element tree under `root` -- the serializer core
+  // ToXml/AppendXml wrap, and what ScenarioFingerprint streams into SHA-1
+  // without materializing the document string.
   void WriteXmlInto(XmlNode* root) const;
 
+ private:
   std::vector<TriggerDecl> triggers_;
   std::vector<FunctionAssoc> functions_;
 };

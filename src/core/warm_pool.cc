@@ -1,0 +1,56 @@
+#include "core/warm_pool.h"
+
+namespace lfi {
+
+std::unique_ptr<WarmTarget> WarmPool::Checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<WarmTarget> instance = std::move(idle_.back());
+      idle_.pop_back();
+      return instance;
+    }
+    ++stats_.builds;
+  }
+  // Build outside the lock: bring-up is the expensive part this pool exists
+  // to amortize, and other workers should not serialize behind it.
+  return factory_();
+}
+
+void WarmPool::Checkin(std::unique_ptr<WarmTarget> instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(instance));
+}
+
+JobResult WarmPool::RunJob(const CampaignJob& job) {
+  std::unique_ptr<WarmTarget> instance = Checkout();
+  JobResult result;
+  try {
+    result = instance->Run(job);
+  } catch (...) {
+    // The harness absorbs expected failures (SimCrash is caught inside
+    // RunTest); anything that still unwinds leaves the instance in an
+    // unknown state, so it must not be re-pooled.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.runs;
+    ++stats_.dropped;
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.runs;
+  }
+  if (instance->Reset()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.resets;
+    }
+    Checkin(std::move(instance));
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dropped;
+  }
+  return result;
+}
+
+}  // namespace lfi

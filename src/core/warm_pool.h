@@ -1,0 +1,103 @@
+// Warm-instance job execution: snapshot/reset target pools.
+//
+// A campaign job's wall-clock is dominated by target bring-up: every cold run
+// builds a fresh VirtualFs/VirtualNet/application, replays the setup phase,
+// and throws it all away after one scenario. This layer amortizes that, the
+// way AFL's fork server amortizes execve: a WarmTarget constructs the target
+// once with injection disarmed, snapshots the post-setup state (filesystem,
+// network fabric, libc-visible process state, application fields, coverage),
+// and Reset() rolls everything back bit-exactly between jobs.
+//
+// The correctness bar is strict: bugs, coverage, fingerprints, and campaign
+// journal *bytes* must be identical to cold-start execution at any worker or
+// shard count. That holds because (a) the snapshot point is exactly the state
+// a cold runner is in when it hands the target to TestController::RunTest,
+// and (b) Reset() restores every bit of state a job can mutate -- anything it
+// cannot restore (a setup-era handle the job released) makes Reset() return
+// false and the pool rebuilds cold instead of reusing a tainted instance.
+//
+// Pool discipline is checkout/checkin: a worker takes an idle instance (or
+// builds one when none is idle), runs the job, resets, and returns it. A
+// crashed job is fine -- SimCrash unwinds through RunTest, which detaches the
+// interposer, and Reset() erases the wreckage. A job whose Reset() fails is
+// dropped. A *hung* job (engine watchdog fired, thread abandoned) never
+// checks its instance back in, so the next job simply builds cold; if the
+// abandoned thread eventually finishes and its Reset() succeeds, re-pooling
+// the instance is legitimate -- it is back in bit-exact snapshot state.
+
+#ifndef LFI_CORE_WARM_POOL_H_
+#define LFI_CORE_WARM_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/campaign_engine.h"
+
+namespace lfi {
+
+// One reusable target instance: owns the application plus its virtual
+// environment, holds the post-setup snapshot, and knows how to roll back.
+class WarmTarget {
+ public:
+  virtual ~WarmTarget() = default;
+
+  // Runs one job against the warm instance. Equivalent -- bug list, coverage,
+  // fingerprint, injection log -- to a cold runner's execution of the same
+  // job.
+  virtual JobResult Run(const CampaignJob& job) = 0;
+
+  // Rolls the instance back to its post-setup snapshot. Returns false when
+  // the state is non-restorable (the job released a setup-era resource); the
+  // instance must then be discarded.
+  virtual bool Reset() = 0;
+};
+
+// A thread-safe pool of warm instances sharing one factory. Sized by demand:
+// at most one instance per concurrently running job ever exists, so an
+// N-worker engine holds at most N.
+class WarmPool {
+ public:
+  using Factory = std::function<std::unique_ptr<WarmTarget>()>;
+
+  explicit WarmPool(Factory factory) : factory_(std::move(factory)) {}
+
+  WarmPool(const WarmPool&) = delete;
+  WarmPool& operator=(const WarmPool&) = delete;
+
+  // Checkout -> Run -> Reset -> checkin. The instance is dropped (and the
+  // next job pays a cold build) when Reset() fails or the job escapes with
+  // an exception the harness did not absorb.
+  JobResult RunJob(const CampaignJob& job);
+
+  // Adapts the pool to the engine's runner seam.
+  CampaignEngine::ResultRunner AsRunner() {
+    return [this](const CampaignJob& job) { return RunJob(job); };
+  }
+
+  struct Stats {
+    uint64_t builds = 0;   // factory invocations (cold bring-ups)
+    uint64_t runs = 0;     // jobs executed
+    uint64_t resets = 0;   // successful rollbacks (instance re-pooled)
+    uint64_t dropped = 0;  // instances discarded after a failed Reset()
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  std::unique_ptr<WarmTarget> Checkout();
+  void Checkin(std::unique_ptr<WarmTarget> instance);
+
+  Factory factory_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<WarmTarget>> idle_;
+  Stats stats_;
+};
+
+}  // namespace lfi
+
+#endif  // LFI_CORE_WARM_POOL_H_

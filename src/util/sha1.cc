@@ -114,7 +114,10 @@ std::array<uint8_t, Sha1::kDigestSize> Sha1::Finish() {
 std::string Sha1::HexDigest(std::string_view data) {
   Sha1 h;
   h.Update(data);
-  auto digest = h.Finish();
+  return ToHex(h.Finish());
+}
+
+std::string Sha1::ToHex(const std::array<uint8_t, kDigestSize>& digest) {
   static const char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(kDigestSize * 2);

@@ -31,6 +31,11 @@ class Sha1 {
   // One-shot convenience: returns the 40-character lowercase hex digest.
   static std::string HexDigest(std::string_view data);
 
+  // Renders a finished digest as 40 lowercase hex characters (what streaming
+  // callers pair with Update/Finish to get HexDigest without the one-shot
+  // input string).
+  static std::string ToHex(const std::array<uint8_t, kDigestSize>& digest);
+
  private:
   void ProcessBlock(const uint8_t* block);
 

@@ -49,6 +49,20 @@ class VirtualFs {
 
   size_t file_count() const { return files_.size(); }
 
+  // Deep copy of the whole filesystem state. Restore() rolls every file,
+  // directory, FIFO, and symlink back to the captured state bit-exactly --
+  // the warm-instance execution layer (core/warm_pool.h) snapshots after
+  // target bring-up and restores between jobs.
+  struct Snapshot {
+    std::map<std::string, VfsFile> files;
+    std::set<std::string> dirs;
+  };
+  Snapshot TakeSnapshot() const { return {files_, dirs_}; }
+  void Restore(const Snapshot& snapshot) {
+    files_ = snapshot.files;
+    dirs_ = snapshot.dirs;
+  }
+
  private:
   std::map<std::string, VfsFile> files_;
   std::set<std::string> dirs_;

@@ -27,6 +27,113 @@ VirtualLibc::~VirtualLibc() {
   }
 }
 
+VirtualLibc::Snapshot VirtualLibc::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.stack = stack_;
+  snapshot.errno_value = errno_;
+  snapshot.intercepted_calls = intercepted_calls_;
+  snapshot.call_counts = call_counts_;
+  snapshot.fds = fds_;
+  snapshot.allocations = allocations_;
+  for (VFile* f : open_files_) {
+    snapshot.open_files.emplace(f, *f);
+  }
+  for (VDir* d : open_dirs_) {
+    snapshot.open_dirs.emplace(d, *d);
+  }
+  for (VXmlWriter* w : open_writers_) {
+    snapshot.open_writers.emplace(w, *w);
+  }
+  snapshot.env = env_;
+  snapshot.globals = globals_;
+  snapshot.services = services_;
+  snapshot.next_pipe_id = next_pipe_id_;
+  return snapshot;
+}
+
+bool VirtualLibc::Restore(const Snapshot& snapshot) {
+  // Snapshot-era handles and heap blocks must all still be live: a released
+  // pointer cannot be conjured back at the same address, so such state is
+  // non-restorable and the caller must rebuild from scratch.
+  for (void* p : snapshot.allocations) {
+    if (allocations_.count(p) == 0) {
+      return false;
+    }
+  }
+  for (const auto& [f, copy] : snapshot.open_files) {
+    if (open_files_.count(f) == 0) {
+      return false;
+    }
+  }
+  for (const auto& [d, copy] : snapshot.open_dirs) {
+    if (open_dirs_.count(d) == 0) {
+      return false;
+    }
+  }
+  for (const auto& [w, copy] : snapshot.open_writers) {
+    if (open_writers_.count(w) == 0) {
+      return false;
+    }
+  }
+
+  // Release everything born after the snapshot, then roll handle contents
+  // back in place (stream error/eof flags, DIR cursors, writer buffers).
+  for (auto it = allocations_.begin(); it != allocations_.end();) {
+    if (snapshot.allocations.count(*it) == 0) {
+      ::operator delete(*it);
+      it = allocations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = open_files_.begin(); it != open_files_.end();) {
+    if (snapshot.open_files.count(*it) == 0) {
+      delete *it;
+      it = open_files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = open_dirs_.begin(); it != open_dirs_.end();) {
+    if (snapshot.open_dirs.count(*it) == 0) {
+      delete *it;
+      it = open_dirs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = open_writers_.begin(); it != open_writers_.end();) {
+    if (snapshot.open_writers.count(*it) == 0) {
+      delete *it;
+      it = open_writers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [f, copy] : snapshot.open_files) {
+    *f = copy;
+  }
+  for (const auto& [d, copy] : snapshot.open_dirs) {
+    *d = copy;
+  }
+  for (const auto& [w, copy] : snapshot.open_writers) {
+    *w = copy;
+  }
+
+  stack_ = snapshot.stack;
+  errno_ = snapshot.errno_value;
+  intercepted_calls_ = snapshot.intercepted_calls;
+  call_counts_ = snapshot.call_counts;
+  fds_ = snapshot.fds;
+  env_ = snapshot.env;
+  globals_ = snapshot.globals;
+  services_ = snapshot.services;
+  next_pipe_id_ = snapshot.next_pipe_id;
+  interposer_ = nullptr;
+  in_interposer_ = false;
+  return true;
+}
+
 std::optional<int64_t> VirtualLibc::Intercept(FunctionId function,
                                               std::initializer_list<Word> args) {
   if (interposer_ == nullptr || in_interposer_) {

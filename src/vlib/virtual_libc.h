@@ -218,6 +218,28 @@ class VirtualLibc {
   // at the start of every test, mirroring the paper's fresh process per run.
   void ResetCallCounts() { call_counts_.clear(); }
 
+  // --- snapshot / restore ----------------------------------------------------
+  // Captures the process's entire libc-visible state: descriptors, handle
+  // contents (streams, DIRs, xml writers), the live-allocation set,
+  // environment, globals, services, errno, call counters, and the call
+  // stack. Defined after the class (it names the private OpenFd).
+  struct Snapshot;
+  Snapshot TakeSnapshot() const;
+
+  // Rolls the process back to `snapshot`. Handles and heap blocks created
+  // after the snapshot are released; snapshot-era handle *contents* (stream
+  // error/eof/offset, DIR cursors, writer buffers) are restored in place.
+  // The interposer is detached and in-trigger state cleared.
+  //
+  // Returns false -- leaving the process unusable -- when the state cannot
+  // be rolled back: a snapshot-era heap block, stream, DIR, or writer was
+  // released after the snapshot (its address may have been reused, so
+  // "re-allocating" it is impossible). Callers fall back to a cold rebuild.
+  // Raw heap block *contents* are not captured (sizes are untracked); no
+  // target keeps setup-phase heap data across jobs, and a snapshot-era block
+  // still live at restore keeps whatever bytes it has.
+  bool Restore(const Snapshot& snapshot);
+
  private:
   struct OpenFd {
     std::string path;
@@ -254,6 +276,25 @@ class VirtualLibc {
   std::map<std::string, int64_t, std::less<>> globals_;
   std::map<std::string, void*, std::less<>> services_;
   int next_pipe_id_ = 0;
+};
+
+// Out-of-class so it can name the private OpenFd (a member type has access).
+// Handle state is keyed by the live pointer and holds a value copy of what it
+// pointed at when the snapshot was taken.
+struct VirtualLibc::Snapshot {
+  CallStack stack;
+  int errno_value = 0;
+  uint64_t intercepted_calls = 0;
+  std::vector<uint64_t> call_counts;
+  std::vector<std::optional<OpenFd>> fds;
+  std::set<void*> allocations;
+  std::map<VFile*, VFile> open_files;
+  std::map<VDir*, VDir> open_dirs;
+  std::map<VXmlWriter*, VXmlWriter> open_writers;
+  std::map<std::string, std::string, std::less<>> env;
+  std::map<std::string, int64_t, std::less<>> globals;
+  std::map<std::string, void*, std::less<>> services;
+  int next_pipe_id = 0;
 };
 
 }  // namespace lfi

@@ -57,6 +57,33 @@ class VirtualNet {
   uint64_t delivered_count() const { return delivered_; }
   uint64_t dropped_count() const { return dropped_; }
 
+  // Deep copy of the whole fabric state: bound ports (queue-map keys *are*
+  // the bindings), queued and staged datagrams, delivery mode, loss RNG
+  // state, and the counters. Restore() rolls all of it back bit-exactly, so
+  // a restored warm instance's message timing and physical-loss stream are
+  // indistinguishable from a fresh bring-up.
+  struct Snapshot {
+    std::map<int, std::deque<Datagram>> queues;
+    std::vector<std::pair<int, Datagram>> staged;
+    bool tick_delivery = false;
+    Rng rng;
+    double loss_probability = 0.0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+  };
+  Snapshot TakeSnapshot() const {
+    return {queues_, staged_, tick_delivery_, rng_, loss_probability_, delivered_, dropped_};
+  }
+  void Restore(const Snapshot& snapshot) {
+    queues_ = snapshot.queues;
+    staged_ = snapshot.staged;
+    tick_delivery_ = snapshot.tick_delivery;
+    rng_ = snapshot.rng;
+    loss_probability_ = snapshot.loss_probability;
+    delivered_ = snapshot.delivered;
+    dropped_ = snapshot.dropped;
+  }
+
  private:
   std::map<int, std::deque<Datagram>> queues_;
   std::vector<std::pair<int, Datagram>> staged_;

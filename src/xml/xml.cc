@@ -111,37 +111,55 @@ std::string XmlEscape(std::string_view s) {
   return out;
 }
 
-std::string XmlNode::ToString(int indent) const {
+void XmlNode::Write(int indent, const XmlSink& sink) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string out = pad + "<" + name_;
+  sink(pad);
+  sink("<");
+  sink(name_);
   for (const auto& kv : attrs_) {
-    out += " " + kv.first + "=\"" + XmlEscape(kv.second) + "\"";
+    sink(" ");
+    sink(kv.first);
+    sink("=\"");
+    sink(XmlEscape(kv.second));
+    sink("\"");
   }
   std::string trimmed(Trim(text_));
   if (children_.empty() && trimmed.empty()) {
-    out += " />\n";
-    return out;
+    sink(" />\n");
+    return;
   }
-  out += ">";
+  sink(">");
   if (!trimmed.empty()) {
-    out += XmlEscape(trimmed);
+    sink(XmlEscape(trimmed));
   }
   if (!children_.empty()) {
-    out += "\n";
+    sink("\n");
     for (const auto& c : children_) {
-      out += c->ToString(indent + 1);
+      c->Write(indent + 1, sink);
     }
-    out += pad;
+    sink(pad);
   }
-  out += "</" + name_ + ">\n";
+  sink("</");
+  sink(name_);
+  sink(">\n");
+}
+
+std::string XmlNode::ToString(int indent) const {
+  std::string out;
+  Write(indent, [&out](std::string_view chunk) { out.append(chunk); });
   return out;
 }
 
-std::string XmlDocument::ToString() const {
-  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+void XmlDocument::Write(const XmlSink& sink) const {
+  sink(kDeclaration);
   if (root_) {
-    out += root_->ToString();
+    root_->Write(0, sink);
   }
+}
+
+std::string XmlDocument::ToString() const {
+  std::string out;
+  Write([&out](std::string_view chunk) { out.append(chunk); });
   return out;
 }
 

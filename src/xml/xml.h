@@ -10,6 +10,7 @@
 #ifndef LFI_XML_XML_H_
 #define LFI_XML_XML_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +18,13 @@
 #include <vector>
 
 namespace lfi {
+
+// Receives serialized bytes chunk by chunk. The one canonical serializer
+// (WriteXml below) streams through a sink; ToString collects into a string
+// and streaming consumers (the scenario fingerprint feeding SHA-1 directly)
+// skip the materialized document entirely. Both therefore produce the same
+// bytes by construction.
+using XmlSink = std::function<void(std::string_view)>;
 
 class XmlNode;
 using XmlNodePtr = XmlNode*;
@@ -58,6 +66,10 @@ class XmlNode {
   // Serializes this node (and subtree) as indented XML.
   std::string ToString(int indent = 0) const;
 
+  // Streams the same bytes ToString produces into `sink`, without building
+  // the intermediate string. ToString is implemented on top of this.
+  void Write(int indent, const XmlSink& sink) const;
+
  private:
   std::string name_;
   std::string text_;
@@ -80,6 +92,13 @@ class XmlDocument {
 
   // Serializes with an XML declaration.
   std::string ToString() const;
+
+  // Streams the same bytes (declaration + root) into `sink`.
+  void Write(const XmlSink& sink) const;
+
+  // The declaration line every serialized document starts with.
+  static constexpr std::string_view kDeclaration =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
 
  private:
   std::unique_ptr<XmlNode> root_;
