@@ -1,0 +1,209 @@
+// The bfs target's campaign numbers: what each exploration strategy buys at
+// an equal scenario budget against the distributed client/server filesystem
+// (apps/bfs, docs/architecture.md "Target systems"), and what the warm
+// cluster pool saves over cold bring-up.
+//
+// Per strategy (exhaustive, random, coverage) the bench runs one explore
+// campaign and reports scenarios run, crash bugs, consistency bugs (the
+// remount-audit oracle's kind), and recovery-block coverage. The issue's
+// acceptance gates are enforced: the coverage strategy must surface at least
+// one crash bug AND at least one oracle consistency bug, and must cover at
+// least as many recovery blocks as the exhaustive strategy at the same
+// budget. The coverage campaign then reruns under --cold-start; warm and
+// cold journals must be byte-identical, and both throughputs are reported.
+//
+//   bench_bfs_campaign [budget] [seed] [reps] [--json [path]]
+//   (defaults: 96; 1; 3)
+//
+// Artifacts land in the working directory as BENCH_bfs-*.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/common/campaign_driver.h"
+#include "apps/common/campaign_spec.h"
+#include "bench_args.h"
+#include "util/string_util.h"
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+struct Measured {
+  double best_ms = 0.0;
+  size_t scenarios = 0;
+  size_t crash_bugs = 0;
+  size_t consistency_bugs = 0;
+  size_t covered_recovery = 0;
+  size_t total_recovery = 0;
+};
+
+bool RunMeasured(const lfi::CampaignSpec& spec, size_t reps, Measured* out,
+                 std::string* error) {
+  for (size_t rep = 0; rep < reps; ++rep) {
+    std::remove(spec.journal_path.c_str());
+    auto start = std::chrono::steady_clock::now();
+    auto outcome = lfi::CampaignDriver(spec).Run(error);
+    double ms = MsSince(start);
+    if (!outcome) {
+      return false;
+    }
+    if (rep == 0 || ms < out->best_ms) {
+      out->best_ms = ms;
+    }
+    out->scenarios = outcome->scenarios_run;
+    out->crash_bugs = 0;
+    out->consistency_bugs = 0;
+    for (const lfi::FoundBug& bug : outcome->bugs) {
+      if (bug.kind == "consistency") {
+        ++out->consistency_bugs;
+      } else {
+        ++out->crash_bugs;
+      }
+    }
+    lfi::CoverageMap::Stats stats = outcome->coverage.ComputeStats();
+    out->covered_recovery = stats.covered_recovery_blocks;
+    out->total_recovery = stats.recovery_blocks;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lfi_bench::JsonArgs args = lfi_bench::ParseJsonArgs(argc, argv, "BENCH_bfs.json");
+  size_t budget = 96;
+  uint64_t seed = 1;
+  size_t reps = 3;
+  for (size_t i = 0; i < args.positional.size(); ++i) {
+    long long value = std::atoll(args.positional[i]);
+    if (value <= 0) {
+      continue;
+    }
+    if (i == 0) {
+      budget = static_cast<size_t>(value);
+    } else if (i == 1) {
+      seed = static_cast<uint64_t>(value);
+    } else if (i == 2) {
+      reps = static_cast<size_t>(value);
+    }
+  }
+
+  std::printf("bfs explore campaign: budget %zu, seed %llu, best of %zu, 1 worker\n\n", budget,
+              (unsigned long long)seed, reps);
+  std::printf("%-12s %-9s %-11s %-7s %-13s %-13s %s\n", "strategy", "ms", "scenarios", "crash",
+              "consistency", "recovery", "scenarios/s");
+
+  lfi::CampaignSpec base;
+  base.system = "bfs";
+  base.mode = lfi::CampaignMode::kExplore;
+  base.budget = budget;
+  base.seed = seed;
+  base.workers = 1;
+
+  const std::pair<const char*, lfi::ExploreStrategy> kStrategies[] = {
+      {"exhaustive", lfi::ExploreStrategy::kExhaustive},
+      {"random", lfi::ExploreStrategy::kRandom},
+      {"coverage", lfi::ExploreStrategy::kCoverage},
+  };
+  std::string rows_json;
+  Measured exhaustive;
+  Measured coverage;
+  std::string coverage_warm_bytes;
+  for (const auto& [name, strategy] : kStrategies) {
+    lfi::CampaignSpec spec = base;
+    spec.strategy = strategy;
+    spec.journal_path = lfi::StrFormat("BENCH_bfs-%s.lfij", name);
+    std::string error;
+    Measured m;
+    if (!RunMeasured(spec, reps, &m, &error)) {
+      std::fprintf(stderr, "%s run failed: %s\n", name, error.c_str());
+      return 1;
+    }
+    if (strategy == lfi::ExploreStrategy::kExhaustive) {
+      exhaustive = m;
+    }
+    if (strategy == lfi::ExploreStrategy::kCoverage) {
+      coverage = m;
+      coverage_warm_bytes = ReadFile(spec.journal_path);
+    }
+    double rate = m.scenarios / (m.best_ms / 1000.0);
+    std::printf("%-12s %-9.1f %-11zu %-7zu %-13zu %zu/%-11zu %.1f\n", name, m.best_ms,
+                m.scenarios, m.crash_bugs, m.consistency_bugs, m.covered_recovery,
+                m.total_recovery, rate);
+    if (!rows_json.empty()) {
+      rows_json += ",";
+    }
+    rows_json += lfi::StrFormat(
+        "{\"strategy\":\"%s\",\"ms\":%.1f,\"scenarios\":%zu,\"crash_bugs\":%zu,"
+        "\"consistency_bugs\":%zu,\"covered_recovery_blocks\":%zu,"
+        "\"recovery_blocks\":%zu,\"scenarios_per_s\":%.1f}",
+        name, m.best_ms, m.scenarios, m.crash_bugs, m.consistency_bugs, m.covered_recovery,
+        m.total_recovery, rate);
+  }
+
+  // The warm/cold ablation on the coverage campaign: same bytes, and the
+  // throughput delta is what the snapshot/reset cluster pool amortizes.
+  lfi::CampaignSpec cold = base;
+  cold.strategy = lfi::ExploreStrategy::kCoverage;
+  cold.cold_start = true;
+  cold.journal_path = "BENCH_bfs-coverage-cold.lfij";
+  std::string error;
+  Measured cold_m;
+  if (!RunMeasured(cold, reps, &cold_m, &error)) {
+    std::fprintf(stderr, "cold coverage run failed: %s\n", error.c_str());
+    return 1;
+  }
+  bool identical =
+      !coverage_warm_bytes.empty() && ReadFile(cold.journal_path) == coverage_warm_bytes;
+  double warm_rate = coverage.scenarios / (coverage.best_ms / 1000.0);
+  double cold_rate = cold_m.scenarios / (cold_m.best_ms / 1000.0);
+  std::printf("\ncoverage warm %.1f scenarios/s vs cold %.1f scenarios/s (%.2fx), journals %s\n",
+              warm_rate, cold_rate, cold_m.best_ms / coverage.best_ms,
+              identical ? "byte-identical" : "DIVERGED");
+
+  if (args.enabled) {
+    std::ofstream out(args.path);
+    out << lfi::StrFormat(
+        "{\"bench\":\"bfs_campaign\",\"budget\":%zu,\"seed\":%llu,\"reps\":%zu,"
+        "\"strategies\":[%s],\"warm_scenarios_per_s\":%.1f,\"cold_scenarios_per_s\":%.1f,"
+        "\"warm_cold_identical\":%s}\n",
+        budget, (unsigned long long)seed, reps, rows_json.c_str(), warm_rate, cold_rate,
+        identical ? "true" : "false");
+    std::printf("wrote %s\n", args.path.c_str());
+  }
+
+  // The issue's acceptance gates.
+  if (coverage.crash_bugs < 1 || coverage.consistency_bugs < 1) {
+    std::fprintf(stderr,
+                 "FAIL: coverage strategy found %zu crash / %zu consistency bugs "
+                 "(need >=1 of each)\n",
+                 coverage.crash_bugs, coverage.consistency_bugs);
+    return 1;
+  }
+  if (coverage.covered_recovery < exhaustive.covered_recovery) {
+    std::fprintf(stderr, "FAIL: coverage recovery blocks %zu < exhaustive %zu at equal budget\n",
+                 coverage.covered_recovery, exhaustive.covered_recovery);
+    return 1;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: warm coverage journal diverged from the cold baseline\n");
+    return 1;
+  }
+  return 0;
+}

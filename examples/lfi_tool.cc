@@ -2,7 +2,7 @@
 // binaries on disk exactly the way the released LFI operated on ELF files.
 //
 //   lfi_tool emit-libc <out.self>            write the libc binary to disk
-//   lfi_tool emit-app {git|bind|mysql|pbft|httpd} <out.self>
+//   lfi_tool emit-app {git|bind|mysql|pbft|bfs|httpd} <out.self>
 //   lfi_tool disasm <binary.self>            disassembly listing
 //   lfi_tool profile <library.self>          fault profile XML to stdout
 //   lfi_tool analyze <app.self> <library.self> [function]
@@ -13,10 +13,10 @@
 // CampaignDriver (src/apps/common); the tool only parses options and prints
 // the CampaignOutcome.
 //
-//   lfi_tool campaign {git|mysql|bind|pbft|all} [workers]
+//   lfi_tool campaign {git|mysql|bind|pbft|bfs|all} [workers]
 //       [--workers W] [--exhaustive] [--journal PATH] [--json]
 //                                            the §7.1 bug campaign
-//   lfi_tool explore {git|mysql|bind|pbft}
+//   lfi_tool explore {git|mysql|bind|pbft|bfs}
 //       [--strategy exhaustive|random|coverage] [--budget N] [--seed S]
 //       [--workers W] [--journal PATH] [--shard I/N] [--shards N]
 //       [--epoch-len K] [--json]             feedback-driven exploration;
@@ -27,7 +27,7 @@
 //                                            epoch-synchronized distributed
 //                                            campaign (requires --epoch-len K
 //                                            merged batches per epoch)
-//   lfi_tool shard {git|mysql|bind|pbft} --shards N --journal PATH
+//   lfi_tool shard {git|mysql|bind|pbft|bfs} --shards N --journal PATH
 //       [--strategy exhaustive|random|coverage] [--budget N] [--seed S]
 //       [--workers W] [--epoch-len K] [--json]
 //                                            multi-process campaign: spawns N
@@ -63,7 +63,9 @@
 //                                            diagnose a journal artifact:
 //                                            torn tails, stale/missing extent
 //                                            footers, epoch invariant
-//                                            violations, and orphaned shard/
+//                                            violations, a campaign identity
+//                                            naming an unknown target system,
+//                                            and orphaned shard/
 //                                            frontier artifacts. --repair
 //                                            truncates torn tails, reseals
 //                                            the footer, and removes orphans.
@@ -95,6 +97,7 @@
 #include <vector>
 
 #include "analysis/callsite_analyzer.h"
+#include "apps/bfs/bfs.h"
 #include "apps/bind/bind.h"
 #include "apps/common/bug_campaign.h"
 #include "apps/common/campaign_driver.h"
@@ -140,19 +143,19 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  lfi_tool emit-libc <out.self>\n"
-               "  lfi_tool emit-app {git|bind|mysql|pbft|httpd} <out.self>\n"
+               "  lfi_tool emit-app {git|bind|mysql|pbft|bfs|httpd} <out.self>\n"
                "  lfi_tool disasm <binary.self>\n"
                "  lfi_tool profile <library.self>\n"
                "  lfi_tool analyze <app.self> <library.self> [function]\n"
-               "  lfi_tool campaign {git|mysql|bind|pbft|all} [workers] [--workers W]\n"
+               "  lfi_tool campaign {git|mysql|bind|pbft|bfs|all} [workers] [--workers W]\n"
                "                    [--exhaustive] [--journal PATH] [--format xml|extent]\n"
                "                    [--json]\n"
-               "  lfi_tool explore {git|mysql|bind|pbft} [--strategy "
+               "  lfi_tool explore {git|mysql|bind|pbft|bfs} [--strategy "
                "exhaustive|random|coverage]\n"
                "                   [--budget N] [--seed S] [--workers W] [--journal PATH]\n"
                "                   [--format xml|extent] [--shard I/N] [--shards N]\n"
                "                   [--epoch-len K] [--json]\n"
-               "  lfi_tool shard {git|mysql|bind|pbft} --shards N --journal PATH\n"
+               "  lfi_tool shard {git|mysql|bind|pbft|bfs} --shards N --journal PATH\n"
                "                 [--strategy exhaustive|random|coverage] [--budget N]\n"
                "                 [--seed S] [--workers W] [--epoch-len K]\n"
                "                 [--format xml|extent] [--json]\n"
@@ -942,6 +945,24 @@ int RunJournalDoctorCommand(const std::string& path, bool repair, const ToolOpti
                       "journal was merged from overlapping or reordered shard artifacts",
                       /*repairable=*/false});
   }
+  // The campaign identity must name a system this build can re-run: resume
+  // and replay both dispatch on it, so a journal whose header names anything
+  // else (a typo, or a journal from a newer build) is dead on arrival. A
+  // journal with no "system" key at all is not campaign-shaped (merge
+  // fixtures, hand-written artifacts) and is left alone.
+  std::string recorded_system = journal->Meta("system", "");
+  if (!recorded_system.empty() && !lfi::IsCampaignSystem(recorded_system)) {
+    invariant_violation = true;
+    std::string known;
+    for (const std::string& name : lfi::CampaignSystemNames()) {
+      known += (known.empty() ? "" : "|") + name;
+    }
+    issues.push_back({"unknown-system",
+                      lfi::StrFormat("campaign identity names system '%s', which this build "
+                                     "cannot re-run (%s); resume and replay will refuse it",
+                                     recorded_system.c_str(), known.c_str()),
+                      /*repairable=*/false});
+  }
   // Orphan detection only applies to a finalized journal: a torn one may
   // still need its siblings to finish recovering.
   std::vector<std::string> orphans;
@@ -1056,6 +1077,8 @@ int main(int argc, char** argv) {
       binary = &lfi::MysqlBinary();
     } else if (args[1] == "pbft") {
       binary = &lfi::PbftBinary();
+    } else if (args[1] == "bfs") {
+      binary = &lfi::BfsBinary();
     } else if (args[1] == "httpd") {
       binary = &lfi::HttpdBinary();
     } else {

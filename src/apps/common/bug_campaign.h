@@ -84,7 +84,7 @@ ExplorationResult ExploreMysqlCampaign(const ExploreConfig& config = {});
 ExplorationResult ExploreBindCampaign(const ExploreConfig& config = {});
 ExplorationResult ExplorePbftCampaign(const ExploreConfig& config = {});
 
-// Dispatch by system name ("git", "mysql", "bind", "pbft"); nullopt for an
+// Dispatch by system name (any CampaignSystemNames() member); nullopt for an
 // unknown system.
 std::optional<ExplorationResult> ExploreCampaign(const std::string& system,
                                                  const ExploreConfig& config);

@@ -15,6 +15,7 @@
 #define LFI_HAVE_FORK 1
 #endif
 
+#include "apps/bfs/bfs.h"
 #include "apps/bind/bind.h"
 #include "apps/common/bug_campaign.h"
 #include "apps/common/shard_supervisor.h"
@@ -145,6 +146,25 @@ std::vector<CampaignJob> PbftTable1Jobs(bool exhaustive, ExecutionLayer& exec) {
   return jobs;
 }
 
+std::vector<CampaignJob> BfsTable1Jobs(bool exhaustive, ExecutionLayer& exec) {
+  // Phase 1: analyzer scenarios against the server's libc call sites (the
+  // unchecked durability-barrier fopen surfaces here).
+  std::vector<CampaignJob> jobs = AnalyzerJobs(BfsBinary().image(), CachedLibcProfile());
+
+  // Phase 2: partial-transfer faults on the vnet fabric itself. These are not
+  // library faults -- the runner arms the network's short-write/short-read
+  // sites directly -- so they carry their own runner, like bind's dst sweep.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    CampaignJob job;
+    job.label = StrFormat("partial send/recv over vnet, seed %llu", (unsigned long long)seed);
+    job.seed = seed;
+    job.skip_when_saturated = !exhaustive;
+    job.explore = exec.bfs_mux_runner();
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
 // --- the system table -------------------------------------------------------
 
 // Everything system-specific the driver needs, in one row per target. This
@@ -170,6 +190,7 @@ const SystemEntry kSystems[] = {
     {"mysql", MysqlBinary, LibcOnly, RunMysqlJob, RunMysqlJob, MysqlTable1Jobs, 0},
     {"bind", BindBinary, LibcAndLibxml, RunBindJob, RunBindJob, BindTable1Jobs, 0},
     {"pbft", PbftBinary, LibcOnly, RunPbftJob, RunPbftExploreJob, PbftTable1Jobs, 2},
+    {"bfs", BfsBinary, LibcOnly, RunBfsJob, RunBfsExploreJob, BfsTable1Jobs, 0},
 };
 
 const SystemEntry* FindSystem(const std::string& name) {
@@ -356,7 +377,7 @@ std::optional<CampaignOutcome> CampaignDriver::Run(std::string* error) {
 
 std::optional<CampaignOutcome> CampaignDriver::RunTable1(std::string* error) {
   if (spec_.system == "all") {
-    // Four engines share no job stream, so one journal cannot cover the
+    // The per-system engines share no job stream, so one journal cannot cover the
     // union campaign (Validate already refused a journal path).
     std::set<FoundBug> all;
     size_t scenarios = 0;
@@ -528,6 +549,9 @@ std::optional<CampaignOutcome> CampaignDriver::RunReplay(std::string* error) {
   struct Target {
     size_t record;
     size_t injection;
+    // Whole-record replays re-inject the record's full fault sequence;
+    // explicit "record:injection" selectors re-inject just the one fault.
+    bool whole_record;
   };
   std::vector<Target> targets;
   const std::vector<JournalRecord>& records = journal->records();
@@ -545,6 +569,7 @@ std::optional<CampaignOutcome> CampaignDriver::RunReplay(std::string* error) {
                             static_cast<long long>(*record)));
     }
     size_t injection = log.size() - 1;
+    bool whole_record = parts.size() != 2;
     if (parts.size() == 2) {
       auto parsed = ParseInt(parts[1]);
       if (!parsed || *parsed < 0 || static_cast<size_t>(*parsed) >= log.size()) {
@@ -553,12 +578,13 @@ std::optional<CampaignOutcome> CampaignDriver::RunReplay(std::string* error) {
       }
       injection = static_cast<size_t>(*parsed);
     }
-    targets.push_back({static_cast<size_t>(*record), injection});
+    targets.push_back({static_cast<size_t>(*record), injection, whole_record});
   } else {
     for (size_t i = 0; i < records.size(); ++i) {
       if (!records[i].result.log.empty()) {
-        // The last injection is the one the run died on (when it died).
-        targets.push_back({i, records[i].result.log.size() - 1});
+        // The last injection is the one the run died on (when it died); the
+        // replay re-injects the whole sequence leading up to it.
+        targets.push_back({i, records[i].result.log.size() - 1, /*whole_record=*/true});
       }
     }
   }
@@ -570,7 +596,12 @@ std::optional<CampaignOutcome> CampaignDriver::RunReplay(std::string* error) {
     const JournalRecord& record = records[target.record];
     const InjectionRecord& injection = record.result.log.records()[target.injection];
     CampaignJob job;
-    job.scenario = record.result.log.ReplayScenario(target.injection);
+    // Whole-record replays re-inject the full logged sequence: a survived
+    // multi-injection run (the bfs consistency corruptions) only reproduces
+    // when every earlier fault lands too, keeping the call numbering aligned
+    // with the log. A single-injection selector keeps the narrower scenario.
+    job.scenario = target.whole_record ? record.result.log.FullReplayScenario()
+                                       : record.result.log.ReplayScenario(target.injection);
     job.label = StrFormat("replay %zu:%zu of %s", target.record, target.injection,
                           spec_.journal_path.c_str());
     job.seed = record.seed;

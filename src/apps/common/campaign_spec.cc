@@ -82,7 +82,7 @@ std::optional<ExploreStrategy> ParseExploreStrategy(const std::string& name) {
 }
 
 const std::vector<std::string>& CampaignSystemNames() {
-  static const std::vector<std::string> names = {"git", "mysql", "bind", "pbft"};
+  static const std::vector<std::string> names = {"git", "mysql", "bind", "pbft", "bfs"};
   return names;
 }
 
@@ -133,11 +133,11 @@ std::string CampaignSpec::Validate() const {
   }
   if (!IsCampaignSystem(system) &&
       !(system == "all" && mode == CampaignMode::kTable1)) {
-    return "unknown system '" + system + "' (git|mysql|bind|pbft" +
+    return "unknown system '" + system + "' (git|mysql|bind|pbft|bfs" +
            (mode == CampaignMode::kTable1 ? "|all)" : ")");
   }
   if (system == "all" && !journal_path.empty()) {
-    return "campaign all cannot be journaled (four engines, no single job stream); "
+    return "campaign all cannot be journaled (one engine per system, no single job stream); "
            "journal one system at a time";
   }
   if (shard_count == 0) {

@@ -61,7 +61,7 @@ bool IsCampaignSystem(const std::string& name);
 struct CampaignSpec {
   static constexpr size_t kNoShard = static_cast<size_t>(-1);
 
-  std::string system;  // "git"|"mysql"|"bind"|"pbft", or "all" (table1 only)
+  std::string system;  // "git"|"mysql"|"bind"|"pbft"|"bfs", or "all" (table1 only)
   CampaignMode mode = CampaignMode::kExplore;
   ExploreStrategy strategy = ExploreStrategy::kExhaustive;
   // Table 1 mode: run every generated scenario instead of stopping the fuzz

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "apps/bfs/bfs.h"
 #include "apps/bind/bind.h"
 #include "apps/git/git.h"
 #include "apps/mysql/mysql.h"
@@ -174,6 +175,64 @@ JobResult RunPbftDistributedJobOn(PbftCluster& cluster, const CampaignJob& job) 
   return result;
 }
 
+JobResult RunBfsJobOn(BfsCluster& cluster, const CampaignJob& job, int max_ticks) {
+  JobResult result;
+  TestController controller(job.scenario, SeededOptions(job.seed));
+  TestOutcome outcome = controller.RunTest(&cluster.server().libc(), [&] {
+    cluster.RunWorkload(max_ticks);
+    return cluster.AllClientsDone();
+  });
+  if (outcome.crashed()) {
+    result.bugs.push_back(
+        {"bfs", CrashKindName(outcome.crash_kind), outcome.crash_where, job.label});
+  } else if (cluster.crashed()) {
+    result.bugs.push_back({"bfs", "SIGSEGV", cluster.crash_reason(), job.label});
+  } else if (outcome.injections > 0) {
+    // The faults were absorbed and every client got its answers; the oracle
+    // decides whether the store still matches the acknowledged history.
+    std::string inconsistency = cluster.CheckConsistency();
+    if (!inconsistency.empty()) {
+      result.bugs.push_back({"bfs", "consistency", inconsistency, job.label});
+    }
+  }
+  result.coverage = cluster.Coverage();
+  result.fingerprint = OutcomeFingerprint(controller, outcome);
+  result.injections = outcome.injections;
+  MoveLogInto(&result, controller);
+  return result;
+}
+
+JobResult RunBfsMuxJobOn(BfsCluster& cluster, const CampaignJob& job) {
+  JobResult result;
+  VirtualNet* net = cluster.net();
+  // Seed-derived fault rates; Reset() restores the snapshot's zeroes, and
+  // rearming here is deterministic, so warm and cold runs stay bit-identical.
+  net->set_partial_send_probability(0.01 * static_cast<double>(1 + job.seed % 6));
+  net->set_partial_recv_probability(0.01 * static_cast<double>(1 + (job.seed / 6) % 5));
+  uint64_t sends_before = net->partial_send_count();
+  uint64_t recvs_before = net->partial_recv_count();
+  cluster.RunWorkload(/*max_ticks=*/1200);
+  net->set_partial_send_probability(0.0);
+  net->set_partial_recv_probability(0.0);
+  uint64_t faults = (net->partial_send_count() - sends_before) +
+                    (net->partial_recv_count() - recvs_before);
+  if (cluster.crashed()) {
+    result.bugs.push_back({"bfs", "SIGSEGV", cluster.crash_reason(), job.label});
+  } else if (faults > 0) {
+    std::string inconsistency = cluster.CheckConsistency();
+    if (!inconsistency.empty()) {
+      result.bugs.push_back({"bfs", "consistency", inconsistency, job.label});
+    }
+  }
+  result.coverage = cluster.Coverage();
+  result.fingerprint = StrFormat("mux:%llu", static_cast<unsigned long long>(faults));
+  if (cluster.crashed()) {
+    result.fingerprint += "!" + cluster.crash_reason();
+  }
+  result.injections = faults;
+  return result;
+}
+
 // --- cold one-shot runners ---------------------------------------------------
 
 JobResult RunGitJob(const CampaignJob& job) {
@@ -217,6 +276,22 @@ JobResult RunPbftJobWith(const CampaignJob& job, int requests, int max_ticks) {
   return RunPbftJobOn(cluster, job, requests, max_ticks);
 }
 
+BfsConfig BfsConfigFor(int rounds) {
+  BfsConfig config;
+  config.rounds = rounds;
+  return config;
+}
+
+JobResult RunBfsJobWith(const CampaignJob& job, int rounds, int max_ticks) {
+  VirtualFs fs;
+  VirtualNet net;
+  BfsCluster cluster(&fs, &net, BfsConfigFor(rounds));
+  if (!cluster.Start()) {
+    return JobResult{};
+  }
+  return RunBfsJobOn(cluster, job, max_ticks);
+}
+
 }  // namespace
 
 JobResult RunPbftJob(const CampaignJob& job) {
@@ -237,6 +312,24 @@ JobResult RunPbftDistributedJob(const CampaignJob& job) {
     return JobResult{};
   }
   return RunPbftDistributedJobOn(cluster, job);
+}
+
+JobResult RunBfsJob(const CampaignJob& job) {
+  return RunBfsJobWith(job, /*rounds=*/2, /*max_ticks=*/600);
+}
+
+JobResult RunBfsExploreJob(const CampaignJob& job) {
+  return RunBfsJobWith(job, /*rounds=*/3, /*max_ticks=*/900);
+}
+
+JobResult RunBfsMuxJob(const CampaignJob& job) {
+  VirtualFs fs;
+  VirtualNet net;
+  BfsCluster cluster(&fs, &net, BfsConfigFor(/*rounds=*/2));
+  if (!cluster.Start()) {
+    return JobResult{};
+  }
+  return RunBfsMuxJobOn(cluster, job);
 }
 
 // --- warm targets ------------------------------------------------------------
@@ -353,6 +446,41 @@ WarmPool::Factory PbftDistributedWarmFactory() {
   };
 }
 
+namespace {
+
+std::unique_ptr<BfsCluster> BuildStartedBfsCluster(VirtualFs* fs, VirtualNet* net,
+                                                   int rounds) {
+  auto cluster = std::make_unique<BfsCluster>(fs, net, BfsConfigFor(rounds));
+  // Same disarmed-bring-up contract as pbft: no interposer is installed yet,
+  // so socket setup, volume format, and lease-key derivation cannot fail.
+  cluster->Start();
+  return cluster;
+}
+
+}  // namespace
+
+WarmPool::Factory BfsWarmFactory(int rounds, int max_ticks) {
+  return [rounds, max_ticks] {
+    return std::make_unique<SnapshotWarmTarget<BfsCluster>>(
+        [rounds](VirtualFs* fs, VirtualNet* net) {
+          return BuildStartedBfsCluster(fs, net, rounds);
+        },
+        [max_ticks](BfsCluster& cluster, const CampaignJob& job) {
+          return RunBfsJobOn(cluster, job, max_ticks);
+        });
+  };
+}
+
+WarmPool::Factory BfsMuxWarmFactory() {
+  return [] {
+    return std::make_unique<SnapshotWarmTarget<BfsCluster>>(
+        [](VirtualFs* fs, VirtualNet* net) {
+          return BuildStartedBfsCluster(fs, net, /*rounds=*/2);
+        },
+        RunBfsMuxJobOn);
+  };
+}
+
 // --- ExecutionLayer ----------------------------------------------------------
 
 ExecutionLayer::ExecutionLayer(const std::string& system, bool explore_workload,
@@ -369,6 +497,9 @@ ExecutionLayer::ExecutionLayer(const std::string& system, bool explore_workload,
     } else if (system == "pbft") {
       runner_ = explore_workload ? RunPbftExploreJob : RunPbftJob;
       pbft_distributed_runner_ = RunPbftDistributedJob;
+    } else if (system == "bfs") {
+      runner_ = explore_workload ? RunBfsExploreJob : RunBfsJob;
+      bfs_mux_runner_ = RunBfsMuxJob;
     }
     return;
   }
@@ -385,6 +516,11 @@ ExecutionLayer::ExecutionLayer(const std::string& system, bool explore_workload,
                                                         : PbftWarmFactory(8, 2000));
     pbft_distributed_pool_ = std::make_unique<WarmPool>(PbftDistributedWarmFactory());
     pbft_distributed_runner_ = pbft_distributed_pool_->AsRunner();
+  } else if (system == "bfs") {
+    pool_ = std::make_unique<WarmPool>(explore_workload ? BfsWarmFactory(3, 900)
+                                                        : BfsWarmFactory(2, 600));
+    bfs_mux_pool_ = std::make_unique<WarmPool>(BfsMuxWarmFactory());
+    bfs_mux_runner_ = bfs_mux_pool_->AsRunner();
   }
   if (pool_ != nullptr) {
     runner_ = pool_->AsRunner();

@@ -33,6 +33,7 @@ class MiniGit;
 class MiniMysql;
 class MiniBind;
 class PbftCluster;
+class BfsCluster;
 
 // --- runner cores (one per workload kind) ----------------------------------
 
@@ -45,6 +46,14 @@ JobResult RunBindDstJobOn(MiniBind& bind, const CampaignJob& job);
 JobResult RunPbftJobOn(PbftCluster& cluster, const CampaignJob& job, int requests,
                        int max_ticks);
 JobResult RunPbftDistributedJobOn(PbftCluster& cluster, const CampaignJob& job);
+// `max_ticks` bounds the multi-client workload (600 for the Table 1
+// campaign, 900 for exploration's longer scripts). Runs the consistency
+// oracle's remount audit after every non-crashed injected run.
+JobResult RunBfsJobOn(BfsCluster& cluster, const CampaignJob& job, int max_ticks);
+// The partial-transfer phase: arms the vnet partial-send/recv fault sites
+// (seed-derived probabilities) instead of a library-fault scenario, so the
+// connection mux's recovery paths are exercised end to end.
+JobResult RunBfsMuxJobOn(BfsCluster& cluster, const CampaignJob& job);
 
 // --- cold one-shot runners (construct, run, destroy) ------------------------
 // The replay path and the --cold-start ablation run these; they are also the
@@ -57,6 +66,9 @@ JobResult RunBindDstJob(const CampaignJob& job);
 JobResult RunPbftJob(const CampaignJob& job);
 JobResult RunPbftExploreJob(const CampaignJob& job);
 JobResult RunPbftDistributedJob(const CampaignJob& job);
+JobResult RunBfsJob(const CampaignJob& job);
+JobResult RunBfsExploreJob(const CampaignJob& job);
+JobResult RunBfsMuxJob(const CampaignJob& job);
 
 // --- warm-target factories ---------------------------------------------------
 // One factory per (system, workload kind): constructs the target, runs its
@@ -69,6 +81,8 @@ WarmPool::Factory BindWarmFactory();
 WarmPool::Factory BindDstWarmFactory();
 WarmPool::Factory PbftWarmFactory(int requests, int max_ticks);
 WarmPool::Factory PbftDistributedWarmFactory();
+WarmPool::Factory BfsWarmFactory(int rounds, int max_ticks);
+WarmPool::Factory BfsMuxWarmFactory();
 
 // --- the execution layer -----------------------------------------------------
 // Owns the campaign's warm pools (lifetime: one engine run -- shard and epoch
@@ -88,6 +102,7 @@ class ExecutionLayer {
   const CampaignEngine::ResultRunner& pbft_distributed_runner() const {
     return pbft_distributed_runner_;
   }
+  const CampaignEngine::ResultRunner& bfs_mux_runner() const { return bfs_mux_runner_; }
 
   bool cold_start() const { return cold_start_; }
   // Main-pool counters (zeroes under cold_start): how much bring-up the warm
@@ -99,9 +114,11 @@ class ExecutionLayer {
   std::unique_ptr<WarmPool> pool_;
   std::unique_ptr<WarmPool> bind_dst_pool_;
   std::unique_ptr<WarmPool> pbft_distributed_pool_;
+  std::unique_ptr<WarmPool> bfs_mux_pool_;
   CampaignEngine::ResultRunner runner_;
   CampaignEngine::ResultRunner bind_dst_runner_;
   CampaignEngine::ResultRunner pbft_distributed_runner_;
+  CampaignEngine::ResultRunner bfs_mux_runner_;
 };
 
 }  // namespace lfi

@@ -77,7 +77,7 @@ std::optional<JournalFormat> ParseJournalFormat(const std::string& name);
 // crashing at the same place in the same system are one bug (Table 1 counts
 // distinct sites, not distinct scenarios).
 struct FoundBug {
-  std::string system;    // "git", "mysql", "bind", "pbft"
+  std::string system;    // "git", "mysql", "bind", "pbft", "bfs"
   std::string kind;      // "SIGSEGV", "double mutex unlock", "data loss", ...
   std::string where;     // crash site / corruption description
   std::string injected;  // the fault that exposed it, e.g. "opendir=NULL@list_branches"

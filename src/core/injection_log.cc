@@ -68,6 +68,32 @@ Scenario InjectionLog::ReplayScenario(size_t index) const {
   return scenario;
 }
 
+Scenario InjectionLog::FullReplayScenario() const {
+  Scenario scenario;
+  // One (trigger, association) pair per logged injection: triggers within an
+  // association are a conjunction, but same-function associations form a
+  // disjunction, and the call-count trigger reads the authoritative boundary
+  // count, so exactly the logged call of each function fires its own pair.
+  for (const InjectionRecord& r : records_) {
+    TriggerDecl decl;
+    decl.id = StrFormat("replay-%llu", static_cast<unsigned long long>(r.sequence));
+    decl.class_name = "CallCountTrigger";
+    auto args = std::make_unique<XmlNode>("args");
+    args->AddChild("count")->set_text(
+        StrFormat("%llu", static_cast<unsigned long long>(r.call_number)));
+    decl.args = std::shared_ptr<XmlNode>(args.release());
+
+    FunctionAssoc assoc;
+    assoc.function = r.function;
+    assoc.retval = r.retval;
+    assoc.errno_value = r.errno_value;
+    assoc.triggers.push_back(TriggerRef{decl.id, false});
+    scenario.AddTrigger(std::move(decl));
+    scenario.AddFunction(std::move(assoc));
+  }
+  return scenario;
+}
+
 void InjectionLog::AppendXml(XmlNode* parent) const {
   XmlNode* log = parent->AddChild("log");
   for (const InjectionRecord& r : records_) {

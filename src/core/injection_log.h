@@ -57,6 +57,15 @@ class InjectionLog {
   // call number, using the stock call-count trigger.
   Scenario ReplayScenario(size_t index) const;
 
+  // A scenario that re-injects the run's whole fault sequence, one
+  // call-count trigger per record. Re-injecting the full set pins every
+  // divergence point, so the replayed execution tracks the original call
+  // for call -- required to reproduce outcomes that are a property of the
+  // sequence (a consistency corruption built up across several survived
+  // faults), where replaying only the final injection leaves the earlier
+  // calls un-faulted and the call numbering drifts away from the log.
+  Scenario FullReplayScenario() const;
+
   // Serializes as a <log> child of `parent` (one <injection> element per
   // record, triggers and stack frames as children); ToXml() wraps the same
   // element in a document. FromNode/Parse are the exact inverses.

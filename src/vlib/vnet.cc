@@ -24,13 +24,22 @@ long VirtualNet::Send(int src_port, int dst_port, const std::string& payload) {
     ++dropped_;
     return static_cast<long>(payload.size());
   }
+  std::string delivered_payload = payload;
+  if (partial_send_probability_ > 0.0 && payload.size() >= 2 &&
+      rng_.Chance(partial_send_probability_)) {
+    // Strict prefix: the wire accepted k bytes, the rest never left the host.
+    size_t k = 1 + static_cast<size_t>(rng_.NextBelow(payload.size() - 1));
+    delivered_payload.resize(k);
+    ++partial_sends_;
+  }
+  long accepted = static_cast<long>(delivered_payload.size());
   if (tick_delivery_) {
-    staged_.emplace_back(dst_port, Datagram{src_port, payload});
+    staged_.emplace_back(dst_port, Datagram{src_port, std::move(delivered_payload)});
   } else {
-    it->second.push_back(Datagram{src_port, payload});
+    it->second.push_back(Datagram{src_port, std::move(delivered_payload)});
   }
   ++delivered_;
-  return static_cast<long>(payload.size());
+  return accepted;
 }
 
 void VirtualNet::AdvanceTick() {
@@ -50,6 +59,14 @@ bool VirtualNet::Receive(int port, Datagram* out) {
   }
   *out = std::move(it->second.front());
   it->second.pop_front();
+  if (partial_recv_probability_ > 0.0 && out->payload.size() >= 2 &&
+      rng_.Chance(partial_recv_probability_)) {
+    // Strict prefix: the caller gets an honest short read; the tail of this
+    // datagram is gone for good, exactly like a truncating recvfrom.
+    size_t k = 1 + static_cast<size_t>(rng_.NextBelow(out->payload.size() - 1));
+    out->payload.resize(k);
+    ++partial_recvs_;
+  }
   return true;
 }
 

@@ -47,6 +47,21 @@ class VirtualNet {
   // Physical-loss probability applied to every Send (default 0).
   void set_loss_probability(double p) { loss_probability_ = p; }
 
+  // Partial-transfer fault sites. When partial-send fires, Send() delivers
+  // only a strict prefix of the payload (1 <= k < size) and returns the
+  // honest short count k -- the sender sees exactly what a short write()
+  // reports and must resend from offset k. When partial-recv fires,
+  // Receive() hands over only a strict prefix of the head datagram and the
+  // remainder is gone -- the receiver sees an honest short read and must
+  // detect the gap (frame length/CRC) and recover. Payloads shorter than
+  // two bytes cannot be split and pass through whole. Both draw from the
+  // same snapshotted rng_ as physical loss, so restores replay the fault
+  // stream bit-exactly.
+  void set_partial_send_probability(double p) { partial_send_probability_ = p; }
+  void set_partial_recv_probability(double p) { partial_recv_probability_ = p; }
+  uint64_t partial_send_count() const { return partial_sends_; }
+  uint64_t partial_recv_count() const { return partial_recvs_; }
+
   // Tick-synchronous delivery: when enabled, Send() stages datagrams and
   // AdvanceTick() makes them receivable, giving every message a uniform
   // one-tick latency. Discrete-event simulations (PBFT) use this so results
@@ -68,11 +83,17 @@ class VirtualNet {
     bool tick_delivery = false;
     Rng rng;
     double loss_probability = 0.0;
+    double partial_send_probability = 0.0;
+    double partial_recv_probability = 0.0;
     uint64_t delivered = 0;
     uint64_t dropped = 0;
+    uint64_t partial_sends = 0;
+    uint64_t partial_recvs = 0;
   };
   Snapshot TakeSnapshot() const {
-    return {queues_, staged_, tick_delivery_, rng_, loss_probability_, delivered_, dropped_};
+    return {queues_,  staged_,  tick_delivery_,  rng_,           loss_probability_,
+            partial_send_probability_, partial_recv_probability_, delivered_,
+            dropped_, partial_sends_, partial_recvs_};
   }
   void Restore(const Snapshot& snapshot) {
     queues_ = snapshot.queues;
@@ -80,8 +101,12 @@ class VirtualNet {
     tick_delivery_ = snapshot.tick_delivery;
     rng_ = snapshot.rng;
     loss_probability_ = snapshot.loss_probability;
+    partial_send_probability_ = snapshot.partial_send_probability;
+    partial_recv_probability_ = snapshot.partial_recv_probability;
     delivered_ = snapshot.delivered;
     dropped_ = snapshot.dropped;
+    partial_sends_ = snapshot.partial_sends;
+    partial_recvs_ = snapshot.partial_recvs;
   }
 
  private:
@@ -90,8 +115,12 @@ class VirtualNet {
   bool tick_delivery_ = false;
   Rng rng_;
   double loss_probability_ = 0.0;
+  double partial_send_probability_ = 0.0;
+  double partial_recv_probability_ = 0.0;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t partial_sends_ = 0;
+  uint64_t partial_recvs_ = 0;
 };
 
 }  // namespace lfi

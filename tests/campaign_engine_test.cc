@@ -163,7 +163,7 @@ TEST(CampaignEngine, PbftCampaignIdenticalAcrossWorkerCounts) {
 
 TEST(CampaignEngine, FullCampaignIdenticalAcrossWorkerCounts) {
   std::vector<FoundBug> serial = RunFullCampaign({.workers = 1});
-  EXPECT_EQ(serial.size(), 11u);
+  EXPECT_EQ(serial.size(), 12u);
   ExpectSameBugs(serial, RunFullCampaign({.workers = 4}));
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/common/bug_campaign.h"
+#include "apps/common/campaign_spec.h"
 #include "core/campaign_engine.h"
 #include "core/exploration.h"
 #include "core/injection_log.h"
@@ -657,6 +658,53 @@ TEST(JournalSource, ReseedsACampaignAndShardsItLosslessly) {
 
   EXPECT_THROW(JournalSource(*journal, JournalSource::Options{2, 2, false}),
                std::invalid_argument);
+}
+
+// --- the doctor's campaign-identity surface ---------------------------------
+
+// `lfi_tool journal doctor` flags a campaign identity that names a system
+// this build cannot re-run. The decision surface it consults lives here in
+// the library: a bfs identity must round-trip through a journal header into
+// a valid spec and resolve a job runner, while an unknown system must fail
+// all three -- the doctor's unknown-system issue and resume/replay's refusal
+// key off exactly these checks.
+TEST(CampaignJournal, DoctorIdentitySurfaceRecognizesBfsAndRefusesUnknown) {
+  CampaignSpec spec;
+  spec.system = "bfs";
+  spec.mode = CampaignMode::kExplore;
+  spec.strategy = ExploreStrategy::kCoverage;
+  spec.budget = 16;
+  spec.seed = 9;
+  spec.journal_path = TempPath("journal_bfs_identity.xml");
+  EXPECT_EQ(spec.Validate(), "");
+
+  std::remove(spec.journal_path.c_str());
+  CampaignJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.Create(spec.journal_path, spec.ToJournalMeta(), &error)) << error;
+  ASSERT_TRUE(journal.Finalize(&error)) << error;
+  auto loaded = CampaignJournal::Load(spec.journal_path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->Meta("system"), "bfs");
+  auto parsed = CampaignSpec::FromJournalMeta(loaded->metadata(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->system, "bfs");
+  EXPECT_EQ(parsed->Validate(), "");
+  EXPECT_TRUE(IsCampaignSystem("bfs"));
+  EXPECT_TRUE(SystemJobRunner("bfs") != nullptr);
+
+  // An identity naming a system this build does not know: not a member, no
+  // runner, and a spec parsed from it does not validate as runnable.
+  EXPECT_FALSE(IsCampaignSystem("zfs"));
+  EXPECT_TRUE(SystemJobRunner("zfs") == nullptr);
+  JournalMetadata unknown = spec.ToJournalMeta();
+  for (auto& [key, value] : unknown) {
+    if (key == "system") {
+      value = "zfs";
+    }
+  }
+  auto refused = CampaignSpec::FromJournalMeta(unknown, &error);
+  EXPECT_TRUE(!refused.has_value() || !refused->Validate().empty());
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/errno_codes.h"
+#include "util/string_util.h"
 #include "vlib/sim_crash.h"
 #include "vlib/virtual_libc.h"
 
@@ -393,6 +397,117 @@ TEST_F(VlibTest, VnetLossDropsMessages) {
   char buf[4];
   EXPECT_EQ(b.RecvFrom(sb, buf, 4, nullptr), -1);
   EXPECT_EQ(lossy.dropped_count(), 1u);
+}
+
+TEST_F(VlibTest, VnetPartialSendDeliversHonestPrefix) {
+  VirtualNet net(9);
+  ASSERT_TRUE(net.Bind(1));
+  ASSERT_TRUE(net.Bind(2));
+  net.set_partial_send_probability(1.0);
+  const std::string payload = "abcdef";
+  long n = net.Send(1, 2, payload);
+  // A strict prefix: the sender sees exactly what a short write() reports.
+  ASSERT_GE(n, 1);
+  ASSERT_LT(static_cast<size_t>(n), payload.size());
+  Datagram d;
+  ASSERT_TRUE(net.Receive(2, &d));
+  EXPECT_EQ(d.payload, payload.substr(0, static_cast<size_t>(n)));
+  EXPECT_EQ(net.partial_send_count(), 1u);
+  EXPECT_EQ(net.partial_recv_count(), 0u);
+}
+
+TEST_F(VlibTest, VnetPartialRecvTruncatesTheHeadDatagram) {
+  VirtualNet net(10);
+  ASSERT_TRUE(net.Bind(1));
+  ASSERT_TRUE(net.Bind(2));
+  const std::string payload = "abcdef";
+  ASSERT_EQ(net.Send(1, 2, payload), static_cast<long>(payload.size()));
+  net.set_partial_recv_probability(1.0);
+  Datagram d;
+  ASSERT_TRUE(net.Receive(2, &d));
+  // The receiver gets a strict prefix and the remainder is gone -- an honest
+  // short read the frame layer must detect (length prefix / CRC).
+  ASSERT_GE(d.payload.size(), 1u);
+  ASSERT_LT(d.payload.size(), payload.size());
+  EXPECT_EQ(d.payload, payload.substr(0, d.payload.size()));
+  EXPECT_EQ(net.QueueDepth(2), 0u);
+  EXPECT_EQ(net.partial_recv_count(), 1u);
+}
+
+TEST_F(VlibTest, VnetTinyPayloadsCannotBeSplit) {
+  VirtualNet net(11);
+  ASSERT_TRUE(net.Bind(1));
+  ASSERT_TRUE(net.Bind(2));
+  net.set_partial_send_probability(1.0);
+  net.set_partial_recv_probability(1.0);
+  ASSERT_EQ(net.Send(1, 2, "a"), 1);
+  Datagram d;
+  ASSERT_TRUE(net.Receive(2, &d));
+  EXPECT_EQ(d.payload, "a");
+  EXPECT_EQ(net.partial_send_count(), 0u);
+  EXPECT_EQ(net.partial_recv_count(), 0u);
+}
+
+TEST_F(VlibTest, VnetPartialSendRoundTripRecoversByResending) {
+  // The sender-side recovery discipline the bfs client implements: resend
+  // from the reported offset until everything is accepted. The receiver
+  // reassembles the prefixes back into the original bytes.
+  VirtualNet net(12);
+  ASSERT_TRUE(net.Bind(1));
+  ASSERT_TRUE(net.Bind(2));
+  net.set_partial_send_probability(1.0);
+  const std::string payload = "the-quick-brown-fox";
+  size_t off = 0;
+  int rounds = 0;
+  while (off < payload.size() && rounds < 64) {
+    long n = net.Send(1, 2, payload.substr(off));
+    ASSERT_GE(n, 1);
+    off += static_cast<size_t>(n);
+    ++rounds;
+  }
+  ASSERT_EQ(off, payload.size());
+  EXPECT_GT(rounds, 1);  // at least one send actually split
+  std::string reassembled;
+  Datagram d;
+  while (net.Receive(2, &d)) {
+    reassembled += d.payload;
+  }
+  EXPECT_EQ(reassembled, payload);
+  EXPECT_GE(net.partial_send_count(), 1u);
+}
+
+TEST_F(VlibTest, VnetSnapshotRestoreReplaysThePartialFaultStream) {
+  VirtualNet net(13);
+  ASSERT_TRUE(net.Bind(1));
+  ASSERT_TRUE(net.Bind(2));
+  net.set_partial_send_probability(0.5);
+  net.set_partial_recv_probability(0.5);
+  VirtualNet::Snapshot snapshot = net.TakeSnapshot();
+
+  auto run_sequence = [](VirtualNet& n) {
+    std::vector<std::pair<long, std::string>> trace;
+    for (int i = 0; i < 24; ++i) {
+      long sent = n.Send(1, 2, StrFormat("payload-%02d", i));
+      Datagram d;
+      std::string received = n.Receive(2, &d) ? d.payload : "<empty>";
+      trace.emplace_back(sent, received);
+    }
+    return trace;
+  };
+  auto first = run_sequence(net);
+  uint64_t sends = net.partial_send_count();
+  uint64_t recvs = net.partial_recv_count();
+  EXPECT_GT(sends + recvs, 0u);
+
+  // Restore rolls the probabilities, the counters, and the RNG back, so the
+  // second run replays the exact fault stream -- the property the warm
+  // target pool's bit-identity rests on.
+  net.Restore(snapshot);
+  EXPECT_EQ(net.partial_send_count(), 0u);
+  EXPECT_EQ(net.partial_recv_count(), 0u);
+  EXPECT_EQ(run_sequence(net), first);
+  EXPECT_EQ(net.partial_send_count(), sends);
+  EXPECT_EQ(net.partial_recv_count(), recvs);
 }
 
 }  // namespace
